@@ -1,0 +1,39 @@
+(* Benchmark harness entry point.
+
+   With no argument, regenerates every table and figure of the paper's
+   evaluation section and then runs the Bechamel micro-benchmarks.  A
+   single argument selects one piece:
+
+     dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
+                                  students|ablation|micro|all]
+
+   (table3 and table4 are produced by the same SRW-vs-MRW sweep.) *)
+
+let usage () =
+  Fmt.epr
+    "usage: main.exe [table1|table2|table3|table4|fig3|fig16|students|ablation|micro|all]@.";
+  exit 1
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let t0 = Unix.gettimeofday () in
+  (match which with
+  | "table1" -> Tables.table1 ()
+  | "table2" -> Tables.table2 ()
+  | "table3" | "table4" -> Tables.table3_4 ()
+  | "fig3" -> Tables.fig3 ()
+  | "fig16" -> Tables.fig16 ()
+  | "students" -> Tables.students ()
+  | "ablation" -> Tables.ablation ()
+  | "micro" -> Micro.run_and_print ()
+  | "all" ->
+      Tables.table1 ();
+      Tables.fig3 ();
+      Tables.table2 ();
+      Tables.table3_4 ();
+      Tables.fig16 ();
+      Tables.students ();
+      Tables.ablation ();
+      Micro.run_and_print ()
+  | _ -> usage ());
+  Fmt.pr "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,118 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table/figure, timing
+   the computation that regenerates it.  [run_and_print] executes the
+   whole suite and prints one OLS time-per-run estimate per test. *)
+
+open Bechamel
+open Toolkit
+
+let fib_src = Benchsuite.Fibonacci.source ~n:10
+
+let quicksort_src = Benchsuite.Quicksort.source ~n:200 ~seed:9
+
+let compile_stripped src =
+  Mhj.Transform.strip_finishes (Mhj.Front.compile src)
+
+(* table 2: detection + S-DPST construction (MRW, per benchmark kind) *)
+let test_table2_detect =
+  let prog = compile_stripped fib_src in
+  Test.make ~name:"table2/mrw-detect-fib"
+    (Staged.stage (fun () ->
+         ignore (Espbags.Detector.detect Espbags.Detector.Mrw prog)))
+
+let test_table2_repair =
+  let prog = compile_stripped quicksort_src in
+  Test.make ~name:"table2/repair-quicksort"
+    (Staged.stage (fun () -> ignore (Repair.Driver.repair prog)))
+
+(* table 3: SRW vs MRW detection cost *)
+let test_table3_srw =
+  let prog = compile_stripped quicksort_src in
+  Test.make ~name:"table3/srw-detect-quicksort"
+    (Staged.stage (fun () ->
+         ignore (Espbags.Detector.detect Espbags.Detector.Srw prog)))
+
+let test_table3_mrw =
+  let prog = compile_stripped quicksort_src in
+  Test.make ~name:"table3/mrw-detect-quicksort"
+    (Staged.stage (fun () ->
+         ignore (Espbags.Detector.detect Espbags.Detector.Mrw prog)))
+
+(* table 4 reduces to the same detector runs as table 3; time the race
+   bookkeeping itself on a read/write-heavy program instead *)
+let test_table4_bookkeeping =
+  let prog = compile_stripped (Benchsuite.Mergesort.source ~n:64 ~seed:1) in
+  Test.make ~name:"table4/mrw-detect-mergesort"
+    (Staged.stage (fun () ->
+         ignore (Espbags.Detector.detect Espbags.Detector.Mrw prog)))
+
+(* figures 3/4: the dynamic-programming placement *)
+let test_fig3_dp =
+  let g = Bench_graphs.figure3 () in
+  Test.make ~name:"fig3/dp-solve-6"
+    (Staged.stage (fun () -> ignore (Repair.Dp_place.solve g)))
+
+let test_fig3_dp_large =
+  let g = Bench_graphs.random_graph ~seed:17 ~n:64 in
+  Test.make ~name:"fig3/dp-solve-64"
+    (Staged.stage (fun () -> ignore (Repair.Dp_place.solve g)))
+
+(* figure 16: computation-graph construction + greedy scheduling *)
+let test_fig16_sched =
+  let res = Rt.Interp.run (Mhj.Front.compile fib_src) in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  Test.make ~name:"fig16/schedule-fib-12procs"
+    (Staged.stage (fun () -> ignore (Compgraph.Sched.makespan ~procs:12 g)))
+
+let test_fig16_graph =
+  let res = Rt.Interp.run (Mhj.Front.compile fib_src) in
+  Test.make ~name:"fig16/compgraph-of-sdpst-fib"
+    (Staged.stage (fun () -> ignore (Compgraph.Graph.of_sdpst res.tree)))
+
+(* §7.4: grading one student submission *)
+let test_students_grade =
+  let sub = List.hd (Benchsuite.Students.submissions ~n:32 ()) in
+  Test.make ~name:"students/grade-one"
+    (Staged.stage (fun () -> ignore (Benchsuite.Students.grade sub)))
+
+(* table 1 is an inventory; time the front end on the largest source *)
+let test_table1_frontend =
+  let src = (List.hd Benchsuite.Suite.all).Benchsuite.Bench.repair_src in
+  Test.make ~name:"table1/compile-fibonacci"
+    (Staged.stage (fun () -> ignore (Mhj.Front.compile src)))
+
+let all_tests =
+  Test.make_grouped ~name:"tdrace"
+    [
+      test_table1_frontend;
+      test_table2_detect;
+      test_table2_repair;
+      test_table3_srw;
+      test_table3_mrw;
+      test_table4_bookkeeping;
+      test_fig3_dp;
+      test_fig3_dp_large;
+      test_fig16_graph;
+      test_fig16_sched;
+      test_students_grade;
+    ]
+
+let run_and_print () =
+  Fmt.pr "@.Bechamel micro-benchmarks (one per table/figure)@.";
+  Fmt.pr "%s@." (String.make 72 '-');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances all_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let result = Hashtbl.find results name in
+      match Analyze.OLS.estimates result with
+      | Some [ t ] -> Fmt.pr "%-36s %12.1f ns/run@." name t
+      | _ -> Fmt.pr "%-36s (no estimate)@." name)
+    (List.sort compare names)

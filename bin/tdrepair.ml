@@ -1,0 +1,541 @@
+(** tdrepair — test-driven repair of data races in Mini-HJ programs.
+
+    Command-line layout mirrors the paper's artifact (Appendix A):
+    [detect] instruments and executes a program, writing a race trace;
+    [repair] computes and applies finish placements; the remaining
+    commands expose the surrounding tooling (run, strip, elide, coverage,
+    grading). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let or_die f =
+  try f () with
+  | e -> (
+      match Mhj.Front.explain_error e with
+      | Some msg ->
+          Fmt.epr "error: %s@." msg;
+          exit 1
+      | None -> (
+          match e with
+          | Rt.Interp.Runtime_error (m, l) ->
+              Fmt.epr "runtime error at %a: %s@." Mhj.Loc.pp l m;
+              exit 1
+          | Rt.Interp.Out_of_fuel ->
+              Fmt.epr "error: execution exceeded its fuel budget@.";
+              exit 1
+          | Repair.Driver.Unrepairable m ->
+              Fmt.epr "unrepairable: %s@." m;
+              exit 1
+          | e -> raise e))
+
+let compile path = Mhj.Front.compile (read_file path)
+
+(* --set NAME=INT test-input overrides *)
+let apply_sets prog sets =
+  List.fold_left
+    (fun p spec ->
+      match String.index_opt spec '=' with
+      | Some i -> (
+          let name = String.sub spec 0 i in
+          let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt v with
+          | Some v -> Mhj.Transform.set_global_int p name v
+          | None ->
+              Fmt.epr "error: --set %s: %S is not an integer@." spec v;
+              exit 1)
+      | None ->
+          Fmt.epr "error: --set expects NAME=INT, got %S@." spec;
+          exit 1)
+    prog sets
+
+(* ---------------------------- arguments ---------------------------- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Mini-HJ source file.")
+
+let mode_arg =
+  let mode_conv =
+    Arg.enum [ ("mrw", Espbags.Detector.Mrw); ("srw", Espbags.Detector.Srw) ]
+  in
+  Arg.(
+    value & opt mode_conv Espbags.Detector.Mrw
+    & info [ "mode" ] ~docv:"MODE"
+        ~doc:
+          "ESP-bags detector flavour: $(b,mrw) (all readers/writers, the \
+           paper's default) or $(b,srw) (single reader-writer).")
+
+let set_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "set" ] ~docv:"NAME=INT"
+        ~doc:
+          "Override an int global's initializer — vary the test input \
+           without editing the program.  Repeatable.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the result to $(docv).")
+
+(* ---------------------------- commands ----------------------------- *)
+
+let parse_cmd =
+  let run file =
+    or_die (fun () ->
+        let prog = compile file in
+        Fmt.pr "%s" (Mhj.Pretty.program_to_string prog))
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse, type-check and re-print a program.")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let run file procs sets =
+    or_die (fun () ->
+        let prog = apply_sets (compile file) sets in
+        let res = Rt.Interp.run prog in
+        print_string res.output;
+        let cpl = Sdpst.Analysis.critical_path_length res.tree in
+        let g = Compgraph.Graph.of_sdpst res.tree in
+        Fmt.pr
+          "work (T1) = %d cost units@\n\
+           critical path (Tinf) = %d@\n\
+           parallelism = %.2f@\n\
+           simulated T_%d = %d@\n\
+           S-DPST nodes = %d@."
+          res.work cpl
+          (float_of_int res.work /. float_of_int (max 1 cpl))
+          procs
+          (Compgraph.Sched.makespan ~procs g)
+          res.tree.Sdpst.Node.n_nodes)
+  in
+  let procs =
+    Arg.(
+      value & opt int 12
+      & info [ "p"; "procs" ] ~docv:"P"
+          ~doc:"Processors for the scheduling simulation.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a program depth-first and report work, critical path and \
+          simulated parallel time.")
+    Term.(const run $ file_arg $ procs $ set_arg)
+
+let detect_cmd =
+  let run file mode sets trace dump_tree dump_sdpst =
+    or_die (fun () ->
+        let prog = apply_sets (compile file) sets in
+        let det, res = Espbags.Detector.detect mode prog in
+        let races = Espbags.Detector.races det in
+        if dump_sdpst then Fmt.pr "%s@." (Sdpst.Serial.to_string res.tree);
+        (match dump_tree with
+        | Some path ->
+            write_file path (Sdpst.Serial.tree_to_string res.tree);
+            Fmt.pr "S-DPST written to %s@." path
+        | None -> ());
+        Fmt.pr "%a ESP-bags: %d race report(s), %d distinct step pair(s)@."
+          Espbags.Detector.pp_mode mode (List.length races)
+          (List.length (Espbags.Race.dedupe_by_steps races));
+        Fmt.pr
+          "checked %d access(es) over %d location(s); S-DPST has %d node(s)@."
+          det.Espbags.Detector.n_accesses det.Espbags.Detector.n_locations
+          res.Rt.Interp.tree.Sdpst.Node.n_nodes;
+        List.iteri
+          (fun i r ->
+            if i < 20 then Fmt.pr "  %a@." Espbags.Race.pp r
+            else if i = 20 then Fmt.pr "  ... (%d more)@." (List.length races - 20))
+          races;
+        match trace with
+        | Some path ->
+            Espbags.Trace.save path ~mode races;
+            Fmt.pr "trace written to %s@." path
+        | None -> ())
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"OUT" ~doc:"Write a race trace file to $(docv).")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump-sdpst" ] ~doc:"Print the S-DPST.")
+  in
+  let dump_tree =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-tree" ] ~docv:"OUT"
+          ~doc:
+            "Serialize the S-DPST to $(docv), for offline analysis with \
+             $(b,analyze).")
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:
+         "Execute a program under an ESP-bags detector and report its data \
+          races.")
+    Term.(const run $ file_arg $ mode_arg $ set_arg $ trace $ dump_tree $ dump)
+
+let analyze_cmd =
+  let run file tree_path trace_path output quiet =
+    or_die (fun () ->
+        let prog = compile file in
+        let tree = Sdpst.Serial.tree_of_string (read_file tree_path) in
+        let _mode, races = Espbags.Trace.of_string tree (read_file trace_path) in
+        let groups, merged = Repair.Driver.place_for_tree ~program:prog races in
+        Fmt.pr
+          "%d race(s) in %d NS-LCA group(s) -> %d finish statement(s):@."
+          (List.length races) (List.length groups)
+          (List.length merged.Repair.Static_place.placements);
+        let scopes = Mhj.Scopecheck.build prog in
+        List.iter
+          (fun p ->
+            Fmt.pr "  insert finish around %a@."
+              (Repair.Report.pp_placement_loc scopes)
+              p)
+          merged.Repair.Static_place.placements;
+        let repaired = Repair.Static_place.apply prog merged in
+        let src = Mhj.Pretty.program_to_string repaired in
+        match output with
+        | Some path ->
+            write_file path src;
+            Fmt.pr "repaired program written to %s@." path
+        | None -> if not quiet then print_string src)
+  in
+  let tree_path =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "tree" ] ~docv:"FILE"
+          ~doc:"S-DPST dump produced by $(b,detect --dump-tree).")
+  in
+  let trace_path =
+    Arg.(
+      required
+      & opt (some non_dir_file) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Race trace produced by $(b,detect --trace).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Do not print the repaired program.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Compute finish placements offline from a recorded S-DPST and race \
+          trace (the paper's Appendix A analyzer; no re-execution).")
+    Term.(const run $ file_arg $ tree_path $ trace_path $ output_arg $ quiet)
+
+let repair_cmd =
+  let run file mode strategy sets output report_flag quiet =
+    or_die (fun () ->
+        let prog = apply_sets (compile file) sets in
+        let report = Repair.Driver.repair ~mode ~strategy prog in
+        if report_flag then Fmt.pr "%a" Repair.Report.pp (prog, report)
+        else
+          Fmt.pr "%s after %d iteration(s); %d finish statement(s) inserted@."
+            (if report.converged then "race-free" else "NOT converged")
+            (List.length report.iterations)
+            (List.length (Repair.Driver.total_placements report));
+        let src = Mhj.Pretty.program_to_string report.program in
+        (match output with
+        | Some path ->
+            write_file path src;
+            Fmt.pr "repaired program written to %s@." path
+        | None -> if not quiet then print_string src);
+        if not report.converged then exit 2)
+  in
+  let report_flag =
+    Arg.(
+      value & flag
+      & info [ "report" ]
+          ~doc:"Print the detailed per-iteration repair report.")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ] ~doc:"Do not print the repaired program.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (enum [ ("batch", `Batch); ("incremental", `Incremental) ]) `Batch
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Placement strategy: $(b,batch) (all NS-LCA groups per \
+             detection run) or $(b,incremental) (the paper's §6.1 \
+             live-S-DPST loop).")
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Iteratively insert finish statements until the program is \
+          race-free for its input (the paper's core tool).")
+    Term.(
+      const run $ file_arg $ mode_arg $ strategy $ set_arg $ output_arg
+      $ report_flag $ quiet)
+
+let strip_cmd =
+  let run file output =
+    or_die (fun () ->
+        let prog = Mhj.Transform.strip_finishes (compile file) in
+        let src = Mhj.Pretty.program_to_string prog in
+        match output with
+        | Some path -> write_file path src
+        | None -> print_string src)
+  in
+  Cmd.v
+    (Cmd.info "strip"
+       ~doc:
+         "Remove every finish statement (the paper's §7.1 buggy-program \
+          construction).")
+    Term.(const run $ file_arg $ output_arg)
+
+let elide_cmd =
+  let run file output =
+    or_die (fun () ->
+        let prog = Mhj.Elision.elide (compile file) in
+        let src = Mhj.Pretty.program_to_string prog in
+        match output with
+        | Some path -> write_file path src
+        | None -> print_string src)
+  in
+  Cmd.v
+    (Cmd.info "elide"
+       ~doc:"Print the serial elision (all parallel constructs erased).")
+    Term.(const run $ file_arg $ output_arg)
+
+let coverage_cmd =
+  let run file sets =
+    or_die (fun () ->
+        let prog = apply_sets (compile file) sets in
+        let res = Rt.Interp.run prog in
+        let cov = Repair.Coverage.of_runs prog [ res.tree ] in
+        Fmt.pr "%a@." Repair.Coverage.pp cov)
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Report which statements and async sites the test input exercises \
+          (paper §9 extension).")
+    Term.(const run $ file_arg $ set_arg)
+
+let grade_cmd =
+  let run verbose =
+    or_die (fun () ->
+        let summary, verdicts = Benchsuite.Students.grade_all () in
+        if verbose then
+          List.iter
+            (fun (v : Benchsuite.Students.verdict) ->
+              Fmt.pr "submission %02d: %a (expected %a), races=%d, cpl=%d, \
+                      tool cpl=%d@."
+                v.submission.id Benchsuite.Students.pp_expected v.graded
+                Benchsuite.Students.pp_expected v.submission.expected v.races
+                v.cpl v.tool_cpl)
+            verdicts;
+        Fmt.pr
+          "59 submissions: %d racy, %d over-synchronized, %d matched the \
+           tool (paper: 5 / 29 / 25); generator/grader mismatches: %d@."
+          summary.racy summary.oversync summary.optimal summary.mismatches)
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-submission detail.")
+  in
+  Cmd.v
+    (Cmd.info "grade"
+       ~doc:
+         "Grade the synthetic student quicksort submissions (paper §7.4).")
+    Term.(const run $ verbose)
+
+let grade_file_cmd =
+  let run file =
+    or_die (fun () ->
+        let prog = compile file in
+        let det, res = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+        let races = Espbags.Detector.race_count det in
+        if races > 0 then begin
+          Fmt.pr
+            "verdict: RACY — %d race(s) remain; e.g. %a@."
+            races
+            (Fmt.option Espbags.Race.pp)
+            (List.nth_opt (Espbags.Detector.races det) 0);
+          exit 3
+        end
+        else begin
+          (* race-free: compare available parallelism against what the tool
+             itself would have produced from the unsynchronized version *)
+          let stripped = Mhj.Transform.strip_finishes prog in
+          let tool = Repair.Driver.repair stripped in
+          let tool_res = Rt.Interp.run tool.program in
+          let cpl t = Sdpst.Analysis.critical_path_length t in
+          let submitted = cpl res.tree and reference = cpl tool_res.tree in
+          if submitted > reference then begin
+            Fmt.pr
+              "verdict: OVER-SYNCHRONIZED — race-free, but critical path %d                vs the tool's %d (%.2fx less parallelism)@."
+              submitted reference
+              (float_of_int submitted /. float_of_int reference);
+            exit 4
+          end
+          else
+            Fmt.pr
+              "verdict: OPTIMAL — race-free with the tool's parallelism                (critical path %d)@."
+              submitted
+        end)
+  in
+  Cmd.v
+    (Cmd.info "grade-file"
+       ~doc:
+         "Grade a finish-insertion exercise submission the way §7.4 grades           the course homework: racy / over-synchronized / matches the           tool's parallelism.  Exit code 0 = optimal, 3 = racy, 4 =           over-synchronized.")
+    Term.(const run $ file_arg)
+
+let explain_cmd =
+  let run file sets =
+    or_die (fun () ->
+        let prog = apply_sets (compile file) sets in
+        let det, res = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+        let races = Espbags.Detector.races det in
+        let a, f, s, st = Sdpst.Node.count_by_kind res.tree in
+        Fmt.pr
+          "S-DPST: %d nodes (%d asyncs, %d finishes, %d scopes, %d steps), \
+           depth-first skeleton:@."
+          res.tree.Sdpst.Node.n_nodes a f s st;
+        let skel = Sdpst.Serial.skeleton res.tree in
+        Fmt.pr "  %s@."
+          (if String.length skel > 400 then String.sub skel 0 400 ^ "..."
+           else skel);
+        Fmt.pr "work = %d, critical path = %d, parallelism = %.2f@." res.work
+          (Sdpst.Analysis.critical_path_length res.tree)
+          (float_of_int res.work
+          /. float_of_int
+               (max 1 (Sdpst.Analysis.critical_path_length res.tree)));
+        if races = [] then Fmt.pr "no data races for this input@."
+        else begin
+          (* group by contended variable *)
+          let by_var = Hashtbl.create 16 in
+          List.iter
+            (fun (r : Espbags.Race.t) ->
+              let v = Fmt.str "%a" Rt.Addr.pp r.addr in
+              Hashtbl.replace by_var v
+                (1 + Option.value ~default:0 (Hashtbl.find_opt by_var v)))
+            races;
+          Fmt.pr "%d race report(s) on %d location(s); most contended:@."
+            (List.length races) (Hashtbl.length by_var);
+          let sorted =
+            Hashtbl.fold (fun v n acc -> (n, v) :: acc) by_var []
+            |> List.sort (fun a b -> compare b a)
+          in
+          List.iteri
+            (fun i (n, v) -> if i < 10 then Fmt.pr "  %6d  %s@." n v)
+            sorted;
+          (* per NS-LCA dependence graphs *)
+          let groups, merged = Repair.Driver.place_for_tree ~program:prog races in
+          Fmt.pr "NS-LCA groups: %d@." (List.length groups);
+          List.iteri
+            (fun i (g : Repair.Driver.group_result) ->
+              if i < 10 then
+                Fmt.pr "  group at node %d: %d vertices, %d edges, DP cost %d@."
+                  g.lca_id g.n_vertices g.n_edges g.dp_cost)
+            groups;
+          let scopes = Mhj.Scopecheck.build prog in
+          Fmt.pr "suggested repair:@.";
+          List.iter
+            (fun p ->
+              Fmt.pr "  insert finish around %a@."
+                (Repair.Report.pp_placement_loc scopes)
+                p)
+            merged.Repair.Static_place.placements
+        end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain a program's parallel structure: S-DPST shape, work and           critical path, contended locations, per-NS-LCA dependence graphs           and the suggested repair — the teaching view behind the paper's           course use-case.")
+    Term.(const run $ file_arg $ set_arg)
+
+let bench_list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Benchsuite.Bench.t) ->
+        Fmt.pr "%-14s %-9s %s@." b.name b.suite b.descr)
+      Benchsuite.Suite.all
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the Table 1 benchmark suite.")
+    Term.(const run $ const ())
+
+let emit_cmd =
+  let run name which output =
+    or_die (fun () ->
+        match Benchsuite.Suite.find name with
+        | None ->
+            Fmt.epr "unknown benchmark %S; try 'tdrepair benchmarks'@." name;
+            exit 1
+        | Some b ->
+            let src =
+              match which with
+              | `Repair -> b.repair_src
+              | `Perf -> b.perf_src
+              | `Stripped ->
+                  Mhj.Pretty.program_to_string
+                    (Benchsuite.Bench.stripped_program b)
+            in
+            (match output with
+            | Some path -> write_file path src
+            | None -> print_string src))
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Benchmark name (see $(b,benchmarks)).")
+  in
+  let which =
+    Arg.(
+      value
+      & opt (enum [ ("repair", `Repair); ("perf", `Perf); ("stripped", `Stripped) ]) `Repair
+      & info [ "size" ] ~docv:"WHICH"
+          ~doc:
+            "Which variant to emit: $(b,repair) input size, $(b,perf) input \
+             size, or the finish-$(b,stripped) repair-size program.")
+  in
+  Cmd.v
+    (Cmd.info "emit"
+       ~doc:"Print a benchmark's Mini-HJ source (for use with the other \
+             commands).")
+    Term.(const run $ name_arg $ which $ output_arg)
+
+let main_cmd =
+  let doc =
+    "test-driven repair of data races in structured parallel programs \
+     (PLDI 2014 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "tdrepair" ~version:"1.0.0" ~doc)
+    [
+      parse_cmd; run_cmd; detect_cmd; analyze_cmd; repair_cmd; strip_cmd;
+      elide_cmd; coverage_cmd; grade_cmd; grade_file_cmd; explain_cmd;
+      bench_list_cmd; emit_cmd;
+    ]
+
+let () =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
+  exit (Cmd.eval main_cmd)

@@ -1,0 +1,31 @@
+(** The Table 1 benchmark suite.
+
+    Each benchmark provides its Mini-HJ source at two input sizes, matching
+    the paper's "Repair" and "Performance" columns.  The paper's absolute
+    sizes target a 12-core JVM; ours are scaled to a tree-walking
+    interpreter (the per-benchmark scaling is recorded in [repair_params] /
+    [perf_params] and in EXPERIMENTS.md) — the synchronization structure,
+    which is what the repair tool consumes, is unchanged. *)
+
+type t = {
+  name : string;
+  suite : string;  (** provenance: HJ Bench / BOTS / JGF / Shootout *)
+  descr : string;  (** Table 1 description *)
+  repair_params : string;  (** input size used in repair mode *)
+  perf_params : string;  (** input size used for performance runs *)
+  repair_src : string;
+  perf_src : string;
+}
+
+(** Compile the repair-mode program (with its expert finish placements). *)
+let repair_program (b : t) : Mhj.Ast.program = Mhj.Front.compile b.repair_src
+
+(** Compile the performance-mode program. *)
+let perf_program (b : t) : Mhj.Ast.program = Mhj.Front.compile b.perf_src
+
+(** The paper's §7.1 buggy version: all finish statements removed. *)
+let stripped_program (b : t) : Mhj.Ast.program =
+  Mhj.Transform.strip_finishes (repair_program b)
+
+let stripped_perf_program (b : t) : Mhj.Ast.program =
+  Mhj.Transform.strip_finishes (perf_program b)

@@ -1,0 +1,24 @@
+(** A Table 1 benchmark: Mini-HJ source at the paper's two input sizes
+    (scaled to an interpreter where necessary; the scaling is recorded in
+    the parameter strings and EXPERIMENTS.md). *)
+
+type t = {
+  name : string;
+  suite : string;  (** provenance: HJ Bench / BOTS / JGF / Shootout *)
+  descr : string;  (** Table 1 description *)
+  repair_params : string;  (** input size used in repair mode *)
+  perf_params : string;  (** input size used for performance runs *)
+  repair_src : string;
+  perf_src : string;
+}
+
+(** Compile the repair-mode program (with its expert finish placements). *)
+val repair_program : t -> Mhj.Ast.program
+
+(** Compile the performance-mode program. *)
+val perf_program : t -> Mhj.Ast.program
+
+(** The paper's §7.1 buggy version: all finish statements removed. *)
+val stripped_program : t -> Mhj.Ast.program
+
+val stripped_perf_program : t -> Mhj.Ast.program

@@ -1,0 +1,76 @@
+(** Crypt (JGF): parallel block encryption/decryption.  The JGF benchmark
+    runs IDEA over a byte array in parallel chunks; we use a reversible
+    mixed congruential cipher over int cells (same dependence structure:
+    decrypt chunk k reads what encrypt chunk k wrote, and the final
+    comparison reads everything), with one async per chunk and a finish
+    between the phases. *)
+
+let source ~n ~chunks =
+  Fmt.str
+    {|
+var n: int = %d;
+var chunks: int = %d;
+
+def encrypt_chunk(plain: int[], crypt: int[], c: int) {
+  val lo: int = c * (n / chunks);
+  var hi: int = (c + 1) * (n / chunks) - 1;
+  if (c == chunks - 1) { hi = n - 1; }
+  for (i = lo to hi) {
+    crypt[i] = (plain[i] * 171 + (i %% 251)) %% 65537;
+  }
+}
+
+def decrypt_chunk(crypt: int[], out: int[], c: int) {
+  val lo: int = c * (n / chunks);
+  var hi: int = (c + 1) * (n / chunks) - 1;
+  if (c == chunks - 1) { hi = n - 1; }
+  for (i = lo to hi) {
+    var v: int = crypt[i] - (i %% 251);
+    v = v %% 65537;
+    if (v < 0) { v = v + 65537; }
+    out[i] = (v * 52123) %% 65537;
+  }
+}
+
+def main() {
+  val plain: int[] = new int[n];
+  val crypt: int[] = new int[n];
+  val out: int[] = new int[n];
+  var x: int = 31415;
+  for (i = 0 to n - 1) {
+    x = (x * 1103515 + 12345) %% 255;
+    plain[i] = x;
+  }
+  finish {
+    for (c = 0 to chunks - 1) {
+      async {
+        encrypt_chunk(plain, crypt, c);
+      }
+    }
+  }
+  finish {
+    for (c = 0 to chunks - 1) {
+      async {
+        decrypt_chunk(crypt, out, c);
+      }
+    }
+  }
+  var mismatches: int = 0;
+  for (i = 0 to n - 1) {
+    if (plain[i] != out[i]) { mismatches = mismatches + 1; }
+  }
+  print(mismatches);
+}
+|}
+    n chunks
+
+let bench : Bench.t =
+  {
+    name = "Crypt";
+    suite = "JGF";
+    descr = "IDEA-style encryption/decryption";
+    repair_params = "3,000 (paper: 3,000)";
+    perf_params = "20,000 (paper: 50,000,000, scaled)";
+    repair_src = source ~n:3000 ~chunks:8;
+    perf_src = source ~n:20000 ~chunks:16;
+  }

@@ -1,0 +1,90 @@
+(** FannKuch (Shootout): indexed access to a tiny integer sequence —
+    maximum number of pancake flips over all permutations.  The search is
+    parallelized over the first element of the permutation, one async per
+    choice, each recording its branch maximum in its own slot; [main]
+    reduces the slots, racing with the branch writes until the finish is
+    restored. *)
+
+let source ~n =
+  Fmt.str
+    {|
+var n: int = %d;
+
+def count_flips(perm: int[]): int {
+  val work: int[] = new int[n];
+  for (i = 0 to n - 1) {
+    work[i] = perm[i];
+  }
+  var flips: int = 0;
+  while (work[0] != 0) {
+    val f: int = work[0];
+    var i: int = 0;
+    var j: int = f;
+    while (i < j) {
+      val t: int = work[i];
+      work[i] = work[j];
+      work[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+    flips = flips + 1;
+  }
+  return flips;
+}
+
+def search(perm: int[], depth: int, maxf: int[], slot: int) {
+  if (depth == n) {
+    val f: int = count_flips(perm);
+    if (f > maxf[slot]) {
+      maxf[slot] = f;
+    }
+    return;
+  }
+  for (i = depth to n - 1) {
+    val t: int = perm[depth];
+    perm[depth] = perm[i];
+    perm[i] = t;
+    search(perm, depth + 1, maxf, slot);
+    val u: int = perm[depth];
+    perm[depth] = perm[i];
+    perm[i] = u;
+  }
+}
+
+def main() {
+  val maxf: int[] = new int[n];
+  finish {
+    for (first = 0 to n - 1) {
+      async {
+        val perm: int[] = new int[n];
+        perm[0] = first;
+        var k: int = 1;
+        for (v = 0 to n - 1) {
+          if (v != first) {
+            perm[k] = v;
+            k = k + 1;
+          }
+        }
+        search(perm, 1, maxf, first);
+      }
+    }
+  }
+  var best: int = 0;
+  for (i = 0 to n - 1) {
+    if (maxf[i] > best) { best = maxf[i]; }
+  }
+  print(best);
+}
+|}
+    n
+
+let bench : Bench.t =
+  {
+    name = "FannKuch";
+    suite = "Shootout";
+    descr = "Indexed access to tiny integer sequence";
+    repair_params = "6 (paper: 6)";
+    perf_params = "8 (paper: 12, scaled to interpreter)";
+    repair_src = source ~n:6;
+    perf_src = source ~n:8;
+  }

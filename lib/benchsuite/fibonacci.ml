@@ -1,0 +1,41 @@
+(** Fibonacci (HJ Bench): the paper's running example (Figures 8/15).
+    Each call spawns two recursive asyncs whose results are combined by the
+    parent; the expert placement is a finish around the two asyncs. *)
+
+let source ~n =
+  Fmt.str
+    {|
+def fib(ret: int[], reti: int, n: int) {
+  if (n < 2) {
+    ret[reti] = n;
+    return;
+  }
+  val x: int[] = new int[1];
+  val y: int[] = new int[1];
+  finish {
+    async fib(x, 0, n - 1);
+    async fib(y, 0, n - 2);
+  }
+  ret[reti] = x[0] + y[0];
+}
+
+def main() {
+  val r: int[] = new int[1];
+  finish {
+    async fib(r, 0, %d);
+  }
+  print(r[0]);
+}
+|}
+    n
+
+let bench : Bench.t =
+  {
+    name = "Fibonacci";
+    suite = "HJ Bench";
+    descr = "Compute nth Fibonacci number";
+    repair_params = "16 (paper: 16)";
+    perf_params = "21 (paper: 40, scaled to interpreter)";
+    repair_src = source ~n:16;
+    perf_src = source ~n:21;
+  }

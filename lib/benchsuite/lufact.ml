@@ -1,0 +1,62 @@
+(** LUFact (JGF): LU factorization by Gaussian elimination (no pivoting;
+    the matrix is made diagonally dominant so elimination is stable).
+    Elimination step k updates all rows below k in parallel; step k+1
+    reads them, so each step needs a finish — the highest per-input race
+    count of the suite after mergesort (Table 2: 99,563 at 25 x 25)
+    because every trailing submatrix cell is rewritten each step. *)
+
+let source ~n =
+  Fmt.str
+    {|
+var n: int = %d;
+
+def eliminate_row(a: float[][], k: int, i: int) {
+  val pivot_row: float[] = a[k];
+  val row: float[] = a[i];
+  val factor: float = row[k] / pivot_row[k];
+  row[k] = factor;
+  for (j = k + 1 to n - 1) {
+    row[j] = row[j] - factor * pivot_row[j];
+  }
+}
+
+def main() {
+  val a: float[][] = new float[n][n];
+  var s: int = 16180;
+  for (i = 0 to n - 1) {
+    for (j = 0 to n - 1) {
+      s = (s * 1103515 + 12345) %% 100000;
+      a[i][j] = float(s) / 100000.0;
+      if (i == j) {
+        a[i][j] = a[i][j] + float(n);
+      }
+    }
+  }
+  for (k = 0 to n - 2) {
+    finish {
+      for (i = k + 1 to n - 1) {
+        async {
+          eliminate_row(a, k, i);
+        }
+      }
+    }
+  }
+  var trace: float = 0.0;
+  for (i = 0 to n - 1) {
+    trace = trace + a[i][i];
+  }
+  print(trace);
+}
+|}
+    n
+
+let bench : Bench.t =
+  {
+    name = "LUFact";
+    suite = "JGF";
+    descr = "LU factorization";
+    repair_params = "20 x 20 (paper: 25 x 25)";
+    perf_params = "40 x 40 (paper: 1000 x 1000, scaled)";
+    repair_src = source ~n:20;
+    perf_src = source ~n:40;
+  }

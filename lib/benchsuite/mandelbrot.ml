@@ -1,0 +1,66 @@
+(** Mandelbrot (Shootout): generate the Mandelbrot set membership bitmap,
+    one async per scan line writing the row's bits and its checksum slot;
+    the final reduction over row checksums races with the row tasks until
+    the finish is restored. *)
+
+let source ~size ~max_iter =
+  Fmt.str
+    {|
+var size: int = %d;
+var max_iter: int = %d;
+
+def render_row(bitmap: int[], rowsum: int[], y: int) {
+  val ci: float = 2.0 * float(y) / float(size) - 1.0;
+  var sum: int = 0;
+  for (x = 0 to size - 1) {
+    val cr: float = 2.0 * float(x) / float(size) - 1.5;
+    var zr: float = 0.0;
+    var zi: float = 0.0;
+    var it: int = 0;
+    var live: bool = true;
+    while (live && it < max_iter) {
+      val nzr: float = zr * zr - zi * zi + cr;
+      val nzi: float = 2.0 * zr * zi + ci;
+      zr = nzr;
+      zi = nzi;
+      if (zr * zr + zi * zi > 4.0) { live = false; }
+      it = it + 1;
+    }
+    if (live) {
+      bitmap[y * size + x] = 1;
+      sum = sum + 1;
+    }
+    else {
+      bitmap[y * size + x] = 0;
+    }
+  }
+  rowsum[y] = sum;
+}
+
+def main() {
+  val bitmap: int[] = new int[size * size];
+  val rowsum: int[] = new int[size];
+  finish {
+    forasync (y = 0 to size - 1) {
+      render_row(bitmap, rowsum, y);
+    }
+  }
+  var inside: int = 0;
+  for (y = 0 to size - 1) {
+    inside = inside + rowsum[y];
+  }
+  print(inside);
+}
+|}
+    size max_iter
+
+let bench : Bench.t =
+  {
+    name = "Mandelbrot";
+    suite = "Shootout";
+    descr = "Generate Mandelbrot set portable bitmap";
+    repair_params = "50 (paper: 50)";
+    perf_params = "150 (paper: 10,000, scaled)";
+    repair_src = source ~size:50 ~max_iter:20;
+    perf_src = source ~size:150 ~max_iter:30;
+  }

@@ -1,0 +1,91 @@
+(** Mergesort (HJ Bench): the paper's Figure 1.  The merge step consumes
+    both halves, so the expert placement is a finish around the two
+    recursive asyncs — unlike quicksort, a root-level finish alone is not
+    race-free.  The MRW detector reports far more races here than SRW
+    (Table 4: 424,436 vs 39,684 at n=1,000) because every merged cell has
+    many racing reader/writer step pairs. *)
+
+let source ~n ~seed =
+  Fmt.str
+    {|
+def merge(a: int[], tmp: int[], m: int, mid: int, n: int) {
+  var i: int = m;
+  var j: int = mid + 1;
+  var k: int = m;
+  while (i <= mid && j <= n) {
+    if (a[i] <= a[j]) {
+      tmp[k] = a[i];
+      i = i + 1;
+    }
+    else {
+      tmp[k] = a[j];
+      j = j + 1;
+    }
+    k = k + 1;
+  }
+  while (i <= mid) {
+    tmp[k] = a[i];
+    i = i + 1;
+    k = k + 1;
+  }
+  while (j <= n) {
+    tmp[k] = a[j];
+    j = j + 1;
+    k = k + 1;
+  }
+  for (c = m to n) {
+    a[c] = tmp[c];
+  }
+}
+
+def mergesort(a: int[], tmp: int[], m: int, n: int) {
+  if (m < n) {
+    val mid: int = m + (n - m) / 2;
+    finish {
+      async mergesort(a, tmp, m, mid);
+      async mergesort(a, tmp, mid + 1, n);
+    }
+    merge(a, tmp, m, mid, n);
+  }
+}
+
+def fill(a: int[], seed: int) {
+  var x: int = seed;
+  for (i = 0 to alen(a) - 1) {
+    x = (x * 1103515 + 12345) %% 100000;
+    a[i] = x;
+  }
+}
+
+def check_sorted(a: int[]): int {
+  var bad: int = 0;
+  for (i = 0 to alen(a) - 2) {
+    if (a[i] > a[i + 1]) { bad = bad + 1; }
+  }
+  return bad;
+}
+
+def main() {
+  val a: int[] = new int[%d];
+  val tmp: int[] = new int[%d];
+  fill(a, %d);
+  finish {
+    async mergesort(a, tmp, 0, alen(a) - 1);
+  }
+  print(check_sorted(a));
+  print(a[0]);
+  print(a[alen(a) - 1]);
+}
+|}
+    n n seed
+
+let bench : Bench.t =
+  {
+    name = "Mergesort";
+    suite = "HJ Bench";
+    descr = "Mergesort";
+    repair_params = "1,000 (paper: 1,000)";
+    perf_params = "20,000 (paper: 100,000,000, scaled to interpreter)";
+    repair_src = source ~n:1000 ~seed:7;
+    perf_src = source ~n:20000 ~seed:7;
+  }

@@ -1,0 +1,65 @@
+(** NQueens (BOTS): count the solutions of the N-queens problem.  The
+    first rank is explored by one async per column, each accumulating into
+    its own slot of a result array (the BOTS per-branch accumulation
+    idiom); the final reduction in [main] races with the branch writes
+    until a finish wraps the exploration — matching the paper's tiny race
+    count for this benchmark (Table 4: 4 races for n = 6). *)
+
+let source ~n =
+  Fmt.str
+    {|
+var n: int = %d;
+
+def ok(board: int[], row: int, col: int): bool {
+  for (r = 0 to row - 1) {
+    val c: int = board[r];
+    if (c == col) { return false; }
+    if (c - (row - r) == col) { return false; }
+    if (c + (row - r) == col) { return false; }
+  }
+  return true;
+}
+
+def search(board: int[], row: int, count: int[], slot: int) {
+  if (row == n) {
+    count[slot] = count[slot] + 1;
+    return;
+  }
+  for (col = 0 to n - 1) {
+    if (ok(board, row, col)) {
+      board[row] = col;
+      search(board, row + 1, count, slot);
+    }
+  }
+}
+
+def main() {
+  val count: int[] = new int[n];
+  finish {
+    for (col = 0 to n - 1) {
+      async {
+        val board: int[] = new int[n];
+        board[0] = col;
+        search(board, 1, count, col);
+      }
+    }
+  }
+  var total: int = 0;
+  for (col = 0 to n - 1) {
+    total = total + count[col];
+  }
+  print(total);
+}
+|}
+    n
+
+let bench : Bench.t =
+  {
+    name = "Nqueens";
+    suite = "BOTS";
+    descr = "N Queens problem";
+    repair_params = "6 (paper: 6)";
+    perf_params = "9 (paper: 13, scaled to interpreter)";
+    repair_src = source ~n:6;
+    perf_src = source ~n:9;
+  }

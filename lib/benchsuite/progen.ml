@@ -1,0 +1,195 @@
+(** Random async-finish program generator for property-based testing.
+
+    Generates well-typed, terminating, normalized Mini-HJ programs that
+    exercise the whole pipeline: random block structure with nested
+    [async]/[finish]/[if]/[for]/blocks, reads and writes of a small pool of
+    shared global arrays, deterministic arithmetic, and [work(...)] calls
+    for varied step durations.  The driving properties (see
+    [test/test_properties.ml]):
+
+    - repair converges and the repaired program is race-free;
+    - the repaired program's output equals the serial elision's output
+      (paper Problem 1, condition 4);
+    - statement order and count are preserved modulo inserted finishes.
+
+    Programs use only bounded [for] loops and non-recursive helper calls,
+    so every generated program terminates. *)
+
+type config = {
+  max_depth : int;  (** structural nesting bound *)
+  max_stmts : int;  (** statements per block bound *)
+  n_arrays : int;  (** shared global arrays *)
+  arr_len : int;
+  allow_finish : bool;  (** emit pre-existing finish statements *)
+  allow_calls : bool;  (** emit helper-function calls *)
+}
+
+let default =
+  {
+    max_depth = 4;
+    max_stmts = 5;
+    n_arrays = 3;
+    arr_len = 8;
+    allow_finish = true;
+    allow_calls = true;
+  }
+
+let arr_name k = Fmt.str "g%d" k
+
+(* A random in-bounds index expression: constant, or derived from the
+   loop variable when one is in scope. *)
+let gen_index cfg rng ~loop_vars =
+  match loop_vars with
+  | v :: _ when Tdrutil.Prng.bool rng ->
+      Fmt.str "(%s + %d) %% %d" v (Tdrutil.Prng.int rng cfg.arr_len) cfg.arr_len
+  | _ -> string_of_int (Tdrutil.Prng.int rng cfg.arr_len)
+
+let gen_value_expr cfg rng ~loop_vars =
+  match Tdrutil.Prng.int rng 4 with
+  | 0 -> string_of_int (Tdrutil.Prng.int rng 100)
+  | 1 ->
+      Fmt.str "%s[%s] + %d"
+        (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+        (gen_index cfg rng ~loop_vars)
+        (Tdrutil.Prng.int rng 10)
+  | 2 -> (
+      match loop_vars with
+      | v :: _ -> Fmt.str "%s * %d" v (1 + Tdrutil.Prng.int rng 5)
+      | [] -> string_of_int (Tdrutil.Prng.int rng 100))
+  | _ ->
+      Fmt.str "%s[%s] * 2"
+        (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+        (gen_index cfg rng ~loop_vars)
+
+let rec gen_stmt cfg rng ~depth ~loop_vars ~locals ~in_helper buf indent =
+  let pad = String.make (2 * indent) ' ' in
+  let choice =
+    Tdrutil.Prng.int rng (if depth >= cfg.max_depth then 5 else 11)
+  in
+  match choice with
+  | 0 | 1 ->
+      (* write *)
+      Buffer.add_string buf
+        (Fmt.str "%s%s[%s] = %s;\n" pad
+           (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+           (gen_index cfg rng ~loop_vars)
+           (gen_value_expr cfg rng ~loop_vars))
+  | 2 ->
+      (* read into sink *)
+      Buffer.add_string buf
+        (Fmt.str "%ssink[0] = sink[0] + %s[%s];\n" pad
+           (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+           (gen_index cfg rng ~loop_vars))
+  | 3 ->
+      (* work *)
+      Buffer.add_string buf
+        (Fmt.str "%swork(%d);\n" pad (1 + Tdrutil.Prng.int rng 20))
+  | 4 ->
+      (* immutable local declaration + immediate use; later statements of
+         this block may reference it too (see gen_block), which exercises
+         the repair tool's declaration-visibility constraint *)
+      let name = Fmt.str "t%d" (List.length !locals + List.length loop_vars) in
+      Buffer.add_string buf
+        (Fmt.str "%sval %s: int = %s;\n" pad name
+           (gen_value_expr cfg rng ~loop_vars));
+      Buffer.add_string buf
+        (Fmt.str "%s%s[%s] = %s + %d;\n" pad
+           (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+           (gen_index cfg rng ~loop_vars)
+           name
+           (Tdrutil.Prng.int rng 5));
+      locals := name :: !locals
+  | 5 ->
+      (* async: may read the enclosing block's immutable locals *)
+      (match !locals with
+      | x :: _ when Tdrutil.Prng.bool rng ->
+          Buffer.add_string buf (pad ^ "async {\n");
+          Buffer.add_string buf
+            (Fmt.str "%s  %s[%s] = %s * 2;\n" pad
+               (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+               (gen_index cfg rng ~loop_vars)
+               x);
+          gen_block cfg rng ~depth:(depth + 1) ~loop_vars ~in_helper buf
+            (indent + 1);
+          Buffer.add_string buf (pad ^ "}\n")
+      | _ ->
+          Buffer.add_string buf (pad ^ "async {\n");
+          gen_block cfg rng ~depth:(depth + 1) ~loop_vars ~in_helper buf
+            (indent + 1);
+          Buffer.add_string buf (pad ^ "}\n"))
+  | 6 when cfg.allow_finish ->
+      Buffer.add_string buf (pad ^ "finish {\n");
+      gen_block cfg rng ~depth:(depth + 1) ~loop_vars ~in_helper buf
+        (indent + 1);
+      Buffer.add_string buf (pad ^ "}\n")
+  | 7 ->
+      (* if *)
+      Buffer.add_string buf
+        (Fmt.str "%sif (%s[%s] %% 2 == 0) {\n" pad
+           (arr_name (Tdrutil.Prng.int rng cfg.n_arrays))
+           (gen_index cfg rng ~loop_vars));
+      gen_block cfg rng ~depth:(depth + 1) ~loop_vars ~in_helper buf
+        (indent + 1);
+      Buffer.add_string buf (pad ^ "}\n")
+  | 8 ->
+      (* bounded for (sometimes a forasync) *)
+      let v = Fmt.str "i%d" (List.length loop_vars) in
+      let kw = if Tdrutil.Prng.int rng 4 = 0 then "forasync" else "for" in
+      Buffer.add_string buf
+        (Fmt.str "%s%s (%s = 0 to %d) {\n" pad kw v
+           (1 + Tdrutil.Prng.int rng 2));
+      gen_block cfg rng ~depth:(depth + 1) ~loop_vars:(v :: loop_vars)
+        ~in_helper buf (indent + 1);
+      Buffer.add_string buf (pad ^ "}\n")
+  | 9 when cfg.allow_calls && not in_helper ->
+      Buffer.add_string buf
+        (Fmt.str "%shelper%d();\n" pad (Tdrutil.Prng.int rng 2))
+  | _ ->
+      (* nested block *)
+      Buffer.add_string buf (pad ^ "{\n");
+      gen_block cfg rng ~depth:(depth + 1) ~loop_vars ~in_helper buf
+        (indent + 1);
+      Buffer.add_string buf (pad ^ "}\n")
+
+and gen_block cfg rng ~depth ~loop_vars ~in_helper buf indent =
+  let n = 1 + Tdrutil.Prng.int rng cfg.max_stmts in
+  let locals = ref [] in
+  for _ = 1 to n do
+    gen_stmt cfg rng ~depth ~loop_vars ~locals ~in_helper buf indent
+  done;
+  (* close the block with a read of each declared local so that wrapping
+     decisions must respect declaration visibility *)
+  List.iter
+    (fun x ->
+      Buffer.add_string buf
+        (Fmt.str "%ssink[0] = sink[0] + %s;\n"
+           (String.make (2 * indent) ' ')
+           x))
+    !locals
+
+(** Generate a program from a seed.  Same seed, same program. *)
+let generate ?(cfg = default) ~seed () : string =
+  let rng = Tdrutil.Prng.create ~seed in
+  let buf = Buffer.create 1024 in
+  for k = 0 to cfg.n_arrays - 1 do
+    Buffer.add_string buf
+      (Fmt.str "var %s: int[] = new int[%d];\n" (arr_name k) cfg.arr_len)
+  done;
+  Buffer.add_string buf (Fmt.str "var sink: int[] = new int[1];\n\n");
+  if cfg.allow_calls then
+    for h = 0 to 1 do
+      Buffer.add_string buf (Fmt.str "def helper%d() {\n" h);
+      gen_block cfg rng ~depth:2 ~loop_vars:[] ~in_helper:true buf 1;
+      Buffer.add_string buf "}\n\n"
+    done;
+  Buffer.add_string buf "def main() {\n";
+  gen_block cfg rng ~depth:0 ~loop_vars:[] ~in_helper:false buf 1;
+  (* a final read of everything, so unsynchronized writes race *)
+  Buffer.add_string buf
+    (Fmt.str "  for (v = 0 to %d) {\n" (cfg.arr_len - 1));
+  for k = 0 to cfg.n_arrays - 1 do
+    Buffer.add_string buf
+      (Fmt.str "    sink[0] = sink[0] + %s[v];\n" (arr_name k))
+  done;
+  Buffer.add_string buf "  }\n  print(sink[0]);\n}\n";
+  Buffer.contents buf

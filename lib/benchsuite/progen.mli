@@ -1,0 +1,19 @@
+(** Random async-finish program generator for property-based testing:
+    well-typed, terminating, normalized Mini-HJ programs with random
+    nested async/finish/if/for/block structure over a small pool of shared
+    global arrays, plus a final read of everything so that unsynchronized
+    writes race. *)
+
+type config = {
+  max_depth : int;  (** structural nesting bound *)
+  max_stmts : int;  (** statements per block bound *)
+  n_arrays : int;  (** shared global arrays *)
+  arr_len : int;
+  allow_finish : bool;  (** emit pre-existing finish statements *)
+  allow_calls : bool;  (** emit helper-function calls *)
+}
+
+val default : config
+
+(** Generate a program source from a seed; same seed, same program. *)
+val generate : ?cfg:config -> seed:int -> unit -> string

@@ -1,0 +1,77 @@
+(** Quicksort (HJ Bench): the paper's Figure 2.  The two recursive calls
+    run as asyncs with {e no} finish inside [quicksort]; the expert (and
+    optimal) placement is a single finish around the root call in [main],
+    which is race-free yet keeps the recursion fully asynchronous. *)
+
+let source ~n ~seed =
+  Fmt.str
+    {|
+def partition(a: int[], m: int, n: int, out: int[]) {
+  val pivot: int = a[(m + n) / 2];
+  var i: int = m;
+  var j: int = n;
+  while (i <= j) {
+    while (a[i] < pivot) { i = i + 1; }
+    while (a[j] > pivot) { j = j - 1; }
+    if (i <= j) {
+      val t: int = a[i];
+      a[i] = a[j];
+      a[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  out[0] = i;
+  out[1] = j;
+}
+
+def quicksort(a: int[], m: int, n: int) {
+  if (m < n) {
+    val p: int[] = new int[2];
+    partition(a, m, n, p);
+    val i: int = p[0];
+    val j: int = p[1];
+    async quicksort(a, m, j);
+    async quicksort(a, i, n);
+  }
+}
+
+def fill(a: int[], seed: int) {
+  var x: int = seed;
+  for (i = 0 to alen(a) - 1) {
+    x = (x * 1103515 + 12345) %% 100000;
+    a[i] = x;
+  }
+}
+
+def check_sorted(a: int[]): int {
+  var bad: int = 0;
+  for (i = 0 to alen(a) - 2) {
+    if (a[i] > a[i + 1]) { bad = bad + 1; }
+  }
+  return bad;
+}
+
+def main() {
+  val a: int[] = new int[%d];
+  fill(a, %d);
+  finish {
+    quicksort(a, 0, alen(a) - 1);
+  }
+  print(check_sorted(a));
+  print(a[0]);
+  print(a[alen(a) - 1]);
+}
+|}
+    n seed
+
+let bench : Bench.t =
+  {
+    name = "Quicksort";
+    suite = "HJ Bench";
+    descr = "Quicksort";
+    repair_params = "1,000 (paper: 1,000)";
+    perf_params = "20,000 (paper: 100,000,000, scaled to interpreter)";
+    repair_src = source ~n:1000 ~seed:42;
+    perf_src = source ~n:20000 ~seed:42;
+  }

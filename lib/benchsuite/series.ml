@@ -1,0 +1,66 @@
+(** Series (JGF): Fourier coefficient analysis.  One async per coefficient
+    pair, each integrating [f(x) = (x+1)^x] by the trapezoid rule into its
+    own array slots; [main] then inspects a handful of coefficients, which
+    is why the paper reports only 6 races for this benchmark (Table 4). *)
+
+let source ~rows ~points =
+  Fmt.str
+    {|
+var rows: int = %d;
+var points: int = %d;
+
+def thefunction(x: float, omegan: float, select: int): float {
+  if (select == 0) { return pow(x + 1.0, x); }
+  if (select == 1) { return pow(x + 1.0, x) * cos(omegan * x); }
+  return pow(x + 1.0, x) * sin(omegan * x);
+}
+
+def trapezoid(a: float[], b: float[], i: int) {
+  val omegan: float = 3.1415926535897931 * float(i);
+  val dx: float = 2.0 / float(points);
+  var sumA: float = 0.0;
+  var sumB: float = 0.0;
+  var x: float = 0.0;
+  var selA: int = 1;
+  var selB: int = 2;
+  if (i == 0) { selA = 0; }
+  for (p = 0 to points - 1) {
+    val fa: float = thefunction(x, omegan, selA);
+    val fb: float = thefunction(x + dx, omegan, selA);
+    sumA = sumA + (fa + fb) * 0.5 * dx;
+    if (i > 0) {
+      val ga: float = thefunction(x, omegan, selB);
+      val gb: float = thefunction(x + dx, omegan, selB);
+      sumB = sumB + (ga + gb) * 0.5 * dx;
+    }
+    x = x + dx;
+  }
+  a[i] = sumA / 2.0;
+  b[i] = sumB / 2.0;
+}
+
+def main() {
+  val a: float[] = new float[rows];
+  val b: float[] = new float[rows];
+  finish {
+    forasync (i = 0 to rows - 1) {
+      trapezoid(a, b, i);
+    }
+  }
+  print(a[0]);
+  print(a[1]);
+  print(b[1]);
+}
+|}
+    rows points
+
+let bench : Bench.t =
+  {
+    name = "Series";
+    suite = "JGF";
+    descr = "Fourier coefficient analysis";
+    repair_params = "rows = 25 (paper: 25)";
+    perf_params = "rows = 400 (paper: 100,000, scaled to interpreter)";
+    repair_src = source ~rows:25 ~points:20;
+    perf_src = source ~rows:400 ~points:20;
+  }

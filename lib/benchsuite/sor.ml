@@ -1,0 +1,79 @@
+(** SOR (JGF): red-black successive over-relaxation.  Each sweep updates
+    first the odd ("red") interior rows in parallel, then the even
+    ("black") ones; a row update only reads rows of the opposite colour,
+    so each half-sweep is race-free on its own but must be separated from
+    the next by a finish — and the final checksum reads everything.  This
+    is the paper's pattern of a finish {e inside} a loop body: every
+    dynamic sweep demands the same two static finishes. *)
+
+let source ~size ~iters =
+  Fmt.str
+    {|
+var size: int = %d;
+var iters: int = %d;
+var omega: float = 1.25;
+
+def update_row(g: float[][], i: int) {
+  val row: float[] = g[i];
+  val up: float[] = g[i - 1];
+  val down: float[] = g[i + 1];
+  for (j = 1 to size - 2) {
+    row[j] = omega * 0.25 * (up[j] + down[j] + row[j - 1] + row[j + 1])
+             + (1.0 - omega) * row[j];
+  }
+}
+
+def init(g: float[][]) {
+  var x: int = 9157;
+  for (i = 0 to size - 1) {
+    for (j = 0 to size - 1) {
+      x = (x * 1103515 + 12345) %% 100000;
+      g[i][j] = float(x) / 100000.0;
+    }
+  }
+}
+
+def checksum(g: float[][]): float {
+  var sum: float = 0.0;
+  for (i = 0 to size - 1) {
+    for (j = 0 to size - 1) {
+      sum = sum + g[i][j];
+    }
+  }
+  return sum;
+}
+
+def main() {
+  val g: float[][] = new float[size][size];
+  init(g);
+  for (it = 0 to iters - 1) {
+    finish {
+      for (i = 1 to size - 2 by 2) {
+        async {
+          update_row(g, i);
+        }
+      }
+    }
+    finish {
+      for (i = 2 to size - 2 by 2) {
+        async {
+          update_row(g, i);
+        }
+      }
+    }
+  }
+  print(checksum(g));
+}
+|}
+    size iters
+
+let bench : Bench.t =
+  {
+    name = "SOR";
+    suite = "JGF";
+    descr = "Successive over-relaxation (red-black)";
+    repair_params = "size = 30, iters = 2 (paper: 100 x 1)";
+    perf_params = "size = 80, iters = 10 (paper: 6,000 x 100, scaled)";
+    repair_src = source ~size:30 ~iters:2;
+    perf_src = source ~size:80 ~iters:10;
+  }

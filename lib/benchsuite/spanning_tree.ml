@@ -1,0 +1,118 @@
+(** Spanning Tree (HJ Bench): compute a spanning tree of an undirected
+    graph by parallel vertex claiming.  Claiming uses the atomic [cas]
+    builtin (HJ's isolated construct; exempt from race detection, see
+    DESIGN.md); every task also records its edge visit unconditionally
+    (as the HJ-bench version records per-vertex results), so the
+    repairable races are the plain [visits]/[parent] writes inside the
+    claiming tasks against the validation reads in [main] — fixed by one
+    finish around the root [compute] call.
+
+    The graph is a ring (guaranteeing connectivity) plus pseudo-random
+    chords, built in-language from a deterministic LCG. *)
+
+let source ~nodes ~neighbors =
+  Fmt.str
+    {|
+var nnodes: int = %d;
+var extra: int = %d;
+
+def compute(adj: int[], off: int[], claimed: int[], parent: int[],
+            visits: int[], v: int) {
+  for (e = off[v] to off[v + 1] - 1) {
+    async {
+      visits[e] = 1;
+      val w: int = adj[e];
+      if (cas(claimed, w, 0, 1)) {
+        parent[w] = v;
+        compute(adj, off, claimed, parent, visits, w);
+      }
+    }
+  }
+}
+
+def build_graph(deg: int[], adj: int[], off: int[]) {
+  val n: int = nnodes;
+  val half: int[] = new int[2 * extra * n];
+  var x: int = 12345;
+  var m: int = 0;
+  for (v = 0 to n - 1) {
+    deg[v] = 0;
+  }
+  for (v = 0 to n - 1) {
+    val u: int = (v + 1) %% n;
+    half[2 * m] = v;
+    half[2 * m + 1] = u;
+    m = m + 1;
+    for (c = 0 to extra - 2) {
+      x = (x * 1103515 + 12345) %% 1000000;
+      val w: int = x %% n;
+      if (w != v) {
+        half[2 * m] = v;
+        half[2 * m + 1] = w;
+        m = m + 1;
+      }
+    }
+  }
+  for (e = 0 to m - 1) {
+    deg[half[2 * e]] = deg[half[2 * e]] + 1;
+    deg[half[2 * e + 1]] = deg[half[2 * e + 1]] + 1;
+  }
+  off[0] = 0;
+  for (v = 0 to n - 1) {
+    off[v + 1] = off[v] + deg[v];
+  }
+  val cursor: int[] = new int[n];
+  for (v = 0 to n - 1) {
+    cursor[v] = off[v];
+  }
+  for (e = 0 to m - 1) {
+    val a: int = half[2 * e];
+    val b: int = half[2 * e + 1];
+    adj[cursor[a]] = b;
+    cursor[a] = cursor[a] + 1;
+    adj[cursor[b]] = a;
+    cursor[b] = cursor[b] + 1;
+  }
+}
+
+def main() {
+  val n: int = nnodes;
+  val deg: int[] = new int[n];
+  val off: int[] = new int[n + 1];
+  val adj: int[] = new int[4 * extra * n];
+  build_graph(deg, adj, off);
+  val claimed: int[] = new int[n];
+  val parent: int[] = new int[n];
+  val visits: int[] = new int[4 * extra * n];
+  for (v = 0 to n - 1) {
+    parent[v] = 0 - 1;
+  }
+  claimed[0] = 1;
+  parent[0] = 0;
+  finish {
+    compute(adj, off, claimed, parent, visits, 0);
+  }
+  var in_tree: int = 0;
+  for (v = 0 to n - 1) {
+    if (parent[v] >= 0) { in_tree = in_tree + 1; }
+  }
+  var edges_visited: int = 0;
+  for (e = 0 to alen(visits) - 1) {
+    edges_visited = edges_visited + visits[e];
+  }
+  print(in_tree);
+  print(edges_visited);
+}
+|}
+    nodes neighbors
+
+let bench : Bench.t =
+  {
+    name = "Spanning Tree";
+    suite = "HJ Bench";
+    descr = "Compute spanning tree of an undirected graph";
+    repair_params = "nodes = 200, neighbors = 4 (paper: same)";
+    perf_params = "nodes = 4,000, neighbors = 6 (paper: 1,000,000 x 100, scaled)";
+    repair_src = source ~nodes:200 ~neighbors:4;
+    perf_src = source ~nodes:4000 ~neighbors:6;
+  }

@@ -1,0 +1,75 @@
+(** Sparse (JGF): sparse matrix-vector multiplication, iterated.  As in
+    JGF, the rows are divided into bands (one async per band, the paper's
+    thread count); each multiply iteration reads the vector written by the
+    previous one, so a finish separates iterations, and the final norm
+    reads the result.  The paper reports more MRW than SRW races here
+    (Table 4: 260 vs 100) because result cells have several racing
+    accesses. *)
+
+let source ~size ~nz_per_row ~iters ~bands =
+  Fmt.str
+    {|
+var size: int = %d;
+var nzrow: int = %d;
+var iters: int = %d;
+var bands: int = %d;
+
+def multiply_band(vals: int[], cols: int[], x: int[], y: int[], b: int) {
+  val lo: int = b * (size / bands);
+  var hi: int = (b + 1) * (size / bands) - 1;
+  if (b == bands - 1) { hi = size - 1; }
+  for (r = lo to hi) {
+    var acc: int = 0;
+    for (k = 0 to nzrow - 1) {
+      acc = acc + vals[r * nzrow + k] * x[cols[r * nzrow + k]];
+    }
+    y[r] = acc %% 1000003;
+  }
+}
+
+def main() {
+  val vals: int[] = new int[size * nzrow];
+  val cols: int[] = new int[size * nzrow];
+  val x: int[] = new int[size];
+  val y: int[] = new int[size];
+  var s: int = 271828;
+  for (i = 0 to size * nzrow - 1) {
+    s = (s * 1103515 + 12345) %% 1000000;
+    vals[i] = s %% 97;
+    s = (s * 1103515 + 12345) %% 1000000;
+    cols[i] = s %% size;
+  }
+  for (i = 0 to size - 1) {
+    x[i] = i + 1;
+  }
+  for (it = 0 to iters - 1) {
+    finish {
+      for (b = 0 to bands - 1) {
+        async {
+          multiply_band(vals, cols, x, y, b);
+        }
+      }
+    }
+    for (r = 0 to size - 1) {
+      x[r] = y[r];
+    }
+  }
+  var norm: int = 0;
+  for (r = 0 to size - 1) {
+    norm = (norm + x[r]) %% 1000003;
+  }
+  print(norm);
+}
+|}
+    size nz_per_row iters bands
+
+let bench : Bench.t =
+  {
+    name = "Sparse";
+    suite = "JGF";
+    descr = "Sparse matrix multiplication";
+    repair_params = "100 (paper: 100)";
+    perf_params = "2,000 (paper: 2,500,000, scaled)";
+    repair_src = source ~size:100 ~nz_per_row:5 ~iters:2 ~bands:10;
+    perf_src = source ~size:2000 ~nz_per_row:5 ~iters:4 ~bands:16;
+  }

@@ -1,0 +1,25 @@
+(** Registry of all Table 1 benchmarks, in the paper's order. *)
+
+let all : Bench.t list =
+  [
+    Fibonacci.bench;
+    Quicksort.bench;
+    Mergesort.bench;
+    Spanning_tree.bench;
+    Nqueens.bench;
+    Series.bench;
+    Sor.bench;
+    Crypt.bench;
+    Sparse.bench;
+    Lufact.bench;
+    Fannkuch.bench;
+    Mandelbrot.bench;
+  ]
+
+let find name =
+  List.find_opt
+    (fun (b : Bench.t) ->
+      String.lowercase_ascii b.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun (b : Bench.t) -> b.Bench.name) all

@@ -1,0 +1,8 @@
+(** Registry of the Table 1 benchmarks, in the paper's order. *)
+
+val all : Bench.t list
+
+(** Case-insensitive lookup by name. *)
+val find : string -> Bench.t option
+
+val names : string list

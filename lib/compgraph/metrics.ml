@@ -1,0 +1,37 @@
+(** WORK / SPAN metrics on a computation graph.
+
+    [span] is the critical path length of the paper's Definition 1 — it
+    must agree with {!Sdpst.Analysis.critical_path_length} on the same
+    execution (property-tested). *)
+
+(** Total work: sum of node weights (ideal 1-processor time). *)
+let work (g : Graph.t) : int =
+  let acc = ref 0 in
+  for i = 0 to Graph.n_nodes g - 1 do
+    acc := !acc + Graph.weight g i
+  done;
+  !acc
+
+(** Critical path length: longest weighted path (ideal time on unboundedly
+    many processors). *)
+let span (g : Graph.t) : int =
+  let n = Graph.n_nodes g in
+  if n = 0 then 0
+  else begin
+    (* Node ids are topologically ordered by construction. *)
+    let finish = Array.make n 0 in
+    let best = ref 0 in
+    for i = 0 to n - 1 do
+      finish.(i) <- finish.(i) + Graph.weight g i;
+      if finish.(i) > !best then best := finish.(i);
+      List.iter
+        (fun j -> if finish.(i) > finish.(j) then finish.(j) <- finish.(i))
+        (Graph.succs g i)
+    done;
+    !best
+  end
+
+(** Average parallelism [work / span]. *)
+let parallelism (g : Graph.t) : float =
+  let s = span g in
+  if s = 0 then 1.0 else float_of_int (work g) /. float_of_int s

@@ -1,0 +1,13 @@
+(** WORK / SPAN metrics on a computation graph.  [span] is the critical
+    path length of the paper's Definition 1 and must agree with
+    {!Sdpst.Analysis.critical_path_length} on the same execution
+    (property-tested). *)
+
+(** Total work: sum of node weights (ideal 1-processor time). *)
+val work : Graph.t -> int
+
+(** Critical path length (ideal unbounded-processor time). *)
+val span : Graph.t -> int
+
+(** Average parallelism [work / span]. *)
+val parallelism : Graph.t -> float

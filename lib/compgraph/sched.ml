@@ -1,0 +1,115 @@
+(** Greedy list-scheduling simulator.
+
+    Simulates executing a computation graph on [procs] identical
+    processors under a greedy (work-conserving) scheduler: whenever a
+    processor is idle and a node is ready, it runs.  This is the model
+    behind the paper's Figure 16 runs on 12 cores; by Brent/Graham's bound
+    the makespan T_P satisfies [T_P <= work/P + span], and the {e relative}
+    ordering of the sequential / original-parallel / repaired-parallel
+    series is preserved independently of machine constants.
+
+    Ready nodes are dispatched in FIFO order (the deterministic analogue of
+    a work-sharing runtime), so results are exactly reproducible. *)
+
+(* A simple binary min-heap of (time, node) pairs for completion events. *)
+module Heap = struct
+  type t = {
+    mutable data : (int * int) array;
+    mutable len : int;
+  }
+
+  let create () = { data = Array.make 64 (0, 0); len = 0 }
+
+  let is_empty h = h.len = 0
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h x =
+    if h.len = Array.length h.data then begin
+      let data = Array.make (2 * h.len) (0, 0) in
+      Array.blit h.data 0 data 0 h.len;
+      h.data <- data
+    end;
+    h.data.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.len = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.len <- h.len - 1;
+    h.data.(0) <- h.data.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && fst h.data.(l) < fst h.data.(!smallest) then
+        smallest := l;
+      if r < h.len && fst h.data.(r) < fst h.data.(!smallest) then
+        smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+end
+
+type stats = {
+  makespan : int;  (** simulated parallel execution time *)
+  busy : int;  (** processor-time spent running nodes *)
+  max_ready : int;  (** peak size of the ready queue *)
+}
+
+(** Simulate a greedy schedule of [g] on [procs] processors. *)
+let simulate ?(procs = 12) (g : Graph.t) : stats =
+  if procs <= 0 then invalid_arg "Sched.simulate: procs must be positive";
+  let n = Graph.n_nodes g in
+  if n = 0 then { makespan = 0; busy = 0; max_ready = 0 }
+  else begin
+    let indeg = Array.init n (Graph.in_degree g) in
+    let ready = Queue.create () in
+    for i = 0 to n - 1 do
+      if indeg.(i) = 0 then Queue.add i ready
+    done;
+    let events = Heap.create () in
+    let idle = ref procs in
+    let time = ref 0 in
+    let busy = ref 0 in
+    let max_ready = ref (Queue.length ready) in
+    let dispatch () =
+      while !idle > 0 && not (Queue.is_empty ready) do
+        let v = Queue.take ready in
+        decr idle;
+        busy := !busy + Graph.weight g v;
+        Heap.push events (!time + Graph.weight g v, v)
+      done
+    in
+    dispatch ();
+    while not (Heap.is_empty events) do
+      let t, v = Heap.pop events in
+      time := t;
+      incr idle;
+      (* Drain all events at the same timestamp before dispatching. *)
+      List.iter
+        (fun s ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s ready)
+        (Graph.succs g v);
+      if Queue.length ready > !max_ready then max_ready := Queue.length ready;
+      dispatch ()
+    done;
+    { makespan = !time; busy = !busy; max_ready = !max_ready }
+  end
+
+(** Simulated time on [procs] processors. *)
+let makespan ?procs g = (simulate ?procs g).makespan

@@ -1,0 +1,18 @@
+(** Greedy (work-conserving) list-scheduling simulator: whenever a
+    processor is idle and a node is ready, it runs; ready nodes dispatch
+    FIFO, so results are deterministic.  By Brent/Graham's bound the
+    makespan satisfies [T_P <= work/P + span].  This is the Figure 16
+    substrate. *)
+
+type stats = {
+  makespan : int;  (** simulated parallel execution time *)
+  busy : int;  (** processor-time spent running nodes *)
+  max_ready : int;  (** peak size of the ready queue *)
+}
+
+(** Simulate a greedy schedule on [procs] processors (default 12).
+    @raise Invalid_argument if [procs <= 0]. *)
+val simulate : ?procs:int -> Graph.t -> stats
+
+(** Simulated time on [procs] processors. *)
+val makespan : ?procs:int -> Graph.t -> int

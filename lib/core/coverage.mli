@@ -1,0 +1,26 @@
+(** Test-coverage analysis (paper §9 future work): which static statements
+    — and in particular which [async] sites — a set of test executions
+    exercises.  Unexecuted asyncs may hide races no test has triggered, so
+    this is the paper's proposed "suitability of a given set of test
+    cases" metric. *)
+
+type t = {
+  total_stmts : int;
+  covered_stmts : int;
+  total_asyncs : int;
+  covered_asyncs : int;
+  uncovered_asyncs : Mhj.Loc.t list;
+      (** source locations of unexercised asyncs *)
+}
+
+(** Fraction of statements covered (1.0 when there are none). *)
+val stmt_coverage : t -> float
+
+(** Fraction of async statements covered. *)
+val async_coverage : t -> float
+
+(** Coverage of [prog] over the S-DPSTs of several executions (multiple
+    test inputs); a statement is covered if any execution reached it. *)
+val of_runs : Mhj.Ast.program -> Sdpst.Node.tree list -> t
+
+val pp : t Fmt.t

@@ -1,0 +1,216 @@
+(** Dependence graphs over NS-LCA subtrees (paper §5.1).
+
+    For each unique non-scope least common ancestor [L] of a set of data
+    races, the subtree rooted at [L] is reduced to a DAG whose vertices are
+    the non-scope children of [L] (in left-to-right order) and whose edges
+    are the races, lifted to the children containing their endpoints.
+    Every edge goes from a left vertex to a right vertex because the race
+    source precedes the sink in depth-first order.
+
+    {b Vertex coalescing.}  The paper observes that [n] (the number of
+    children) "is small in practice"; in our setting a loop that executes
+    thousands of iterations under one scope makes [n] large enough that the
+    O(n^3 d) DP becomes the bottleneck.  We therefore coalesce maximal runs
+    of consecutive {e non-async} children that have identical dependence
+    signatures (same predecessor and successor sets) into one super-vertex
+    whose weight is their sequential composition.  This preserves the
+    optimum: non-async children contribute pure drag (control passes only
+    after they complete), so a finish boundary strictly between two
+    signature-identical non-async children is never better than the same
+    boundary moved to the run's edge.  Async children are never merged. *)
+
+type t = {
+  lca : Sdpst.Node.t;
+  first : Sdpst.Node.t array;  (** leftmost S-DPST child of each vertex *)
+  last : Sdpst.Node.t array;  (** rightmost S-DPST child of each vertex *)
+  times : int array;  (** t_i: sequential composition of the run's spans *)
+  is_async : bool array;  (** singleton async vertex? *)
+  edges : (int * int) list;  (** deduplicated, 0-based vertex pairs *)
+  cum : int array array;
+      (** 2-D prefix sums of the edge matrix for O(1) crossing tests *)
+  n_raw : int;  (** number of non-scope children before coalescing *)
+}
+
+let n_vertices g = Array.length g.times
+
+let n_edges g = List.length g.edges
+
+(** Non-scope children of [l] (paper Definition 3), left to right: descend
+    through scope nodes only.  A scope collapsed by {!Sdpst.Analysis.prune}
+    has no children left to descend into; it becomes a leaf vertex carrying
+    its summarized span/drag (it contains no race endpoint by construction,
+    so no finish boundary ever needs to fall inside it). *)
+let nonscope_children (l : Sdpst.Node.t) : Sdpst.Node.t list =
+  let acc = ref [] in
+  let rec go n =
+    Tdrutil.Vec.iter
+      (fun c ->
+        if Sdpst.Node.is_nonscope c || c.Sdpst.Node.collapsed <> None then
+          acc := c :: !acc
+        else go c)
+      n.Sdpst.Node.children
+  in
+  go l;
+  List.rev !acc
+
+(** [are_crossing g ~i ~k ~j] — paper's [succ(i..k) ∩ {k+1..j} ≠ ∅] test
+    (0-based here): does some edge go from a vertex in [i..k] to a vertex
+    in [k+1..j]?  O(1) via 2-D prefix sums. *)
+let are_crossing g ~i ~k ~j =
+  let count lo_src hi_src lo_snk hi_snk =
+    g.cum.(hi_src + 1).(hi_snk + 1)
+    - g.cum.(lo_src).(hi_snk + 1)
+    - g.cum.(hi_src + 1).(lo_snk)
+    + g.cum.(lo_src).(lo_snk)
+  in
+  count i k (k + 1) j > 0
+
+let build_cum n edges =
+  let cum = Array.make_matrix (n + 1) (n + 1) 0 in
+  List.iter (fun (i, j) -> cum.(i + 1).(j + 1) <- cum.(i + 1).(j + 1) + 1) edges;
+  for x = 1 to n do
+    for y = 1 to n do
+      cum.(x).(y) <-
+        cum.(x).(y) + cum.(x - 1).(y) + cum.(x).(y - 1) - cum.(x - 1).(y - 1)
+    done
+  done;
+  cum
+
+(** Build the dependence graph for NS-LCA [lca] from the races whose
+    NS-LCA is [lca].  Vertex weights come from [span]: the subtree
+    completion time of each child under the current synchronization.
+    @param coalesce merge signature-identical non-async runs (default
+      [true]; the unit tests use [false] to exercise the paper's exact
+      construction)
+    @raise Invalid_argument if some race endpoint is not a descendant of a
+    non-scope child of [lca]. *)
+let build ?(coalesce = true) ~(span : Sdpst.Node.t -> int)
+    (lca : Sdpst.Node.t) (races : Espbags.Race.t list) : t =
+  let children = Array.of_list (nonscope_children lca) in
+  let n_raw = Array.length children in
+  let index = Hashtbl.create (2 * n_raw) in
+  Array.iteri (fun i c -> Hashtbl.replace index c.Sdpst.Node.id i) children;
+  let raw_vertex_of step =
+    let child = Sdpst.Lca.nonscope_child_ancestor ~anc:lca step in
+    match Hashtbl.find_opt index child.Sdpst.Node.id with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Fmt.str "Depgraph.build: %a is not a non-scope child of %a"
+             Sdpst.Node.pp child Sdpst.Node.pp lca)
+  in
+  let seen = Hashtbl.create 64 in
+  let raw_edges = ref [] in
+  List.iter
+    (fun (r : Espbags.Race.t) ->
+      let i = raw_vertex_of r.src and j = raw_vertex_of r.sink in
+      if i >= j then
+        invalid_arg
+          (Fmt.str "Depgraph.build: race edge (%d, %d) is not left-to-right" i
+             j);
+      if not (Hashtbl.mem seen (i, j)) then begin
+        Hashtbl.add seen (i, j) ();
+        raw_edges := (i, j) :: !raw_edges
+      end)
+    races;
+  let raw_edges = List.rev !raw_edges in
+  (* Group raw children into vertices. *)
+  let group_of = Array.make n_raw 0 in
+  let n_groups =
+    if not coalesce then begin
+      Array.iteri (fun i _ -> group_of.(i) <- i) children;
+      n_raw
+    end
+    else begin
+      let preds = Array.make n_raw [] and succs = Array.make n_raw [] in
+      List.iter
+        (fun (i, j) ->
+          succs.(i) <- j :: succs.(i);
+          preds.(j) <- i :: preds.(j))
+        raw_edges;
+      (* Runs may span sibling scopes (e.g. the per-iteration read steps of
+         a reduction loop): the exclusion tests in {!Valid.insertion_for}
+         always consult the real boundary S-DPST nodes ([first]/[last]), so
+         merging is transparent to placement validity.
+
+         Two classes of non-async children merge:
+         - identical signatures (same predecessor and successor sets);
+         - {e pure sinks} (no outgoing edges), regardless of their
+           predecessor sets.  A finish interval never benefits from ending
+           strictly between two adjacent pure-drag sinks — ending before
+           the whole run satisfies every edge into it at the same cost —
+           and without this rule the per-instance merge steps of a
+           divide-and-conquer benchmark (each racing with a slightly
+           different subset of the child asyncs) blow the DP up to
+           thousands of vertices. *)
+      let class_of i =
+        if succs.(i) = [] then `Sink
+        else `Sig (List.sort compare preds.(i), List.sort compare succs.(i))
+      in
+      let g = ref (-1) in
+      let prev_class = ref None in
+      Array.iteri
+        (fun i c ->
+          let cl = class_of i in
+          let mergeable =
+            (not (Sdpst.Node.is_async c)) && !prev_class = Some cl
+          in
+          if not mergeable then incr g;
+          group_of.(i) <- !g;
+          prev_class := (if Sdpst.Node.is_async c then None else Some cl))
+        children;
+      !g + 1
+    end
+  in
+  let first = Array.make n_groups children.(0) in
+  let last = Array.make n_groups children.(0) in
+  let times = Array.make n_groups 0 in
+  let is_async = Array.make n_groups false in
+  let seen_group = Array.make n_groups false in
+  Array.iteri
+    (fun i c ->
+      let v = group_of.(i) in
+      if not seen_group.(v) then begin
+        seen_group.(v) <- true;
+        first.(v) <- c;
+        is_async.(v) <- Sdpst.Node.is_async c
+      end;
+      last.(v) <- c;
+      (* non-async runs compose sequentially: drag = span for each, so the
+         composed span is the sum; async vertices are singletons. *)
+      times.(v) <- times.(v) + span c)
+    children;
+  let seen2 = Hashtbl.create 64 in
+  let edges =
+    List.filter_map
+      (fun (i, j) ->
+        let gi = group_of.(i) and gj = group_of.(j) in
+        assert (gi < gj);
+        if Hashtbl.mem seen2 (gi, gj) then None
+        else begin
+          Hashtbl.add seen2 (gi, gj) ();
+          Some (gi, gj)
+        end)
+      raw_edges
+  in
+  {
+    lca;
+    first;
+    last;
+    times;
+    is_async;
+    edges;
+    cum = build_cum n_groups edges;
+    n_raw;
+  }
+
+let pp ppf g =
+  Fmt.pf ppf "depgraph@@%a: %d vertices (%d raw), %d edges@\n" Sdpst.Node.pp
+    g.lca (n_vertices g) g.n_raw (n_edges g);
+  Array.iteri
+    (fun i c ->
+      Fmt.pf ppf "  v%d = %a..%a (t=%d%s)@\n" i Sdpst.Node.pp c Sdpst.Node.pp
+        g.last.(i) g.times.(i)
+        (if g.is_async.(i) then ", async" else ""))
+    g.first;
+  List.iter (fun (i, j) -> Fmt.pf ppf "  v%d -> v%d@\n" i j) g.edges

@@ -1,0 +1,50 @@
+(** Dependence graphs over NS-LCA subtrees (paper §5.1).
+
+    For each unique non-scope least common ancestor [L] of a set of data
+    races, the subtree rooted at [L] is reduced to a DAG whose vertices are
+    the non-scope children of [L] (left to right) and whose edges are the
+    races lifted to the children containing their endpoints.  Runs of
+    non-async children that cannot host a useful finish boundary are
+    coalesced into super-vertices (see [build]). *)
+
+type t = private {
+  lca : Sdpst.Node.t;  (** the NS-LCA this graph was built from *)
+  first : Sdpst.Node.t array;  (** leftmost S-DPST child of each vertex *)
+  last : Sdpst.Node.t array;  (** rightmost S-DPST child of each vertex *)
+  times : int array;  (** [t_i]: sequential composition of the run's spans *)
+  is_async : bool array;  (** singleton async vertex? *)
+  edges : (int * int) list;  (** deduplicated, 0-based, left-to-right *)
+  cum : int array array;  (** 2-D prefix sums for O(1) crossing tests *)
+  n_raw : int;  (** non-scope children before coalescing *)
+}
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+(** Non-scope children of a node (paper Definition 3), left to right:
+    descendants reached through scope nodes only. *)
+val nonscope_children : Sdpst.Node.t -> Sdpst.Node.t list
+
+(** [are_crossing g ~i ~k ~j] — the paper's [succ(i..k) ∩ {k+1..j} ≠ ∅]
+    test: does some edge go from a vertex in [i..k] to one in [k+1..j]?
+    O(1). *)
+val are_crossing : t -> i:int -> k:int -> j:int -> bool
+
+(** Build the dependence graph for [lca] from the races whose NS-LCA is
+    [lca].  [span] supplies subtree completion times (usually
+    {!Sdpst.Analysis.span_memo}).
+
+    @param coalesce merge signature-identical and pure-sink runs of
+      non-async children (default [true]; [false] gives the paper's exact
+      one-vertex-per-child construction).
+    @raise Invalid_argument if a race endpoint is not a descendant of a
+      non-scope child of [lca]. *)
+val build :
+  ?coalesce:bool ->
+  span:(Sdpst.Node.t -> int) ->
+  Sdpst.Node.t ->
+  Espbags.Race.t list ->
+  t
+
+val pp : t Fmt.t

@@ -1,0 +1,366 @@
+(** The test-driven repair driver (paper Figure 6 and §6.1).
+
+    One iteration: execute the program depth-first under an ESP-bags
+    detector; group the reported races by NS-LCA; per group, reduce the
+    subtree to a dependence graph and run the dynamic-programming placement
+    (Algorithm 1) under the scope-validity predicate; map the chosen
+    dynamic finishes to static program locations; merge and insert them.
+    Iterate until a detection run reports no races (with SRW, at least one
+    extra confirmation run is always needed; with MRW, one repair iteration
+    suffices unless placements interact — paper §7.3). *)
+
+let src = Logs.Src.create "tdrace.driver" ~doc:"test-driven repair driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type group_result = {
+  lca_id : int;  (** S-DPST node id of the NS-LCA *)
+  n_vertices : int;
+  n_edges : int;
+  dp_cost : int;  (** optimal block completion time found by the DP *)
+  fell_back : bool;
+      (** the DP was unsatisfiable and per-edge minimal covers were used *)
+  insertions : Valid.insertion list;
+}
+
+type iteration = {
+  n_races : int;  (** raw race reports this run *)
+  n_race_pairs : int;  (** distinct (src step, sink step) pairs *)
+  n_groups : int;  (** distinct NS-LCAs *)
+  groups : group_result list;
+  merged : Static_place.merged;
+  detect_time : float;  (** seconds spent executing + detecting *)
+  place_time : float;  (** seconds spent in placement (dynamic + static) *)
+  sdpst_nodes : int;
+}
+
+type report = {
+  program : Mhj.Ast.program;  (** the repaired program *)
+  mode : Espbags.Detector.mode;
+  iterations : iteration list;
+  converged : bool;  (** final detection run found no races *)
+  final_races : int;  (** races remaining (0 when converged) *)
+}
+
+exception Unrepairable of string
+
+(* ------------------------------------------------------------------ *)
+(* Single-iteration placement                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Group races by the id of their NS-LCA, in ascending (depth-first) order. *)
+let group_races (races : Espbags.Race.t list) :
+    (Sdpst.Node.t * Espbags.Race.t list) list =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (r : Espbags.Race.t) ->
+      let lca = Sdpst.Lca.ns_lca r.src r.sink in
+      match Hashtbl.find_opt tbl lca.Sdpst.Node.id with
+      | Some (node, races) ->
+          Hashtbl.replace tbl lca.Sdpst.Node.id (node, r :: races)
+      | None ->
+          Hashtbl.replace tbl lca.Sdpst.Node.id (lca, [ r ]);
+          order := lca.Sdpst.Node.id :: !order)
+    races;
+  List.rev_map
+    (fun id ->
+      let node, races = Hashtbl.find tbl id in
+      (node, List.rev races))
+    !order
+  |> List.sort (fun (a, _) (b, _) ->
+         Int.compare a.Sdpst.Node.id b.Sdpst.Node.id)
+
+(* Fallback when the DP cannot satisfy all edges with one optimal plan:
+   cover each edge by its smallest scope-valid interval. *)
+let per_edge_fallback (g : Depgraph.t)
+    (insertion : i:int -> j:int -> Valid.insertion option) :
+    (int * int) list option =
+  let cover (x, y) =
+    let found = ref None in
+    (try
+       for width = 0 to y - 1 do
+         for s = max 0 (x - width) to x do
+           let e = s + width in
+           if e >= x && e < y && !found = None then
+             match insertion ~i:s ~j:e with
+             | Some _ -> found := Some (s, e)
+             | None -> ()
+         done;
+         if !found <> None then raise Exit
+       done
+     with Exit -> ());
+    !found
+  in
+  let rec all = function
+    | [] -> Some []
+    | e :: rest -> (
+        match (cover e, all rest) with
+        | Some iv, Some ivs -> Some (iv :: ivs)
+        | _ -> None)
+  in
+  all g.edges
+
+(* Solve one NS-LCA group: dependence graph, DP, insertion mapping, with
+   the per-edge fallback when the DP is unsatisfiable. *)
+let solve_group ~wrap_ok ~span (lca : Sdpst.Node.t)
+    (group : Espbags.Race.t list) : group_result =
+  let g = Depgraph.build ~span lca group in
+  let valid, insertion = Valid.make_checker ~wrap_ok g in
+  let finishes, dp_cost, fell_back =
+    match Dp_place.solve ~valid g with
+    | { cost; finishes } -> (finishes, cost, false)
+    | exception Dp_place.Unsatisfiable _ -> (
+        Log.warn (fun m ->
+            m "DP unsatisfiable at NS-LCA %a; falling back to per-edge covers"
+              Sdpst.Node.pp lca);
+        match per_edge_fallback g insertion with
+        | Some ivs -> (ivs, -1, true)
+        | None ->
+            raise
+              (Unrepairable
+                 (Fmt.str
+                    "no scope-valid finish placement can separate the races \
+                     at NS-LCA %a"
+                    Sdpst.Node.pp lca)))
+  in
+  let insertions =
+    List.map
+      (fun (s, e) ->
+        match insertion ~i:s ~j:e with
+        | Some ins -> ins
+        | None ->
+            (* solve only returns intervals it validated *)
+            assert false)
+      finishes
+  in
+  {
+    lca_id = lca.Sdpst.Node.id;
+    n_vertices = Depgraph.n_vertices g;
+    n_edges = Depgraph.n_edges g;
+    dp_cost;
+    fell_back;
+    insertions;
+  }
+
+(** Compute the placements demanded by [races] over the S-DPST
+    (one detector run), without touching the program.  This is the
+    "Dynamic Finish Placement" + location-mapping half of the pipeline;
+    trace-file workflows drive it directly. *)
+let place_for_tree ~(program : Mhj.Ast.program) (races : Espbags.Race.t list)
+    : group_result list * Static_place.merged =
+  let races = Espbags.Race.dedupe_by_steps races in
+  let span, _drag = Sdpst.Analysis.span_memo () in
+  let scopes = Mhj.Scopecheck.build program in
+  let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
+  let groups = group_races races in
+  let results =
+    List.map (fun (lca, group) -> solve_group ~wrap_ok ~span lca group) groups
+  in
+  let demands =
+    List.concat_map
+      (fun r ->
+        List.map (fun (i : Valid.insertion) -> (r.lca_id, i.placement))
+          r.insertions)
+      results
+  in
+  (results, Static_place.merge ~scopes demands)
+
+(** Paper §6.1's incremental strategy: process NS-LCA groups one at a time
+    against a {e live} S-DPST.  Each round solves the first group in DFS
+    order, splices its first finish into the tree (step d), drops the
+    races that finish resolves — re-checked with Theorem 1 on the updated
+    tree (step e) — and regroups the remainder, whose NS-LCAs may have
+    changed (step f).  Mutates [tree]. *)
+let place_incremental ~(program : Mhj.Ast.program)
+    (tree : Sdpst.Node.tree) (races : Espbags.Race.t list) :
+    group_result list * Static_place.merged =
+  let scopes = Mhj.Scopecheck.build program in
+  let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
+  let results = ref [] in
+  let demands = ref [] in
+  let remaining = ref (Espbags.Race.dedupe_by_steps races) in
+  let rounds = ref 0 in
+  while !remaining <> [] do
+    incr rounds;
+    if !rounds > 100_000 then
+      raise (Unrepairable "incremental placement did not converge");
+    (* spans change as finish nodes are spliced in: fresh memo per round *)
+    let span, _ = Sdpst.Analysis.span_memo () in
+    let lca, group = List.hd (group_races !remaining) in
+    let r = solve_group ~wrap_ok ~span lca group in
+    (match r.insertions with
+    | [] ->
+        (* cannot happen: a non-empty group always demands a finish *)
+        raise (Unrepairable "placement produced no insertion")
+    | ins :: _ ->
+        (* splice only the first (outermost) finish this round; sibling
+           indices of the others shift, so they are re-derived next round
+           from the updated tree *)
+        ignore
+          (Sdpst.Tree.insert_finish tree ~parent:ins.parent ~lo:ins.child_lo
+             ~hi:ins.child_hi);
+        results := { r with insertions = [ ins ] } :: !results;
+        demands := (r.lca_id, ins.placement) :: !demands);
+    remaining :=
+      List.filter
+        (fun (r : Espbags.Race.t) ->
+          Sdpst.Lca.may_happen_in_parallel r.src r.sink)
+        !remaining
+  done;
+  (List.rev !results, Static_place.merge ~scopes (List.rev !demands))
+
+(* ------------------------------------------------------------------ *)
+(* Full iterative repair                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_iterations = 10
+
+(** Repair [prog]: iterate detection and placement until race-free.
+
+    @param mode detector flavour (default {!Espbags.Detector.Mrw})
+    @param strategy how one iteration maps races to placements:
+      [`Batch] (default) solves every NS-LCA group against the one S-DPST
+      of the detection run and merges the demands; [`Incremental] is the
+      paper's §6.1 loop, splicing each finish into a live S-DPST and
+      re-deriving the remaining races' NS-LCAs before the next placement.
+      Both converge to race-free programs; [`Batch] does less work per
+      iteration on large race sets.
+    @param max_iterations safety bound on repair iterations (default 10)
+    @param fuel interpreter fuel per run
+    @raise Unrepairable if some race admits no scope-valid fix *)
+let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
+    ?(max_iterations = default_max_iterations) ?fuel
+    (prog : Mhj.Ast.program) : report =
+  let rec loop program iterations remaining =
+    let t0 = Unix.gettimeofday () in
+    let det, res = Espbags.Detector.detect ?fuel mode program in
+    let detect_time = Unix.gettimeofday () -. t0 in
+    let races = Espbags.Detector.races det in
+    if races = [] then
+      {
+        program;
+        mode;
+        iterations = List.rev iterations;
+        converged = true;
+        final_races = 0;
+      }
+    else if remaining = 0 then
+      {
+        program;
+        mode;
+        iterations = List.rev iterations;
+        converged = false;
+        final_races = List.length races;
+      }
+    else begin
+      let t1 = Unix.gettimeofday () in
+      let groups, merged =
+        match strategy with
+        | `Batch -> place_for_tree ~program races
+        | `Incremental ->
+            place_incremental ~program res.Rt.Interp.tree races
+      in
+      let program' = Static_place.apply program merged in
+      let place_time = Unix.gettimeofday () -. t1 in
+      let iter =
+        {
+          n_races = List.length races;
+          n_race_pairs =
+            List.length (Espbags.Race.dedupe_by_steps races);
+          n_groups = List.length groups;
+          groups;
+          merged;
+          detect_time;
+          place_time;
+          sdpst_nodes = res.tree.Sdpst.Node.n_nodes;
+        }
+      in
+      Log.info (fun m ->
+          m "iteration: %d races (%d pairs) at %d NS-LCAs -> %d finish(es)"
+            iter.n_races iter.n_race_pairs iter.n_groups
+            (List.length merged.placements));
+      loop program' (iter :: iterations) (remaining - 1)
+    end
+  in
+  loop prog [] max_iterations
+
+(** Total placements inserted across all iterations. *)
+let total_placements (r : report) : Mhj.Transform.placement list =
+  List.concat_map (fun it -> it.merged.Static_place.placements) r.iterations
+
+(* ------------------------------------------------------------------ *)
+(* Multi-input repair (paper §2: "the tool is applied iteratively for   *)
+(* different test inputs")                                             *)
+(* ------------------------------------------------------------------ *)
+
+type multi_report = {
+  final : Mhj.Ast.program;  (** repaired for every input *)
+  per_input : (string * report) list;  (** input label -> last repair run *)
+  all_converged : bool;
+  coverage : Coverage.t;  (** combined coverage of all inputs *)
+}
+
+(** Repair one program under several test inputs, each given as a set of
+    int-global overrides ({!Mhj.Transform.set_global_int}).  Placements
+    computed under any input are applied to the base program (statement
+    and block ids are shared), and the loop continues until every input's
+    execution is race-free.  Also reports the combined statement/async
+    coverage of the input set — the paper's §9 test-suitability metric. *)
+let repair_multi ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
+    ?(max_rounds = 10) ?fuel
+    ~(inputs : (string * (string * int) list) list)
+    (prog : Mhj.Ast.program) : multi_report =
+  let apply_input program overrides =
+    List.fold_left
+      (fun p (g, v) -> Mhj.Transform.set_global_int p g v)
+      program overrides
+  in
+  let rec loop program round =
+    let reports =
+      List.map
+        (fun (label, overrides) ->
+          (label, repair ~mode ~strategy ?fuel (apply_input program overrides)))
+        inputs
+    in
+    (* Collect the placements every input demanded and re-apply them to
+       the shared base program.  Placements from a repair run's second or
+       later iterations may reference blocks that run created itself; they
+       do not resolve against the base program this round and are simply
+       re-discovered (and then resolved) in the next round. *)
+    let scopes = Mhj.Scopecheck.build program in
+    let known p =
+      Hashtbl.mem scopes.Mhj.Scopecheck.blocks p.Mhj.Transform.bid
+    in
+    let demands =
+      List.concat @@ List.mapi
+        (fun input_idx ((_, r) : _ * report) ->
+          List.filter_map
+            (fun p -> if known p then Some (input_idx, p) else None)
+            (total_placements r))
+        reports
+    in
+    let merged = Static_place.merge ~scopes demands in
+    let placements = merged.Static_place.placements in
+    if placements = [] || round >= max_rounds then begin
+      let trees =
+        List.map
+          (fun (_, overrides) ->
+            (Rt.Interp.run ?fuel (apply_input program overrides)).tree)
+          inputs
+      in
+      {
+        final = program;
+        per_input = reports;
+        all_converged =
+          List.for_all (fun ((_, r) : _ * report) -> r.converged) reports
+          && placements = [];
+        coverage = Coverage.of_runs program trees;
+      }
+    end
+    else begin
+      let program' = Mhj.Transform.insert_finishes program placements in
+      loop program' (round + 1)
+    end
+  in
+  loop prog 0

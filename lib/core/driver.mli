@@ -1,0 +1,100 @@
+(** The test-driven repair driver (paper Figure 6 and §6.1): iterate
+    detection, dynamic finish placement, and static insertion until the
+    program is race-free for its input. *)
+
+type group_result = {
+  lca_id : int;  (** S-DPST node id of the NS-LCA *)
+  n_vertices : int;
+  n_edges : int;
+  dp_cost : int;  (** optimal block completion time found by the DP *)
+  fell_back : bool;
+      (** the DP was unsatisfiable and per-edge minimal covers were used *)
+  insertions : Valid.insertion list;
+}
+
+type iteration = {
+  n_races : int;  (** raw race reports this run *)
+  n_race_pairs : int;  (** distinct (source step, sink step) pairs *)
+  n_groups : int;  (** distinct NS-LCAs *)
+  groups : group_result list;
+  merged : Static_place.merged;
+  detect_time : float;  (** seconds spent executing + detecting *)
+  place_time : float;  (** seconds spent in placement (dynamic + static) *)
+  sdpst_nodes : int;
+}
+
+type report = {
+  program : Mhj.Ast.program;  (** the repaired program *)
+  mode : Espbags.Detector.mode;
+  iterations : iteration list;
+  converged : bool;  (** the final detection run found no races *)
+  final_races : int;  (** races remaining (0 when converged) *)
+}
+
+exception Unrepairable of string
+(** Some race admits no scope-valid finish placement. *)
+
+(** One placement pass: the dynamic placement + location mapping for the
+    races of a single detector run, without touching the program.
+    Trace-file workflows (paper Appendix A) drive this directly. *)
+val place_for_tree :
+  program:Mhj.Ast.program ->
+  Espbags.Race.t list ->
+  group_result list * Static_place.merged
+
+(** Paper §6.1's incremental strategy: solve NS-LCA groups one finish at a
+    time against a {e live} S-DPST — splice the finish node in (step d),
+    drop the races it resolves, re-checked with Theorem 1 (step e), and
+    regroup the remainder, whose NS-LCAs may have changed (step f).
+    Mutates the tree. *)
+val place_incremental :
+  program:Mhj.Ast.program ->
+  Sdpst.Node.tree ->
+  Espbags.Race.t list ->
+  group_result list * Static_place.merged
+
+val default_max_iterations : int
+
+(** Repair [prog]: iterate detection and placement until race-free.
+
+    @param mode detector flavour (default {!Espbags.Detector.Mrw})
+    @param strategy [`Batch] (default) solves every NS-LCA group of a
+      detection run at once; [`Incremental] is the paper's §6.1 live-tree
+      loop.  Both converge; [`Batch] does less work on large race sets.
+    @param max_iterations safety bound (default 10)
+    @param fuel interpreter fuel per run
+    @raise Unrepairable if some race admits no scope-valid fix *)
+val repair :
+  ?mode:Espbags.Detector.mode ->
+  ?strategy:[ `Batch | `Incremental ] ->
+  ?max_iterations:int ->
+  ?fuel:int ->
+  Mhj.Ast.program ->
+  report
+
+(** All placements inserted across the report's iterations. *)
+val total_placements : report -> Mhj.Transform.placement list
+
+(** Multi-input repair (paper §2: "the tool is applied iteratively for
+    different test inputs"). *)
+type multi_report = {
+  final : Mhj.Ast.program;  (** repaired for every input *)
+  per_input : (string * report) list;  (** input label -> last repair run *)
+  all_converged : bool;
+  coverage : Coverage.t;  (** combined coverage of all inputs *)
+}
+
+(** Repair one program under several test inputs, each a labelled set of
+    int-global overrides ({!Mhj.Transform.set_global_int}).  Placements
+    demanded under any input are merged into the shared base program;
+    rounds continue until every input's execution is race-free (or
+    [max_rounds]).  The result includes the combined coverage of the input
+    set — the paper's §9 test-suitability metric. *)
+val repair_multi :
+  ?mode:Espbags.Detector.mode ->
+  ?strategy:[ `Batch | `Incremental ] ->
+  ?max_rounds:int ->
+  ?fuel:int ->
+  inputs:(string * (string * int) list) list ->
+  Mhj.Ast.program ->
+  multi_report

@@ -1,0 +1,125 @@
+(** S-bags and P-bags for the ESP-bags algorithm (Raman et al., FMSD 2012).
+
+    During the depth-first execution every task (async instance, plus the
+    root task) owns an S-bag and every finish instance (plus the implicit
+    root finish) owns a P-bag:
+
+    - a task's S-bag holds tasks whose completed work is {e serialized}
+      with the task's continuation;
+    - a finish's P-bag holds completed tasks whose work may run {e in
+      parallel} with the code that follows their spawn point, until the
+      finish completes.
+
+    A memory access by the current task races with an earlier access by
+    task [t] iff [t] is currently in a P-bag.
+
+    Bags are union-find classes over task ids (S-DPST node ids); each class
+    root carries a mark saying which bag the class currently is. *)
+
+type mark =
+  | Sbag of int  (** S-bag of the task with this node id *)
+  | Pbag of int  (** P-bag of the finish with this node id *)
+
+type t = {
+  parent : (int, int) Hashtbl.t;
+  rank : (int, int) Hashtbl.t;
+  mark : (int, mark) Hashtbl.t;  (** class root -> current bag *)
+  pbag_root : (int, int) Hashtbl.t;  (** finish id -> an element of its P-bag *)
+  mutable task_stack : int list;  (** dynamically enclosing tasks, innermost first *)
+  mutable finish_stack : int list;  (** dynamically enclosing finishes *)
+}
+
+let create () =
+  {
+    parent = Hashtbl.create 256;
+    rank = Hashtbl.create 256;
+    mark = Hashtbl.create 256;
+    pbag_root = Hashtbl.create 64;
+    task_stack = [];
+    finish_stack = [];
+  }
+
+let rec find t x =
+  match Hashtbl.find_opt t.parent x with
+  | None -> invalid_arg (Fmt.str "Bags.find: unknown task %d" x)
+  | Some p ->
+      if p = x then x
+      else begin
+        let r = find t p in
+        Hashtbl.replace t.parent x r;
+        r
+      end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then ra
+  else begin
+    let ka = Hashtbl.find t.rank ra and kb = Hashtbl.find t.rank rb in
+    let root, child = if ka >= kb then (ra, rb) else (rb, ra) in
+    Hashtbl.replace t.parent child root;
+    if ka = kb then Hashtbl.replace t.rank root (ka + 1);
+    Hashtbl.remove t.mark child;
+    root
+  end
+
+let mark_of t x = Hashtbl.find t.mark (find t x)
+
+(** Is task [x] currently in a P-bag (i.e. parallel-possible with the
+    currently executing code)? *)
+let in_pbag t x = match mark_of t x with Pbag _ -> true | Sbag _ -> false
+
+let current_task t =
+  match t.task_stack with
+  | task :: _ -> task
+  | [] -> invalid_arg "Bags.current_task: no task executing"
+
+(* ------------------------------------------------------------------ *)
+(* ESP-bags transitions                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** A task starts: fresh singleton S-bag {task}. *)
+let task_begin t ~task =
+  Hashtbl.replace t.parent task task;
+  Hashtbl.replace t.rank task 0;
+  Hashtbl.replace t.mark task (Sbag task);
+  t.task_stack <- task :: t.task_stack
+
+(** A task ends: its S-bag contents move to the P-bag of its immediately
+    enclosing finish — they may now run in parallel with the continuation
+    of the parent task, until that finish completes. *)
+let task_end t ~task =
+  (match t.task_stack with
+  | x :: rest when x = task -> t.task_stack <- rest
+  | _ -> invalid_arg "Bags.task_end: task stack mismatch");
+  match t.finish_stack with
+  | [] ->
+      (* The root task ends after the root finish; nothing outlives it. *)
+      ()
+  | ief :: _ -> (
+      let r = find t task in
+      match Hashtbl.find_opt t.pbag_root ief with
+      | None ->
+          Hashtbl.replace t.mark r (Pbag ief);
+          Hashtbl.replace t.pbag_root ief r
+      | Some existing ->
+          let root = union t r existing in
+          Hashtbl.replace t.mark root (Pbag ief);
+          Hashtbl.replace t.pbag_root ief root)
+
+(** A finish region starts: its P-bag is empty. *)
+let finish_begin t ~finish = t.finish_stack <- finish :: t.finish_stack
+
+(** A finish region ends: everything in its P-bag is now serialized with
+    the continuation of the enclosing task, so it moves to that task's
+    S-bag. *)
+let finish_end t ~finish =
+  (match t.finish_stack with
+  | f :: rest when f = finish -> t.finish_stack <- rest
+  | _ -> invalid_arg "Bags.finish_end: finish stack mismatch");
+  match Hashtbl.find_opt t.pbag_root finish with
+  | None -> ()
+  | Some r ->
+      Hashtbl.remove t.pbag_root finish;
+      let task = current_task t in
+      let root = union t r (find t task) in
+      Hashtbl.replace t.mark root (Sbag task)

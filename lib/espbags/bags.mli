@@ -1,0 +1,36 @@
+(** S-bags and P-bags for the ESP-bags algorithm (Raman et al., FMSD 2012).
+
+    During the depth-first execution every task (async instance plus the
+    root task) owns an S-bag and every finish instance (plus the implicit
+    root finish) owns a P-bag.  A memory access by the current task races
+    with an earlier access by task [t] iff [t] is currently in a P-bag.
+    Bags are union-find classes over task ids (S-DPST node ids). *)
+
+type t
+
+val create : unit -> t
+
+(** The innermost executing task.
+    @raise Invalid_argument if no task has begun. *)
+val current_task : t -> int
+
+(** Is this task currently in a P-bag (parallel-possible with the
+    currently executing code)?
+    @raise Invalid_argument for an unknown task id. *)
+val in_pbag : t -> int -> bool
+
+(** A task starts: fresh singleton S-bag. *)
+val task_begin : t -> task:int -> unit
+
+(** A task ends: its S-bag contents move to the P-bag of its immediately
+    enclosing finish.
+    @raise Invalid_argument if [task] is not the innermost task. *)
+val task_end : t -> task:int -> unit
+
+(** A finish region starts (empty P-bag). *)
+val finish_begin : t -> finish:int -> unit
+
+(** A finish region ends: its P-bag contents move to the S-bag of the
+    enclosing task.
+    @raise Invalid_argument if [finish] is not the innermost finish. *)
+val finish_end : t -> finish:int -> unit

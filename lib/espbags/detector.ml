@@ -1,0 +1,199 @@
+(** The two ESP-bags race detectors.
+
+    {b SRW} (Single Reader-Writer) is the original algorithm of Raman et
+    al.: the shadow memory keeps one writer and one reader per location, so
+    a single run reports a subset of the races (at least one per racy
+    location, and none iff the input is race-free for the given input).
+
+    {b MRW} (Multiple Reader-Writer) is the paper's §4.1 modification: the
+    shadow memory keeps {e all} readers and writers per location, so every
+    potential race for the input is reported in one run — the property the
+    repair tool needs to fix all races without re-running the detector per
+    repair.
+
+    Both are packaged as {!Rt.Monitor} implementations to be passed to
+    {!Rt.Interp.run}. *)
+
+type mode = Srw | Mrw
+
+let pp_mode ppf = function
+  | Srw -> Fmt.string ppf "SRW"
+  | Mrw -> Fmt.string ppf "MRW"
+
+type access_record = { task : int; step : Sdpst.Node.t }
+
+type srw_shadow = {
+  mutable writer : access_record option;
+  mutable reader : access_record option;
+}
+
+type mrw_shadow = {
+  writers : access_record Tdrutil.Vec.t;
+  readers : access_record Tdrutil.Vec.t;
+}
+
+type t = {
+  mode : mode;
+  monitor : Rt.Monitor.t;
+  races : Race.t Tdrutil.Vec.t;
+  mutable n_accesses : int;  (** monitored accesses checked *)
+  mutable n_locations : int;  (** distinct locations touched *)
+}
+
+let races t = Tdrutil.Vec.to_list t.races
+
+let race_count t = Tdrutil.Vec.length t.races
+
+(** Is the execution race-free (no race reported)? *)
+let clean t = Tdrutil.Vec.is_empty t.races
+
+(* ------------------------------------------------------------------ *)
+(* SRW                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_srw () : t =
+  let bags = Bags.create () in
+  let shadow : srw_shadow Rt.Addr.Table.t = Rt.Addr.Table.create 1024 in
+  let races = Tdrutil.Vec.create () in
+  let det_ref = ref None in
+  let lookup addr =
+    match Rt.Addr.Table.find_opt shadow addr with
+    | Some s -> s
+    | None ->
+        let s = { writer = None; reader = None } in
+        Rt.Addr.Table.add shadow addr s;
+        (match !det_ref with
+        | Some det -> det.n_locations <- det.n_locations + 1
+        | None -> ());
+        s
+  in
+  let report ~src ~sink ~addr ~kind =
+    if src.Sdpst.Node.id <> sink.Sdpst.Node.id then
+      Tdrutil.Vec.push races (Race.make ~src ~sink ~addr ~kind)
+  in
+  let on_access ~step addr kind =
+    (match !det_ref with
+    | Some det -> det.n_accesses <- det.n_accesses + 1
+    | None -> ());
+    let s = lookup addr in
+    let task = Bags.current_task bags in
+    let me = { task; step } in
+    match kind with
+    | Rt.Monitor.Read ->
+        (match s.writer with
+        | Some w when Bags.in_pbag bags w.task ->
+            report ~src:w.step ~sink:step ~addr ~kind:Race.Write_read
+        | _ -> ());
+        (match s.reader with
+        | Some r when Bags.in_pbag bags r.task -> ()
+        | _ -> s.reader <- Some me)
+    | Rt.Monitor.Write ->
+        (match s.writer with
+        | Some w when Bags.in_pbag bags w.task ->
+            report ~src:w.step ~sink:step ~addr ~kind:Race.Write_write
+        | _ -> ());
+        (match s.reader with
+        | Some r when Bags.in_pbag bags r.task ->
+            report ~src:r.step ~sink:step ~addr ~kind:Race.Read_write
+        | _ -> ());
+        s.writer <- Some me
+  in
+  let monitor =
+    {
+      Rt.Monitor.on_task_begin =
+        (fun n -> Bags.task_begin bags ~task:n.Sdpst.Node.id);
+      on_task_end = (fun n -> Bags.task_end bags ~task:n.Sdpst.Node.id);
+      on_finish_begin =
+        (fun n -> Bags.finish_begin bags ~finish:n.Sdpst.Node.id);
+      on_finish_end = (fun n -> Bags.finish_end bags ~finish:n.Sdpst.Node.id);
+      on_access;
+    }
+  in
+  let det = { mode = Srw; monitor; races; n_accesses = 0; n_locations = 0 } in
+  det_ref := Some det;
+  det
+
+(* ------------------------------------------------------------------ *)
+(* MRW                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_mrw () : t =
+  let bags = Bags.create () in
+  let shadow : mrw_shadow Rt.Addr.Table.t = Rt.Addr.Table.create 1024 in
+  let races = Tdrutil.Vec.create () in
+  let det_ref = ref None in
+  let lookup addr =
+    match Rt.Addr.Table.find_opt shadow addr with
+    | Some s -> s
+    | None ->
+        let s =
+          { writers = Tdrutil.Vec.create (); readers = Tdrutil.Vec.create () }
+        in
+        Rt.Addr.Table.add shadow addr s;
+        (match !det_ref with
+        | Some det -> det.n_locations <- det.n_locations + 1
+        | None -> ());
+        s
+  in
+  let report ~src ~sink ~addr ~kind =
+    if src.Sdpst.Node.id <> sink.Sdpst.Node.id then
+      Tdrutil.Vec.push races (Race.make ~src ~sink ~addr ~kind)
+  in
+  (* Consecutive accesses by the same step are redundant: they would
+     produce byte-identical race reports. *)
+  let push_unless_last vec (me : access_record) =
+    match Tdrutil.Vec.last vec with
+    | Some r when r.step.Sdpst.Node.id = me.step.Sdpst.Node.id -> ()
+    | _ -> Tdrutil.Vec.push vec me
+  in
+  let on_access ~step addr kind =
+    (match !det_ref with
+    | Some det -> det.n_accesses <- det.n_accesses + 1
+    | None -> ());
+    let s = lookup addr in
+    let task = Bags.current_task bags in
+    let me = { task; step } in
+    match kind with
+    | Rt.Monitor.Read ->
+        Tdrutil.Vec.iter
+          (fun w ->
+            if Bags.in_pbag bags w.task then
+              report ~src:w.step ~sink:step ~addr ~kind:Race.Write_read)
+          s.writers;
+        push_unless_last s.readers me
+    | Rt.Monitor.Write ->
+        Tdrutil.Vec.iter
+          (fun w ->
+            if Bags.in_pbag bags w.task then
+              report ~src:w.step ~sink:step ~addr ~kind:Race.Write_write)
+          s.writers;
+        Tdrutil.Vec.iter
+          (fun r ->
+            if Bags.in_pbag bags r.task then
+              report ~src:r.step ~sink:step ~addr ~kind:Race.Read_write)
+          s.readers;
+        push_unless_last s.writers me
+  in
+  let monitor =
+    {
+      Rt.Monitor.on_task_begin =
+        (fun n -> Bags.task_begin bags ~task:n.Sdpst.Node.id);
+      on_task_end = (fun n -> Bags.task_end bags ~task:n.Sdpst.Node.id);
+      on_finish_begin =
+        (fun n -> Bags.finish_begin bags ~finish:n.Sdpst.Node.id);
+      on_finish_end = (fun n -> Bags.finish_end bags ~finish:n.Sdpst.Node.id);
+      on_access;
+    }
+  in
+  let det = { mode = Mrw; monitor; races; n_accesses = 0; n_locations = 0 } in
+  det_ref := Some det;
+  det
+
+let make = function Srw -> make_srw () | Mrw -> make_mrw ()
+
+(** Run [prog] under a fresh detector; returns the detector (with its
+    recorded races) and the execution result. *)
+let detect ?fuel mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
+  let det = make mode in
+  let res = Rt.Interp.run ?fuel ~monitor:det.monitor prog in
+  (det, res)

@@ -1,0 +1,35 @@
+(** The two ESP-bags race detectors, packaged as {!Rt.Monitor}
+    implementations.
+
+    {b SRW} (Single Reader-Writer) is the original algorithm: one writer
+    and one reader tracked per location, reporting a subset of the races
+    (none iff the input is race-free).  {b MRW} (Multiple Reader-Writer)
+    is the paper's §4.1 modification: all readers and writers are kept, so
+    every potential race for the input is reported in a single run. *)
+
+type mode = Srw | Mrw
+
+val pp_mode : mode Fmt.t
+
+type t = private {
+  mode : mode;
+  monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
+  races : Race.t Tdrutil.Vec.t;
+  mutable n_accesses : int;  (** monitored accesses checked *)
+  mutable n_locations : int;  (** distinct locations touched *)
+}
+
+(** Races recorded so far, in report order. *)
+val races : t -> Race.t list
+
+val race_count : t -> int
+
+(** No race reported? *)
+val clean : t -> bool
+
+(** Fresh detector of the given flavour. *)
+val make : mode -> t
+
+(** Run a program under a fresh detector; returns the detector (with its
+    recorded races) and the execution result. *)
+val detect : ?fuel:int -> mode -> Mhj.Ast.program -> t * Rt.Interp.result

@@ -1,0 +1,59 @@
+(** Data race reports.
+
+    A race connects two step instances of the S-DPST: the {e source} is
+    the access that occurs first in the depth-first traversal, the
+    {e sink} the later one (paper §4.2).  Races are rendered as the dotted
+    edges of the paper's Figure 9. *)
+
+type kind =
+  | Write_read  (** earlier write, later read *)
+  | Read_write  (** earlier read, later write *)
+  | Write_write
+
+let pp_kind ppf = function
+  | Write_read -> Fmt.string ppf "W->R"
+  | Read_write -> Fmt.string ppf "R->W"
+  | Write_write -> Fmt.string ppf "W->W"
+
+type t = {
+  src : Sdpst.Node.t;  (** source step (earlier in depth-first order) *)
+  sink : Sdpst.Node.t;  (** sink step (later in depth-first order) *)
+  addr : Rt.Addr.t;  (** the contended location *)
+  kind : kind;
+}
+
+let make ~src ~sink ~addr ~kind =
+  assert (src.Sdpst.Node.id < sink.Sdpst.Node.id);
+  { src; sink; addr; kind }
+
+let pp ppf r =
+  Fmt.pf ppf "%a race on %a: %a -> %a" pp_kind r.kind Rt.Addr.pp r.addr
+    Sdpst.Node.pp r.src Sdpst.Node.pp r.sink
+
+(** Distinct (source step, sink step) pairs, preserving first-seen order.
+    The placement algorithms only need one edge per step pair. *)
+let dedupe_by_steps (races : t list) : t list =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun r ->
+      let k = (r.src.Sdpst.Node.id, r.sink.Sdpst.Node.id) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    races
+
+(** Distinct static (source stmt, sink stmt) pairs — the count a user sees
+    as "distinct racy statement pairs". *)
+let count_static (races : t list) : int =
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let k =
+        ( (r.src.Sdpst.Node.origin_bid, r.src.Sdpst.Node.origin_idx),
+          (r.sink.Sdpst.Node.origin_bid, r.sink.Sdpst.Node.origin_idx) )
+      in
+      Hashtbl.replace seen k ())
+    races;
+  Hashtbl.length seen

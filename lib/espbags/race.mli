@@ -1,0 +1,29 @@
+(** Data race reports: a race connects the {e source} step (earlier in
+    depth-first order) to the {e sink} step (paper §4.2, the dotted edges
+    of Figure 9). *)
+
+type kind =
+  | Write_read  (** earlier write, later read *)
+  | Read_write  (** earlier read, later write *)
+  | Write_write
+
+val pp_kind : kind Fmt.t
+
+type t = private {
+  src : Sdpst.Node.t;  (** source step *)
+  sink : Sdpst.Node.t;  (** sink step *)
+  addr : Rt.Addr.t;  (** the contended location *)
+  kind : kind;
+}
+
+(** @raise Assert_failure if [src] does not precede [sink]. *)
+val make :
+  src:Sdpst.Node.t -> sink:Sdpst.Node.t -> addr:Rt.Addr.t -> kind:kind -> t
+
+val pp : t Fmt.t
+
+(** Distinct (source step, sink step) pairs, first-seen order. *)
+val dedupe_by_steps : t list -> t list
+
+(** Number of distinct static (source stmt, sink stmt) pairs. *)
+val count_static : t list -> int

@@ -1,0 +1,21 @@
+(** Race trace files: the exchange format between the detector and the
+    analyzer (paper Appendix A).  Line-oriented text identifying race
+    endpoints by S-DPST node ids, which are stable because the depth-first
+    execution is deterministic. *)
+
+val magic : string
+
+exception Parse_error of string * int
+(** message, 1-based line number *)
+
+(** Render races to the trace format. *)
+val to_string : mode:Detector.mode -> Race.t list -> string
+
+(** Parse a trace against the S-DPST of a (re-executed) run of the same
+    program.
+    @raise Parse_error on malformed input or unresolvable ids. *)
+val of_string : Sdpst.Node.tree -> string -> Detector.mode * Race.t list
+
+val save : string -> mode:Detector.mode -> Race.t list -> unit
+
+val load : string -> Sdpst.Node.tree -> Detector.mode * Race.t list

@@ -1,0 +1,194 @@
+(** Abstract syntax for Mini-HJ, the structured task-parallel input language.
+
+    Mini-HJ is the subset of Habanero Java / X10 that the paper targets:
+    a sequential imperative core (ints, floats, bools, multi-dimensional
+    arrays, globals, first-order functions, loops) extended with the two
+    structured-parallelism constructs [async] and [finish].
+
+    Every statement carries a unique statement id ([sid]) and every block a
+    unique block id ([bid]).  The repair tool identifies static program
+    points as (block id, statement index range) pairs, so these ids are the
+    contract between the dynamic analysis (which records them in the S-DPST)
+    and the static finish-placement pass (which rewrites the AST). *)
+
+type ty =
+  | TInt
+  | TFloat
+  | TBool
+  | TUnit
+  | TStr   (** string literals; only valid as an argument to [print] *)
+  | TArr of ty
+
+let rec equal_ty a b =
+  match (a, b) with
+  | TInt, TInt | TFloat, TFloat | TBool, TBool | TUnit, TUnit | TStr, TStr ->
+      true
+  | TArr a, TArr b -> equal_ty a b
+  | _ -> false
+
+let rec pp_ty ppf = function
+  | TInt -> Fmt.string ppf "int"
+  | TFloat -> Fmt.string ppf "float"
+  | TBool -> Fmt.string ppf "bool"
+  | TUnit -> Fmt.string ppf "unit"
+  | TStr -> Fmt.string ppf "str"
+  | TArr t -> Fmt.pf ppf "%a[]" pp_ty t
+
+let string_of_ty t = Fmt.str "%a" pp_ty t
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type unop = Neg | Not
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let string_of_unop = function Neg -> "-" | Not -> "!"
+
+type expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+  | Var of string
+  | Bin of binop * expr * expr
+  | Un of unop * expr
+  | Idx of expr * expr  (** [a[i]] *)
+  | Call of string * expr list  (** user function or builtin *)
+  | NewArr of ty * expr list
+      (** [new t[d1][d2]...]: element type [t] and one expr per dimension *)
+
+(** Whether a local binding may be re-assigned.  As in HJ (where captured
+    variables must be [final]), async bodies may only reference immutable
+    ([val]) outer locals; this is enforced by {!Typecheck}. *)
+type mutability = Mut | Immut
+
+type stmt = { s : stmt_desc; sid : int; sloc : Loc.t }
+
+and stmt_desc =
+  | Decl of mutability * string * ty * expr
+  | Assign of string * expr list * expr
+      (** [x = e] (empty index path) or [a[i]..[j] = e] *)
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of string * expr * expr * expr option * stmt
+      (** [for (i = lo to hi [by step]) s]; bounds inclusive, default step 1 *)
+  | Return of expr option
+  | Async of stmt
+  | Finish of stmt
+  | Block of block
+  | Expr of expr
+
+and block = { bid : int; stmts : stmt list }
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  body : block;
+  floc : Loc.t;
+}
+
+type global = { gname : string; gty : ty; ginit : expr; gloc : Loc.t }
+
+type program = { globals : global list; funcs : func list }
+
+(* ------------------------------------------------------------------ *)
+(* Id supply                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Ids are globally unique across all programs built in one process, so
+   AST rewrites can always mint fresh ids without consulting the program. *)
+let sid_counter = ref 0
+let bid_counter = ref 0
+
+let fresh_sid () =
+  incr sid_counter;
+  !sid_counter
+
+let fresh_bid () =
+  incr bid_counter;
+  !bid_counter
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) s = { s; sid = fresh_sid (); sloc = loc }
+let mk_block stmts = { bid = fresh_bid (); stmts }
+
+(** [finish_of_range stmts] wraps a statement list in a fresh
+    [finish { ... }] statement, as inserted by the repair tool. *)
+let finish_of_range stmts =
+  mk_stmt (Finish (mk_stmt (Block (mk_block stmts))))
+
+(* ------------------------------------------------------------------ *)
+(* Traversal helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** [map_blocks f p] rebuilds [p], applying [f] to every block bottom-up
+    (innermost blocks first).  Statement/block ids of untouched nodes are
+    preserved, which keeps S-DPST static references stable across repair
+    iterations. *)
+let map_blocks (f : block -> block) (p : program) : program =
+  let rec on_stmt st =
+    let s =
+      match st.s with
+      | Decl _ | Assign _ | Return _ | Expr _ -> st.s
+      | If (c, a, b) -> If (c, on_stmt a, Option.map on_stmt b)
+      | While (c, b) -> While (c, on_stmt b)
+      | For (i, lo, hi, by, b) -> For (i, lo, hi, by, on_stmt b)
+      | Async b -> Async (on_stmt b)
+      | Finish b -> Finish (on_stmt b)
+      | Block b -> Block (on_block b)
+    in
+    { st with s }
+  and on_block b = f { b with stmts = List.map on_stmt b.stmts } in
+  { p with funcs = List.map (fun fn -> { fn with body = on_block fn.body }) p.funcs }
+
+(** [iter_stmts f p] applies [f] to every statement in the program, in
+    source order. *)
+let iter_stmts (f : stmt -> unit) (p : program) : unit =
+  let rec on_stmt st =
+    f st;
+    match st.s with
+    | Decl _ | Assign _ | Return _ | Expr _ -> ()
+    | If (_, a, b) ->
+        on_stmt a;
+        Option.iter on_stmt b
+    | While (_, b) -> on_stmt b
+    | For (_, _, _, _, b) -> on_stmt b
+    | Async b | Finish b -> on_stmt b
+    | Block b -> List.iter on_stmt b.stmts
+  in
+  List.iter (fun fn -> List.iter on_stmt fn.body.stmts) p.funcs
+
+(** [find_func p name] returns the function named [name], if any. *)
+let find_func (p : program) (name : string) : func option =
+  List.find_opt (fun f -> f.fname = name) p.funcs
+
+(** Number of [async] statements in the program. *)
+let count_asyncs (p : program) : int =
+  let n = ref 0 in
+  iter_stmts (fun st -> match st.s with Async _ -> incr n | _ -> ()) p;
+  !n
+
+(** Number of [finish] statements in the program. *)
+let count_finishes (p : program) : int =
+  let n = ref 0 in
+  iter_stmts (fun st -> match st.s with Finish _ -> incr n | _ -> ()) p;
+  !n
+
+(** All statement ids in the program, in source order. *)
+let all_sids (p : program) : int list =
+  let acc = ref [] in
+  iter_stmts (fun st -> acc := st.sid :: !acc) p;
+  List.rev !acc

@@ -1,0 +1,46 @@
+(** Builtin functions shared by the type checker and the interpreter.
+
+    Builtins are ordinary call syntax ([name(args)]) resolved before user
+    functions.  [cas] is the one concurrency-aware builtin: it models HJ's
+    atomic/isolated vertex-claiming idiom (used by the Spanning Tree
+    benchmark), and its array accesses are exempt from race detection. *)
+
+open Ast
+
+type signature = {
+  name : string;
+  args : ty list;
+  ret : ty;
+  doc : string;
+}
+
+(* [alen] and [print] are polymorphic and handled specially in
+   {!Typecheck}; they are listed here for documentation and name lookup. *)
+let table : signature list =
+  [
+    { name = "alen"; args = [ TArr TInt ]; ret = TInt;
+      doc = "length of an array (any element type)" };
+    { name = "print"; args = [ TStr ]; ret = TUnit;
+      doc = "print an int/float/bool/string value on its own line" };
+    { name = "work"; args = [ TInt ]; ret = TUnit;
+      doc = "consume n abstract cost units (simulated computation)" };
+    { name = "cas"; args = [ TArr TInt; TInt; TInt; TInt ]; ret = TBool;
+      doc = "atomic compare-and-swap on an int array cell; exempt from race \
+             detection" };
+    { name = "float"; args = [ TInt ]; ret = TFloat;
+      doc = "int to float conversion" };
+    { name = "int"; args = [ TFloat ]; ret = TInt;
+      doc = "float to int conversion (truncation)" };
+    { name = "sqrt"; args = [ TFloat ]; ret = TFloat; doc = "square root" };
+    { name = "sin"; args = [ TFloat ]; ret = TFloat; doc = "sine" };
+    { name = "cos"; args = [ TFloat ]; ret = TFloat; doc = "cosine" };
+    { name = "fabs"; args = [ TFloat ]; ret = TFloat; doc = "absolute value" };
+    { name = "pow"; args = [ TFloat; TFloat ]; ret = TFloat;
+      doc = "exponentiation" };
+    { name = "log"; args = [ TFloat ]; ret = TFloat; doc = "natural log" };
+    { name = "exp"; args = [ TFloat ]; ret = TFloat; doc = "exponential" };
+  ]
+
+let is_builtin name = List.exists (fun s -> s.name = name) table
+
+let find name = List.find_opt (fun s -> s.name = name) table

@@ -1,0 +1,17 @@
+(** Builtin functions shared by the type checker and the interpreter.
+    [alen] and [print] are polymorphic and special-cased in
+    {!Typecheck}; [cas] models HJ's atomic vertex claiming and is exempt
+    from race detection; [work n] charges [n] abstract cost units. *)
+
+type signature = {
+  name : string;
+  args : Ast.ty list;
+  ret : Ast.ty;
+  doc : string;
+}
+
+val table : signature list
+
+val is_builtin : string -> bool
+
+val find : string -> signature option

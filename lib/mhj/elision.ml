@@ -1,0 +1,34 @@
+(** Serial elision: erase all parallel constructs.
+
+    The paper's correctness criterion (Problem 1, condition 4) is that the
+    repaired program must have the same semantics as its serial elision —
+    the program with [async] and [finish] keywords deleted.  This module
+    computes that elision; [test/test_driver.ml] checks observational
+    equivalence between repaired programs and their elisions. *)
+
+open Ast
+
+let rec elide_stmt (st : stmt) : stmt =
+  let s =
+    match st.s with
+    | Async body -> (elide_stmt body).s
+    | Finish body -> (elide_stmt body).s
+    | If (c, a, b) -> If (c, elide_stmt a, Option.map elide_stmt b)
+    | While (c, b) -> While (c, elide_stmt b)
+    | For (i, lo, hi, by, b) -> For (i, lo, hi, by, elide_stmt b)
+    | Block b -> Block { b with stmts = List.map elide_stmt b.stmts }
+    | (Decl _ | Assign _ | Return _ | Expr _) as s -> s
+  in
+  { st with s }
+
+(** [elide p] is [p] with every [async] and [finish] wrapper removed (their
+    bodies are kept in place). *)
+let elide (p : program) : program =
+  {
+    p with
+    funcs =
+      List.map
+        (fun f ->
+          { f with body = { f.body with stmts = List.map elide_stmt f.body.stmts } })
+        p.funcs;
+  }

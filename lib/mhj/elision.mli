@@ -1,0 +1,7 @@
+(** Serial elision (paper Problem 1, condition 4): erase every [async] and
+    [finish] wrapper.  The repaired program must be observationally
+    equivalent to this program. *)
+
+val elide_stmt : Ast.stmt -> Ast.stmt
+
+val elide : Ast.program -> Ast.program

@@ -1,0 +1,16 @@
+(** Convenience front door: parse + type-check in one call. *)
+
+(** [compile src] parses and type-checks a Mini-HJ compilation unit.
+    @raise Lexer.Error | Parser.Error | Typecheck.Error with a located
+    message on ill-formed input. *)
+let compile ?(require_main = true) (src : string) : Ast.program =
+  let p = Parser.parse_program src in
+  Typecheck.check_program ~require_main p;
+  Normalize.normalize p
+
+(** Render a located front-end error to a human-readable string. *)
+let explain_error = function
+  | Lexer.Error (m, l) -> Some (Fmt.str "lexical error at %a: %s" Loc.pp l m)
+  | Parser.Error (m, l) -> Some (Fmt.str "syntax error at %a: %s" Loc.pp l m)
+  | Typecheck.Error (m, l) -> Some (Fmt.str "type error at %a: %s" Loc.pp l m)
+  | _ -> None

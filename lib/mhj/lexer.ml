@@ -1,0 +1,209 @@
+(** Hand-written lexer for Mini-HJ.
+
+    Turns a source string into an array of located tokens.  Comments are
+    [// ... end-of-line] and [/* ... */] (non-nesting), as in HJ/Java. *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let make_cursor src = { src; pos = 0; line = 1; col = 1 }
+
+let loc_of c = Loc.make ~line:c.line ~col:c.col ~offset:c.pos
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let peek2 c =
+  if c.pos + 1 < String.length c.src then Some c.src.[c.pos + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.pos <- c.pos + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+
+let is_ident_start ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+
+let is_ident_char ch = is_ident_start ch || is_digit ch
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_ws c
+  | Some '/' when peek2 c = Some '/' ->
+      while peek c <> None && peek c <> Some '\n' do
+        advance c
+      done;
+      skip_ws c
+  | Some '/' when peek2 c = Some '*' ->
+      let start = loc_of c in
+      advance c;
+      advance c;
+      let rec close () =
+        match peek c with
+        | None -> error start "unterminated comment"
+        | Some '*' when peek2 c = Some '/' ->
+            advance c;
+            advance c
+        | Some _ ->
+            advance c;
+            close ()
+      in
+      close ();
+      skip_ws c
+  | _ -> ()
+
+let lex_number c =
+  let start = c.pos in
+  let loc = loc_of c in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  let is_float =
+    match (peek c, peek2 c) with
+    | Some '.', Some ch when is_digit ch -> true
+    | Some '.', (None | Some _) ->
+        (* trailing dot: treat "1." as a float too *)
+        true
+    | _ -> false
+  in
+  if is_float then begin
+    advance c;
+    while (match peek c with Some ch -> is_digit ch | None -> false) do
+      advance c
+    done;
+    (match peek c with
+    | Some ('e' | 'E') ->
+        advance c;
+        (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+        while (match peek c with Some ch -> is_digit ch | None -> false) do
+          advance c
+        done
+    | _ -> ());
+    let text = String.sub c.src start (c.pos - start) in
+    match float_of_string_opt text with
+    | Some f -> (Token.FLOAT f, loc)
+    | None -> error loc "malformed float literal %S" text
+  end
+  else
+    let text = String.sub c.src start (c.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> (Token.INT n, loc)
+    | None -> error loc "malformed int literal %S" text
+
+let lex_ident c =
+  let start = c.pos in
+  let loc = loc_of c in
+  while (match peek c with Some ch -> is_ident_char ch | None -> false) do
+    advance c
+  done;
+  let text = String.sub c.src start (c.pos - start) in
+  match Token.keyword_of_string text with
+  | Some kw -> (kw, loc)
+  | None -> (Token.IDENT text, loc)
+
+let lex_string c =
+  let loc = loc_of c in
+  advance c;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error loc "unterminated string literal"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance c;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance c;
+            go ()
+        | Some ('"' | '\\') ->
+            Buffer.add_char buf c.src.[c.pos];
+            advance c;
+            go ()
+        | Some ch -> error (loc_of c) "unknown escape '\\%c'" ch
+        | None -> error loc "unterminated string literal")
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        go ()
+  in
+  go ();
+  (Token.STRING (Buffer.contents buf), loc)
+
+let next_token c : Token.t * Loc.t =
+  skip_ws c;
+  let loc = loc_of c in
+  match peek c with
+  | None -> (Token.EOF, loc)
+  | Some ch when is_digit ch -> lex_number c
+  | Some ch when is_ident_start ch -> lex_ident c
+  | Some '"' -> lex_string c
+  | Some ch ->
+      let two tok =
+        advance c;
+        advance c;
+        (tok, loc)
+      in
+      let one tok =
+        advance c;
+        (tok, loc)
+      in
+      let open Token in
+      (match (ch, peek2 c) with
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '=', _ -> one EQ
+      | '!', _ -> one BANG
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | _ -> error loc "unexpected character '%c'" ch)
+
+(** [tokenize src] lexes the whole buffer; the result always ends with a
+    single [EOF] token. *)
+let tokenize (src : string) : (Token.t * Loc.t) array =
+  let c = make_cursor src in
+  let acc = ref [] in
+  let rec go () =
+    let ((tok, _) as t) = next_token c in
+    acc := t :: !acc;
+    if tok <> Token.EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)

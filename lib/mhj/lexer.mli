@@ -1,0 +1,8 @@
+(** Hand-written lexer for Mini-HJ: source text to located tokens.
+    Comments are [// ...] and [/* ... */] (non-nesting). *)
+
+exception Error of string * Loc.t
+
+(** Lex a whole buffer; the result always ends with one [EOF] token.
+    @raise Error on malformed input. *)
+val tokenize : string -> (Token.t * Loc.t) array

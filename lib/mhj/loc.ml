@@ -1,0 +1,24 @@
+(** Source locations for Mini-HJ programs.
+
+    A location is a [line]/[col] pair (both 1-based) plus the absolute
+    character [offset] into the source buffer.  Locations are attached to
+    every token, statement and expression so that diagnostics and the
+    repair report can point back into the original source. *)
+
+type t = { line : int; col : int; offset : int }
+
+let dummy = { line = 0; col = 0; offset = -1 }
+
+let is_dummy t = t.offset < 0
+
+let make ~line ~col ~offset = { line; col; offset }
+
+let compare a b = Int.compare a.offset b.offset
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<generated>"
+  else Fmt.pf ppf "%d:%d" t.line t.col
+
+let to_string t = Fmt.str "%a" pp t

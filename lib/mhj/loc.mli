@@ -1,0 +1,18 @@
+(** Source locations: 1-based [line]/[col] plus absolute [offset]. *)
+
+type t = { line : int; col : int; offset : int }
+
+(** The location of generated (not-from-source) nodes. *)
+val dummy : t
+
+val is_dummy : t -> bool
+
+val make : line:int -> col:int -> offset:int -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+
+val to_string : t -> string

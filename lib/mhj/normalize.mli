@@ -1,0 +1,9 @@
+(** Normalization: wrap every non-block body of [async]/[finish]/branch/
+    loop statements in a block, so every statement lives in exactly one
+    block — the contract of the static finish-placement pass.  Run by
+    {!Front.compile}. *)
+
+val normalize : Ast.program -> Ast.program
+
+(** Does every compound-statement body satisfy the block contract? *)
+val is_normalized : Ast.program -> bool

@@ -1,0 +1,430 @@
+(** Recursive-descent parser for Mini-HJ.
+
+    Grammar (informal):
+    {v
+      program := (global | func)* EOF
+      global  := ("var"|"val") IDENT ":" type "=" expr ";"
+      func    := "def" IDENT "(" [params] ")" [":" type] block
+      type    := ("int"|"float"|"bool"|"unit") ("[" "]")*
+      stmt    := block | decl | if | while | for | return
+               | "async" stmt | "finish" stmt | assign-or-expr ";"
+      for     := "for" "(" IDENT "=" expr "to" expr ["by" expr] ")" stmt
+      forasync := "forasync" "(" ... ")" stmt   (sugar: async per iteration)
+    v} *)
+
+exception Error of string * Loc.t
+
+let error loc fmt = Fmt.kstr (fun m -> raise (Error (m, loc))) fmt
+
+type st = { toks : (Token.t * Loc.t) array; mutable idx : int }
+
+let cur p = fst p.toks.(p.idx)
+let cur_loc p = snd p.toks.(p.idx)
+let advance p = if p.idx < Array.length p.toks - 1 then p.idx <- p.idx + 1
+
+let expect p tok =
+  if cur p = tok then advance p
+  else
+    error (cur_loc p) "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (cur p))
+
+let expect_ident p =
+  match cur p with
+  | Token.IDENT name ->
+      advance p;
+      name
+  | t -> error (cur_loc p) "expected identifier but found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let parse_type p : Ast.ty =
+  let base =
+    match cur p with
+    | Token.KW_INT -> Ast.TInt
+    | Token.KW_FLOAT -> Ast.TFloat
+    | Token.KW_BOOL -> Ast.TBool
+    | Token.KW_UNIT -> Ast.TUnit
+    | t -> error (cur_loc p) "expected a type but found '%s'" (Token.to_string t)
+  in
+  advance p;
+  let ty = ref base in
+  while cur p = Token.LBRACKET && fst p.toks.(p.idx + 1) = Token.RBRACKET do
+    advance p;
+    advance p;
+    ty := Ast.TArr !ty
+  done;
+  !ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr p : Ast.expr = parse_or p
+
+and parse_or p =
+  let lhs = ref (parse_and p) in
+  while cur p = Token.OROR do
+    let loc = cur_loc p in
+    advance p;
+    let rhs = parse_and p in
+    lhs := Ast.mk_expr ~loc (Ast.Bin (Ast.Or, !lhs, rhs))
+  done;
+  !lhs
+
+and parse_and p =
+  let lhs = ref (parse_cmp p) in
+  while cur p = Token.ANDAND do
+    let loc = cur_loc p in
+    advance p;
+    let rhs = parse_cmp p in
+    lhs := Ast.mk_expr ~loc (Ast.Bin (Ast.And, !lhs, rhs))
+  done;
+  !lhs
+
+and parse_cmp p =
+  let lhs = parse_add p in
+  let op =
+    match cur p with
+    | Token.EQEQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Ne
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      let loc = cur_loc p in
+      advance p;
+      let rhs = parse_add p in
+      Ast.mk_expr ~loc (Ast.Bin (op, lhs, rhs))
+
+and parse_add p =
+  let lhs = ref (parse_mul p) in
+  let rec go () =
+    match cur p with
+    | Token.PLUS | Token.MINUS ->
+        let op = if cur p = Token.PLUS then Ast.Add else Ast.Sub in
+        let loc = cur_loc p in
+        advance p;
+        let rhs = parse_mul p in
+        lhs := Ast.mk_expr ~loc (Ast.Bin (op, !lhs, rhs));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_mul p =
+  let lhs = ref (parse_unary p) in
+  let rec go () =
+    match cur p with
+    | Token.STAR | Token.SLASH | Token.PERCENT ->
+        let op =
+          match cur p with
+          | Token.STAR -> Ast.Mul
+          | Token.SLASH -> Ast.Div
+          | _ -> Ast.Mod
+        in
+        let loc = cur_loc p in
+        advance p;
+        let rhs = parse_unary p in
+        lhs := Ast.mk_expr ~loc (Ast.Bin (op, !lhs, rhs));
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_unary p =
+  match cur p with
+  | Token.MINUS ->
+      let loc = cur_loc p in
+      advance p;
+      let e = parse_unary p in
+      Ast.mk_expr ~loc (Ast.Un (Ast.Neg, e))
+  | Token.BANG ->
+      let loc = cur_loc p in
+      advance p;
+      let e = parse_unary p in
+      Ast.mk_expr ~loc (Ast.Un (Ast.Not, e))
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = ref (parse_primary p) in
+  while cur p = Token.LBRACKET do
+    let loc = cur_loc p in
+    advance p;
+    let idx = parse_expr p in
+    expect p Token.RBRACKET;
+    e := Ast.mk_expr ~loc (Ast.Idx (!e, idx))
+  done;
+  !e
+
+and parse_primary p =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.KW_INT | Token.KW_FLOAT when fst p.toks.(p.idx + 1) = Token.LPAREN
+    ->
+      (* conversion builtins share their name with the type keywords *)
+      let name = if cur p = Token.KW_INT then "int" else "float" in
+      advance p;
+      advance p;
+      let arg = parse_expr p in
+      expect p Token.RPAREN;
+      Ast.mk_expr ~loc (Ast.Call (name, [ arg ]))
+  | Token.INT n ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.Int n)
+  | Token.FLOAT f ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.Float f)
+  | Token.STRING s ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.Str s)
+  | Token.KW_TRUE ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.Bool true)
+  | Token.KW_FALSE ->
+      advance p;
+      Ast.mk_expr ~loc (Ast.Bool false)
+  | Token.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Token.RPAREN;
+      e
+  | Token.KW_NEW ->
+      advance p;
+      let base =
+        match cur p with
+        | Token.KW_INT -> Ast.TInt
+        | Token.KW_FLOAT -> Ast.TFloat
+        | Token.KW_BOOL -> Ast.TBool
+        | t ->
+            error (cur_loc p) "expected element type after 'new', found '%s'"
+              (Token.to_string t)
+      in
+      advance p;
+      let dims = ref [] in
+      if cur p <> Token.LBRACKET then
+        error (cur_loc p) "expected '[' after 'new %s'" (Ast.string_of_ty base);
+      while cur p = Token.LBRACKET do
+        advance p;
+        let d = parse_expr p in
+        expect p Token.RBRACKET;
+        dims := d :: !dims
+      done;
+      Ast.mk_expr ~loc (Ast.NewArr (base, List.rev !dims))
+  | Token.IDENT name ->
+      advance p;
+      if cur p = Token.LPAREN then begin
+        advance p;
+        let args = ref [] in
+        if cur p <> Token.RPAREN then begin
+          args := [ parse_expr p ];
+          while cur p = Token.COMMA do
+            advance p;
+            args := parse_expr p :: !args
+          done
+        end;
+        expect p Token.RPAREN;
+        Ast.mk_expr ~loc (Ast.Call (name, List.rev !args))
+      end
+      else Ast.mk_expr ~loc (Ast.Var name)
+  | t -> error loc "expected an expression but found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Decompose an expression parsed on the left of '=' into an assignment
+   target: a variable with a (possibly empty) index path. *)
+let rec lvalue_of_expr (e : Ast.expr) : (string * Ast.expr list) option =
+  match e.e with
+  | Ast.Var x -> Some (x, [])
+  | Ast.Idx (base, idx) -> (
+      match lvalue_of_expr base with
+      | Some (x, path) -> Some (x, path @ [ idx ])
+      | None -> None)
+  | _ -> None
+
+let rec parse_stmt p : Ast.stmt =
+  let loc = cur_loc p in
+  match cur p with
+  | Token.LBRACE -> parse_block_stmt p
+  | Token.KW_VAR | Token.KW_VAL ->
+      let m = if cur p = Token.KW_VAR then Ast.Mut else Ast.Immut in
+      advance p;
+      let name = expect_ident p in
+      expect p Token.COLON;
+      let ty = parse_type p in
+      expect p Token.EQ;
+      let init = parse_expr p in
+      expect p Token.SEMI;
+      Ast.mk_stmt ~loc (Ast.Decl (m, name, ty, init))
+  | Token.KW_IF ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let then_ = parse_stmt p in
+      let else_ =
+        if cur p = Token.KW_ELSE then begin
+          advance p;
+          Some (parse_stmt p)
+        end
+        else None
+      in
+      Ast.mk_stmt ~loc (Ast.If (cond, then_, else_))
+  | Token.KW_WHILE ->
+      advance p;
+      expect p Token.LPAREN;
+      let cond = parse_expr p in
+      expect p Token.RPAREN;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.While (cond, body))
+  | Token.KW_FOR | Token.KW_FORASYNC ->
+      (* forasync (HJ's parallel loop) is sugar: each iteration's body is
+         spawned as an async *)
+      let is_forasync = cur p = Token.KW_FORASYNC in
+      advance p;
+      expect p Token.LPAREN;
+      let iv = expect_ident p in
+      expect p Token.EQ;
+      let lo = parse_expr p in
+      expect p Token.KW_TO;
+      let hi = parse_expr p in
+      let by =
+        if cur p = Token.KW_BY then begin
+          advance p;
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect p Token.RPAREN;
+      let body = parse_stmt p in
+      let body =
+        if not is_forasync then body
+        else
+          Ast.mk_stmt ~loc:body.sloc
+            (Ast.Block
+               (Ast.mk_block [ Ast.mk_stmt ~loc:body.sloc (Ast.Async body) ]))
+      in
+      Ast.mk_stmt ~loc (Ast.For (iv, lo, hi, by, body))
+  | Token.KW_RETURN ->
+      advance p;
+      if cur p = Token.SEMI then begin
+        advance p;
+        Ast.mk_stmt ~loc (Ast.Return None)
+      end
+      else begin
+        let e = parse_expr p in
+        expect p Token.SEMI;
+        Ast.mk_stmt ~loc (Ast.Return (Some e))
+      end
+  | Token.KW_ASYNC ->
+      advance p;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.Async body)
+  | Token.KW_FINISH ->
+      advance p;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.Finish body)
+  | _ ->
+      let e = parse_expr p in
+      if cur p = Token.EQ then begin
+        advance p;
+        let rhs = parse_expr p in
+        expect p Token.SEMI;
+        match lvalue_of_expr e with
+        | Some (x, path) -> Ast.mk_stmt ~loc (Ast.Assign (x, path, rhs))
+        | None -> error loc "left-hand side of '=' is not assignable"
+      end
+      else begin
+        expect p Token.SEMI;
+        Ast.mk_stmt ~loc (Ast.Expr e)
+      end
+
+and parse_block_stmt p : Ast.stmt =
+  let loc = cur_loc p in
+  expect p Token.LBRACE;
+  let stmts = ref [] in
+  while cur p <> Token.RBRACE do
+    if cur p = Token.EOF then error loc "unterminated block";
+    stmts := parse_stmt p :: !stmts
+  done;
+  expect p Token.RBRACE;
+  Ast.mk_stmt ~loc (Ast.Block (Ast.mk_block (List.rev !stmts)))
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_func p : Ast.func =
+  let floc = cur_loc p in
+  expect p Token.KW_DEF;
+  let fname = expect_ident p in
+  expect p Token.LPAREN;
+  let params = ref [] in
+  if cur p <> Token.RPAREN then begin
+    let param () =
+      let name = expect_ident p in
+      expect p Token.COLON;
+      let ty = parse_type p in
+      (name, ty)
+    in
+    params := [ param () ];
+    while cur p = Token.COMMA do
+      advance p;
+      params := param () :: !params
+    done
+  end;
+  expect p Token.RPAREN;
+  let ret =
+    if cur p = Token.COLON then begin
+      advance p;
+      parse_type p
+    end
+    else Ast.TUnit
+  in
+  match (parse_block_stmt p).s with
+  | Ast.Block body -> { Ast.fname; params = List.rev !params; ret; body; floc }
+  | _ -> assert false
+
+let parse_global p : Ast.global =
+  let gloc = cur_loc p in
+  expect p Token.KW_VAR;
+  let gname = expect_ident p in
+  expect p Token.COLON;
+  let gty = parse_type p in
+  expect p Token.EQ;
+  let ginit = parse_expr p in
+  expect p Token.SEMI;
+  { Ast.gname; gty; ginit; gloc }
+
+(** [parse_program src] parses a whole Mini-HJ compilation unit.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+let parse_program (src : string) : Ast.program =
+  let p = { toks = Lexer.tokenize src; idx = 0 } in
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec go () =
+    match cur p with
+    | Token.EOF -> ()
+    | Token.KW_DEF ->
+        funcs := parse_func p :: !funcs;
+        go ()
+    | Token.KW_VAR ->
+        globals := parse_global p :: !globals;
+        go ()
+    | t ->
+        error (cur_loc p) "expected 'def' or 'var' at top level, found '%s'"
+          (Token.to_string t)
+  in
+  go ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for Mini-HJ. *)
+
+exception Error of string * Loc.t
+
+(** Parse a compilation unit (globals and function definitions).  The
+    result is {e not} yet normalized or type-checked; use
+    {!Front.compile} for the full pipeline.
+    @raise Error on syntax errors
+    @raise Lexer.Error on lexical errors *)
+val parse_program : string -> Ast.program

@@ -1,0 +1,87 @@
+(** Declaration-visibility constraint on finish insertion.
+
+    Wrapping statements [lo..hi] of a block in [finish { ... }] moves them
+    into a nested lexical scope, so any [var]/[val] declared in the range
+    becomes invisible to the statements after [hi].  The paper's scope
+    nodes keep a finish {e within} one scope but do not capture this
+    visibility constraint, which matters as soon as the repaired program is
+    re-emitted as source; {!wrap_ok} rejects such ranges so that the DP
+    placement chooses a different (scope-realizable) partition. *)
+
+open Ast
+
+type t = { blocks : (int, stmt array) Hashtbl.t }
+
+let build (p : program) : t =
+  let blocks = Hashtbl.create 64 in
+  let rec on_stmt st =
+    match st.s with
+    | Decl _ | Assign _ | Return _ | Expr _ -> ()
+    | If (_, a, b) ->
+        on_stmt a;
+        Option.iter on_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> on_stmt b
+    | Block b -> on_block b
+  and on_block b =
+    Hashtbl.replace blocks b.bid (Array.of_list b.stmts);
+    List.iter on_stmt b.stmts
+  in
+  List.iter (fun f -> on_block f.body) p.funcs;
+  { blocks }
+
+(* All identifiers referenced by an expression. *)
+let rec expr_names acc (e : expr) =
+  match e.e with
+  | Int _ | Float _ | Bool _ | Str _ -> acc
+  | Var x -> x :: acc
+  | Bin (_, a, b) -> expr_names (expr_names acc a) b
+  | Un (_, a) -> expr_names acc a
+  | Idx (a, i) -> expr_names (expr_names acc a) i
+  | Call (_, args) -> List.fold_left expr_names acc args
+  | NewArr (_, dims) -> List.fold_left expr_names acc dims
+
+(* All identifiers referenced anywhere in a statement (conservative: no
+   shadowing analysis — a shadowed reuse of the name also rejects). *)
+let rec stmt_names acc (st : stmt) =
+  match st.s with
+  | Decl (_, _, _, init) -> expr_names acc init
+  | Assign (x, path, rhs) ->
+      x :: List.fold_left expr_names (expr_names acc rhs) path
+  | If (c, a, b) ->
+      let acc = expr_names acc c in
+      let acc = stmt_names acc a in
+      Option.fold ~none:acc ~some:(stmt_names acc) b
+  | While (c, b) -> stmt_names (expr_names acc c) b
+  | For (_, lo, hi, by, b) ->
+      let acc = expr_names (expr_names acc lo) hi in
+      let acc = Option.fold ~none:acc ~some:(expr_names acc) by in
+      stmt_names acc b
+  | Return None -> acc
+  | Return (Some e) | Expr e -> expr_names acc e
+  | Async b | Finish b -> stmt_names acc b
+  | Block b -> List.fold_left stmt_names acc b.stmts
+
+(** [wrap_ok t ~bid ~lo ~hi] — may statements [lo..hi] of block [bid] be
+    moved into a nested block without breaking a later reference to a
+    declaration made inside the range? *)
+let wrap_ok (t : t) ~bid ~lo ~hi : bool =
+  match Hashtbl.find_opt t.blocks bid with
+  | None -> false
+  | Some stmts ->
+      let n = Array.length stmts in
+      if lo < 0 || hi >= n || lo > hi then false
+      else begin
+        let declared = ref [] in
+        for k = lo to hi do
+          match stmts.(k).s with
+          | Decl (_, x, _, _) -> declared := x :: !declared
+          | _ -> ()
+        done;
+        !declared = []
+        ||
+        let used_after = ref [] in
+        for k = hi + 1 to n - 1 do
+          used_after := stmt_names !used_after stmts.(k)
+        done;
+        not (List.exists (fun x -> List.mem x !used_after) !declared)
+      end

@@ -1,0 +1,14 @@
+(** Declaration-visibility constraint on finish insertion: wrapping
+    statements in a nested [finish { ... }] block must not hide a
+    [var]/[val] declaration from later statements of the block. *)
+
+type t = { blocks : (int, Ast.stmt array) Hashtbl.t }
+(** Block id to statement array, for position-based queries. *)
+
+val build : Ast.program -> t
+
+(** [wrap_ok t ~bid ~lo ~hi] — may statements [lo..hi] of block [bid] be
+    moved into a nested block without breaking a later reference to a
+    declaration made inside the range?  Conservative (no shadowing
+    analysis); [false] for unknown blocks or invalid ranges. *)
+val wrap_ok : t -> bid:int -> lo:int -> hi:int -> bool

@@ -1,0 +1,66 @@
+(** Tokens produced by the Mini-HJ lexer. *)
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  (* keywords *)
+  | KW_DEF | KW_VAR | KW_VAL | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_TO | KW_BY | KW_RETURN | KW_ASYNC | KW_FINISH | KW_FORASYNC
+  | KW_NEW
+  | KW_TRUE | KW_FALSE
+  | KW_INT | KW_FLOAT | KW_BOOL | KW_UNIT
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ          (* = *)
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | EOF
+
+let keyword_of_string = function
+  | "def" -> Some KW_DEF
+  | "var" -> Some KW_VAR
+  | "val" -> Some KW_VAL
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "to" -> Some KW_TO
+  | "by" -> Some KW_BY
+  | "return" -> Some KW_RETURN
+  | "async" -> Some KW_ASYNC
+  | "forasync" -> Some KW_FORASYNC
+  | "finish" -> Some KW_FINISH
+  | "new" -> Some KW_NEW
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "int" -> Some KW_INT
+  | "float" -> Some KW_FLOAT
+  | "bool" -> Some KW_BOOL
+  | "unit" -> Some KW_UNIT
+  | _ -> None
+
+let to_string = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_DEF -> "def" | KW_VAR -> "var" | KW_VAL -> "val" | KW_IF -> "if"
+  | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
+  | KW_TO -> "to" | KW_BY -> "by" | KW_RETURN -> "return"
+  | KW_ASYNC -> "async" | KW_FINISH -> "finish"
+  | KW_FORASYNC -> "forasync" | KW_NEW -> "new"
+  | KW_TRUE -> "true" | KW_FALSE -> "false"
+  | KW_INT -> "int" | KW_FLOAT -> "float" | KW_BOOL -> "bool"
+  | KW_UNIT -> "unit"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "=" | EQEQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">=" | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"

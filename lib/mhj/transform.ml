@@ -1,0 +1,165 @@
+(** AST rewrites used by the repair tool.
+
+    - {!strip_finishes} builds the under-synchronized input programs of the
+      paper's §7.1 evaluation ("we removed all finish statements from the
+      benchmarks");
+    - {!insert_finishes} applies the static finish placements computed by
+      the repair algorithm: each placement wraps a contiguous range of
+      statements of one block in a new [finish] statement. *)
+
+open Ast
+
+(** A static finish placement: wrap statements [lo..hi] (0-based, inclusive)
+    of the block identified by [bid]. *)
+type placement = { bid : int; lo : int; hi : int }
+
+let pp_placement ppf p = Fmt.pf ppf "finish@@block%d[%d..%d]" p.bid p.lo p.hi
+
+let equal_placement a b = a.bid = b.bid && a.lo = b.lo && a.hi = b.hi
+
+(* ------------------------------------------------------------------ *)
+(* Stripping                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec strip_stmt (st : stmt) : stmt =
+  let s =
+    match st.s with
+    | Finish body -> (strip_stmt body).s
+    | Async body -> Async (strip_stmt body)
+    | If (c, a, b) -> If (c, strip_stmt a, Option.map strip_stmt b)
+    | While (c, b) -> While (c, strip_stmt b)
+    | For (i, lo, hi, by, b) -> For (i, lo, hi, by, strip_stmt b)
+    | Block b -> Block { b with stmts = List.map strip_stmt b.stmts }
+    | (Decl _ | Assign _ | Return _ | Expr _) as s -> s
+  in
+  { st with s }
+
+(** Remove every [finish] statement (bodies stay in place).  Statement and
+    block ids of the remaining nodes are preserved. *)
+let strip_finishes (p : program) : program =
+  {
+    p with
+    funcs =
+      List.map
+        (fun f ->
+          { f with body = { f.body with stmts = List.map strip_stmt f.body.stmts } })
+        p.funcs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Finish insertion                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Wrap the given (lo, hi) intervals of a statement list in finish blocks.
+   Intervals must be pairwise nested or disjoint — this mirrors the
+   block-structure of finish and is guaranteed by the DP placement (its
+   FinishSet intervals never cross).  Processes top-level intervals left to
+   right, recursing into each to apply the contained ones. *)
+let rec wrap_intervals (stmts : stmt list) (intervals : (int * int) list) :
+    stmt list =
+  match intervals with
+  | [] -> stmts
+  | _ ->
+      let sorted =
+        List.sort_uniq
+          (fun (a1, b1) (a2, b2) ->
+            if a1 <> a2 then Int.compare a1 a2 else Int.compare b2 b1)
+          intervals
+      in
+      let arr = Array.of_list stmts in
+      let n = Array.length arr in
+      List.iter
+        (fun (lo, hi) ->
+          if lo < 0 || hi >= n || lo > hi then
+            invalid_arg
+              (Fmt.str "wrap_intervals: interval [%d..%d] out of bounds 0..%d"
+                 lo hi (n - 1)))
+        sorted;
+      (* Partition into top-level intervals and their strictly nested
+         children. *)
+      let rec split_top = function
+        | [] -> []
+        | (lo, hi) :: rest ->
+            let children, siblings =
+              List.partition (fun (l, h) -> l >= lo && h <= hi) rest
+            in
+            List.iter
+              (fun (l, h) ->
+                if l <= hi && h > hi then
+                  invalid_arg
+                    (Fmt.str
+                       "wrap_intervals: crossing intervals [%d..%d] and \
+                        [%d..%d]"
+                       lo hi l h))
+              siblings;
+            ((lo, hi), children) :: split_top siblings
+      in
+      let tops = split_top sorted in
+      let out = ref [] in
+      let cursor = ref 0 in
+      List.iter
+        (fun ((lo, hi), children) ->
+          for i = !cursor to lo - 1 do
+            out := arr.(i) :: !out
+          done;
+          let sub = Array.to_list (Array.sub arr lo (hi - lo + 1)) in
+          let children =
+            List.filter
+              (fun (l, h) -> not (l = lo && h = hi))
+              children
+            |> List.map (fun (l, h) -> (l - lo, h - lo))
+          in
+          let wrapped = finish_of_range (wrap_intervals sub children) in
+          out := wrapped :: !out;
+          cursor := hi + 1)
+        tops;
+      for i = !cursor to n - 1 do
+        out := arr.(i) :: !out
+      done;
+      List.rev !out
+
+(** Apply a set of static placements to the program.  Placements targeting
+    the same block may be nested or disjoint but must not cross.
+    @raise Invalid_argument on out-of-range or crossing placements. *)
+let insert_finishes (p : program) (placements : placement list) : program =
+  let by_bid = Hashtbl.create 8 in
+  List.iter
+    (fun pl ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_bid pl.bid) in
+      Hashtbl.replace by_bid pl.bid ((pl.lo, pl.hi) :: cur))
+    placements;
+  map_blocks
+    (fun b ->
+      match Hashtbl.find_opt by_bid b.bid with
+      | None -> b
+      | Some intervals -> { b with stmts = wrap_intervals b.stmts intervals })
+    p
+
+(* ------------------------------------------------------------------ *)
+(* Test-input variation                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** [set_global_int p name v] returns [p] with global [name]'s initializer
+    replaced by the literal [v] — how a test harness varies the program's
+    input without disturbing any statement or block id (so placements
+    computed under one input apply to the program under another).
+    @raise Invalid_argument if there is no int global called [name]. *)
+let set_global_int (p : program) (name : string) (v : int) : program =
+  let found = ref false in
+  let globals =
+    List.map
+      (fun (g : global) ->
+        if g.gname = name then begin
+          if not (equal_ty g.gty TInt) then
+            invalid_arg
+              (Fmt.str "set_global_int: global '%s' has type %s" name
+                 (string_of_ty g.gty));
+          found := true;
+          { g with ginit = mk_expr ~loc:g.ginit.eloc (Int v) }
+        end
+        else g)
+      p.globals
+  in
+  if not !found then
+    invalid_arg (Fmt.str "set_global_int: no global named '%s'" name);
+  { p with globals }

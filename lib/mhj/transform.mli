@@ -1,0 +1,32 @@
+(** AST rewrites used by the repair tool: finish stripping (the paper's
+    §7.1 buggy-program construction) and finish insertion (applying the
+    computed static placements). *)
+
+(** A static finish placement: wrap statements [lo..hi] (0-based,
+    inclusive) of the block identified by [bid]. *)
+type placement = { bid : int; lo : int; hi : int }
+
+val pp_placement : placement Fmt.t
+
+val equal_placement : placement -> placement -> bool
+
+(** Remove every [finish] statement (bodies stay in place); remaining
+    statement/block ids are preserved. *)
+val strip_finishes : Ast.program -> Ast.program
+
+(** Wrap the given statement intervals of a statement list in finish
+    blocks; intervals must be pairwise nested or disjoint.
+    @raise Invalid_argument on crossing or out-of-range intervals. *)
+val wrap_intervals : Ast.stmt list -> (int * int) list -> Ast.stmt list
+
+(** Apply a set of placements.  Placements targeting one block may be
+    nested or disjoint but must not cross.
+    @raise Invalid_argument on out-of-range or crossing placements. *)
+val insert_finishes : Ast.program -> placement list -> Ast.program
+
+(** [set_global_int p name v] replaces global [name]'s initializer with the
+    literal [v] — test-input variation that leaves every statement and
+    block id intact, so placements computed under one input apply to the
+    program under another.
+    @raise Invalid_argument if there is no int global called [name]. *)
+val set_global_int : Ast.program -> string -> int -> Ast.program

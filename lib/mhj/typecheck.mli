@@ -1,0 +1,16 @@
+(** Type checker for Mini-HJ.
+
+    Besides conventional typing, enforces the structured-parallel
+    well-formedness rules the repair algorithms rely on: async bodies may
+    read outer locals only if immutable ([val]) and never assign them (the
+    HJ "captured variables are final" rule, confining shared mutable state
+    to globals and array cells); [return] may not cross an [async]
+    boundary; [for] induction variables are immutable. *)
+
+exception Error of string * Loc.t
+
+(** Check a whole program.
+    @param require_main require a parameterless, unit-returning [main]
+      (default [true]).
+    @raise Error on the first type error. *)
+val check_program : ?require_main:bool -> Ast.program -> unit

@@ -1,0 +1,30 @@
+(** Abstract addresses of shared memory locations.
+
+    Mini-HJ's type system (see {!Mhj.Typecheck}) restricts shared mutable
+    state to globals and array cells, so these are the only locations the
+    race detector monitors. *)
+
+type t =
+  | Global of string  (** a top-level [var] *)
+  | Cell of int * int  (** (array id, index) *)
+
+let equal a b =
+  match (a, b) with
+  | Global x, Global y -> String.equal x y
+  | Cell (a1, i1), Cell (a2, i2) -> a1 = a2 && i1 = i2
+  | _ -> false
+
+let hash = function
+  | Global x -> Hashtbl.hash (0, x)
+  | Cell (a, i) -> Hashtbl.hash (1, a, i)
+
+let pp ppf = function
+  | Global x -> Fmt.string ppf x
+  | Cell (a, i) -> Fmt.pf ppf "arr%d[%d]" a i
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,15 @@
+(** Abstract addresses of monitored shared-memory locations: globals and
+    array cells — the only shared mutable state Mini-HJ's type system
+    admits. *)
+
+type t =
+  | Global of string  (** a top-level [var] *)
+  | Cell of int * int  (** (array id, index) *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : t Fmt.t
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,20 @@
+(** Abstract cost model.
+
+    The dynamic finish-placement algorithm needs an execution time for each
+    step (the paper's [t_i], Figure 3), and the performance evaluation
+    (Figure 16) needs per-step durations for the computation graph.  The
+    paper instruments HJ bytecode to measure step times; we charge
+    deterministic abstract cost units per evaluated construct, which makes
+    every run exactly reproducible.  The [work(n)] builtin charges [n]
+    extra units, so test programs can encode the paper's Figure 3 example
+    with known task durations. *)
+
+let stmt = 1  (** executing one statement *)
+
+let expr_node = 1  (** evaluating one expression node *)
+
+let array_cell_alloc = 1  (** allocating one array cell *)
+
+let call_overhead = 2  (** user-function call/return *)
+
+let builtin_overhead = 1  (** builtin call *)

@@ -1,0 +1,31 @@
+(** Sequential depth-first interpreter for Mini-HJ (the paper's canonical
+    execution): async bodies run to completion at their spawn point while
+    the S-DPST records the parallel structure.  Abstract {!Cost} units are
+    charged to the current step; structural transitions and monitored
+    memory accesses are reported to an optional {!Monitor}. *)
+
+exception Runtime_error of string * Mhj.Loc.t
+
+exception Out_of_fuel
+
+type result = {
+  output : string;  (** everything [print]ed, one line per call *)
+  tree : Sdpst.Node.tree;  (** the S-DPST of the execution *)
+  work : int;  (** total cost units charged (serial execution time) *)
+}
+
+val default_fuel : int
+
+(** Execute a program depth-first from [main].
+
+    @param monitor receives structural and memory-access events
+    @param fuel abort with {!Out_of_fuel} after this many cost units
+    @raise Invalid_argument if the program is not normalized (use
+      {!Mhj.Front.compile}) or has no [main]
+    @raise Runtime_error on dynamic errors (bounds, division by zero, ...)
+*)
+val run : ?monitor:Monitor.t -> ?fuel:int -> Mhj.Ast.program -> result
+
+(** Run the serial elision (all parallel constructs erased) — the
+    reference semantics for repair correctness. *)
+val run_elision : ?fuel:int -> Mhj.Ast.program -> result

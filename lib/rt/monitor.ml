@@ -1,0 +1,59 @@
+(** Instrumentation interface between the interpreter and dynamic
+    analyses.
+
+    The interpreter owns S-DPST construction (it knows the execution
+    structure) and reports every structural transition and monitored memory
+    access to an optional monitor.  The ESP-bags race detectors implement
+    this interface; [task] events carry the S-DPST node standing for the
+    task (async or root) or finish region, and accesses carry the current
+    step node so races can be recorded as step pairs. *)
+
+type access = Read | Write
+
+let pp_access ppf = function
+  | Read -> Fmt.string ppf "read"
+  | Write -> Fmt.string ppf "write"
+
+type t = {
+  on_task_begin : Sdpst.Node.t -> unit;
+      (** an async task (or the root task) starts *)
+  on_task_end : Sdpst.Node.t -> unit;
+  on_finish_begin : Sdpst.Node.t -> unit;
+      (** a finish region (or the implicit root finish) starts *)
+  on_finish_end : Sdpst.Node.t -> unit;
+  on_access : step:Sdpst.Node.t -> Addr.t -> access -> unit;
+}
+
+let nop =
+  {
+    on_task_begin = ignore;
+    on_task_end = ignore;
+    on_finish_begin = ignore;
+    on_finish_end = ignore;
+    on_access = (fun ~step:_ _ _ -> ());
+  }
+
+(** Compose two monitors (events delivered left first). *)
+let both a b =
+  {
+    on_task_begin =
+      (fun n ->
+        a.on_task_begin n;
+        b.on_task_begin n);
+    on_task_end =
+      (fun n ->
+        a.on_task_end n;
+        b.on_task_end n);
+    on_finish_begin =
+      (fun n ->
+        a.on_finish_begin n;
+        b.on_finish_begin n);
+    on_finish_end =
+      (fun n ->
+        a.on_finish_end n;
+        b.on_finish_end n);
+    on_access =
+      (fun ~step addr k ->
+        a.on_access ~step addr k;
+        b.on_access ~step addr k);
+  }

@@ -1,0 +1,24 @@
+(** Instrumentation interface between the interpreter and dynamic
+    analyses: structural transitions (task and finish begin/end, carrying
+    the S-DPST node) and monitored memory accesses (carrying the current
+    step node).  The ESP-bags detectors implement this interface. *)
+
+type access = Read | Write
+
+val pp_access : access Fmt.t
+
+type t = {
+  on_task_begin : Sdpst.Node.t -> unit;
+      (** an async task (or the root task) starts *)
+  on_task_end : Sdpst.Node.t -> unit;
+  on_finish_begin : Sdpst.Node.t -> unit;
+      (** a finish region (or the implicit root finish) starts *)
+  on_finish_end : Sdpst.Node.t -> unit;
+  on_access : step:Sdpst.Node.t -> Addr.t -> access -> unit;
+}
+
+(** The monitor that ignores everything. *)
+val nop : t
+
+(** Compose two monitors (events delivered left first). *)
+val both : t -> t -> t

@@ -1,0 +1,31 @@
+(** Runtime values of the Mini-HJ interpreter. *)
+
+type arr = { aid : int; cells : t array }
+
+and t =
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VStr of string
+  | VUnit
+  | VArr of arr
+
+let pp ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.pf ppf "%.6g" f
+  | VBool b -> Fmt.bool ppf b
+  | VStr s -> Fmt.string ppf s
+  | VUnit -> Fmt.string ppf "()"
+  | VArr a -> Fmt.pf ppf "arr%d(%d cells)" a.aid (Array.length a.cells)
+
+(** Default (zero) value of a scalar type.  Array cells of array type are
+    always filled by multi-dimensional [new] expressions (enforced by the
+    type checker), so [TArr] has no default. *)
+let zero (ty : Mhj.Ast.ty) : t =
+  match ty with
+  | TInt -> VInt 0
+  | TFloat -> VFloat 0.0
+  | TBool -> VBool false
+  | TUnit -> VUnit
+  | TStr -> VStr ""
+  | TArr _ -> invalid_arg "Value.zero: arrays have no default value"

@@ -1,0 +1,18 @@
+(** Runtime values of the Mini-HJ interpreter. *)
+
+type arr = { aid : int; cells : t array }
+(** [aid] identifies the array object for race-detection addresses. *)
+
+and t =
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VStr of string
+  | VUnit
+  | VArr of arr
+
+val pp : t Fmt.t
+
+(** Zero value of a scalar type.
+    @raise Invalid_argument for array types (always allocated by [new]). *)
+val zero : Mhj.Ast.ty -> t

@@ -1,0 +1,109 @@
+(** Timing analysis over the S-DPST.
+
+    Under the ideal (unbounded-processor) execution model of the paper's
+    Definition 1, each node of the S-DPST has:
+
+    - a {e span}: time from the node starting until {e all} work in its
+      subtree has completed (for the root this is the program's critical
+      path length, CPL);
+    - a {e drag}: time from the node starting until control {e passes} it
+      and the next sibling may start — 0 for an async (the parent continues
+      immediately), the full span for a finish (the parent blocks), the
+      step cost for a step, and the sequential composition of its children
+      for a scope.
+
+    These are the [t_i] node weights and [EST] base cases of the paper's
+    Algorithm 1.  [work] is the total step cost, i.e. the execution time of
+    the serial elision. *)
+
+open Node
+
+(* Sequential composition of a node's children: each child starts when the
+   previous child's drag has elapsed; the whole sequence's span is the max
+   over child start + child span.  [memo] caches (span, drag) per node id —
+   without it the mutual span/drag recursion revisits subtrees
+   exponentially often. *)
+let rec span_drag memo n =
+  match Hashtbl.find_opt memo n.id with
+  | Some r -> r
+  | None ->
+      let r =
+        match (n.collapsed, n.kind) with
+        | Some (span, drag), _ ->
+            (span, if n.kind = Async then 0 else drag)
+        | None, Step -> (n.cost, n.cost)
+        | None, (Root | Async | Finish | Scope _) ->
+            let start = ref 0 in
+            let span = ref 0 in
+            Tdrutil.Vec.iter
+              (fun c ->
+                let c_span, c_drag = span_drag memo c in
+                span := max !span (!start + c_span);
+                start := !start + c_drag)
+              n.children;
+            let drag =
+              match n.kind with
+              | Async -> 0
+              | Root | Finish -> !span
+              | _ -> !start
+            in
+            (!span, drag)
+      in
+      Hashtbl.add memo n.id r;
+      r
+
+let span_of n = fst (span_drag (Hashtbl.create 256) n)
+
+let drag_of n = snd (span_drag (Hashtbl.create 256) n)
+
+(** Critical path length of the whole execution (Definition 1). *)
+let critical_path_length tree = span_of tree.root
+
+(** Total work: sum of all step costs (serial-elision execution time). *)
+let work tree =
+  let acc = ref 0 in
+  iter_tree (fun n -> if is_step n then acc := !acc + n.cost) tree;
+  !acc
+
+(** Memoizing span/drag evaluators sharing one cache, for repeated queries
+    against an unchanging tree (the dynamic-placement DP queries spans of
+    many children). *)
+let span_memo () =
+  let tbl = Hashtbl.create 256 in
+  let span n = fst (span_drag tbl n) in
+  let drag n = snd (span_drag tbl n) in
+  (span, drag)
+
+(* ------------------------------------------------------------------ *)
+(* S-DPST pruning (paper §9 future work)                               *)
+(* ------------------------------------------------------------------ *)
+
+(** [prune tree ~keep] collapses every subtree containing no node for which
+    [keep] holds into a single summary step carrying the subtree's span as
+    its cost.  This is the paper's proposed garbage-collection of race-free
+    S-DPST regions: placements computed on the pruned tree are unchanged
+    because collapsed regions contain neither race endpoints nor potential
+    insertion points.  Returns the number of nodes removed. *)
+let prune tree ~keep =
+  let removed = ref 0 in
+  let rec subtree_size n =
+    Tdrutil.Vec.fold (fun acc c -> acc + subtree_size c) 1 n.children
+  in
+  let rec contains_kept n =
+    keep n || Tdrutil.Vec.exists contains_kept n.children
+  in
+  let rec go n =
+    Tdrutil.Vec.iter
+      (fun c ->
+        if (not (is_step c)) && not (contains_kept c) then begin
+          removed := !removed + subtree_size c - 1;
+          let summary = (span_of c, drag_of c) in
+          Tdrutil.Vec.clear c.children;
+          c.collapsed <- Some summary
+        end
+        else go c)
+      n.children
+  in
+  go tree.root;
+  tree.n_nodes <- tree.n_nodes - !removed;
+  !removed

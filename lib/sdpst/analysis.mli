@@ -1,0 +1,31 @@
+(** Timing analysis over the S-DPST under the ideal (unbounded-processor)
+    execution model of the paper's Definition 1.
+
+    Every node has a {e span} (time from its start until all work in its
+    subtree completes) and a {e drag} (time until control passes it): 0
+    for an async, the span for a finish, the cost for a step, the
+    sequential composition of its children for a scope.  These are the
+    [t_i] weights and [EST] base cases of Algorithm 1. *)
+
+(** Span of a subtree.  O(subtree) per call; use {!span_memo} for repeated
+    queries. *)
+val span_of : Node.t -> int
+
+(** Drag of a subtree. *)
+val drag_of : Node.t -> int
+
+(** Critical path length of the whole execution (Definition 1). *)
+val critical_path_length : Node.tree -> int
+
+(** Total work: sum of all step costs (serial-elision execution time). *)
+val work : Node.tree -> int
+
+(** Memoizing (span, drag) evaluators sharing one cache, for repeated
+    queries against an unchanging tree. *)
+val span_memo : unit -> (Node.t -> int) * (Node.t -> int)
+
+(** [prune tree ~keep] collapses every subtree containing no node for
+    which [keep] holds into a [(span, drag)] summary — the paper's §9
+    proposed garbage-collection of race-free S-DPST regions.  Timing
+    queries are preserved; returns the number of nodes removed. *)
+val prune : Node.tree -> keep:(Node.t -> bool) -> int

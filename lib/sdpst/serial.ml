@@ -1,0 +1,186 @@
+(** Textual rendering of an S-DPST, in the style of the paper's Figure 9:
+    each node as [kind:id], indented by tree depth.  Used by the CLI's
+    [--dump-sdpst] option and by structural tests. *)
+
+open Node
+
+let rec pp_node ppf n =
+  Fmt.pf ppf "%s%a" (String.make (2 * n.depth) ' ') pp n;
+  (match n.kind with
+  | Step -> Fmt.pf ppf " cost=%d stmts=[%d..%d]@@b%d" n.cost n.origin_idx
+              n.last_idx n.origin_bid
+  | Root | Async | Finish | Scope _ ->
+      if n.body_bid >= 0 then Fmt.pf ppf " body=b%d" n.body_bid);
+  (match n.collapsed with
+  | Some (span, drag) -> Fmt.pf ppf " collapsed(span=%d,drag=%d)" span drag
+  | None -> ());
+  Tdrutil.Vec.iter (fun c -> Fmt.pf ppf "@\n%a" pp_node c) n.children
+
+let pp_tree ppf tree = pp_node ppf tree.root
+
+let to_string tree = Fmt.str "%a" pp_tree tree
+
+(** One-line structural summary: kinds in preorder with bracketed children,
+    e.g. [finish(step async(step) step)].  Convenient for exact structural
+    assertions in tests. *)
+let skeleton tree =
+  let buf = Buffer.create 256 in
+  let rec go n =
+    Buffer.add_string buf (kind_name n.kind);
+    if not (Tdrutil.Vec.is_empty n.children) then begin
+      Buffer.add_char buf '(';
+      let first = ref true in
+      Tdrutil.Vec.iter
+        (fun c ->
+          if not !first then Buffer.add_char buf ' ';
+          first := false;
+          go c)
+        n.children;
+      Buffer.add_char buf ')'
+    end
+  in
+  go tree.root;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parseable serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string * int
+(** message, 1-based line number *)
+
+let tree_magic = "tdrace-sdpst-v1"
+
+let kind_tag = function
+  | Root -> "R"
+  | Async -> "A"
+  | Finish -> "F"
+  | Scope Sblock -> "B"
+  | Scope (Scall f) -> "C:" ^ f
+  | Step -> "S"
+
+let kind_of_tag ~line = function
+  | "R" -> Root
+  | "A" -> Async
+  | "F" -> Finish
+  | "B" -> Scope Sblock
+  | "S" -> Step
+  | s when String.length s > 2 && String.sub s 0 2 = "C:" ->
+      Scope (Scall (String.sub s 2 (String.length s - 2)))
+  | s -> raise (Parse_error ("unknown node kind tag " ^ s, line))
+
+(** Serialize the whole tree, one node per line in preorder:
+    [id parent_id kind sid origin_bid origin_idx body_bid cost last_idx].
+    Collapsed summaries are written as [!span,drag] appended to the line.
+    The output reconstructs an identical tree via {!tree_of_string}, so
+    the paper's detector-to-analyzer hand-off can be fully offline (no
+    re-execution needed to resolve a race trace). *)
+let tree_to_string (tree : Node.tree) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf tree_magic;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Fmt.str "nodes %d\n" tree.n_nodes);
+  iter_tree
+    (fun n ->
+      let parent = match n.parent with Some p -> p.id | None -> -1 in
+      Buffer.add_string buf
+        (Fmt.str "%d %d %s %d %d %d %d %d %d" n.id parent (kind_tag n.kind)
+           n.sid n.origin_bid n.origin_idx n.body_bid n.cost n.last_idx);
+      (match n.collapsed with
+      | Some (span, drag) -> Buffer.add_string buf (Fmt.str " !%d,%d" span drag)
+      | None -> ());
+      Buffer.add_char buf '\n')
+    tree;
+  Buffer.contents buf
+
+(** Rebuild a tree serialized by {!tree_to_string}.
+    @raise Parse_error on malformed input. *)
+let tree_of_string (s : string) : Node.tree =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | m :: rest when String.trim m = tree_magic ->
+      let by_id : (int, Node.t) Hashtbl.t = Hashtbl.create 1024 in
+      let tree = ref None in
+      List.iteri
+        (fun i line ->
+          let lnum = i + 2 in
+          let line = String.trim line in
+          if line = "" then ()
+          else
+            match String.split_on_char ' ' line with
+            | [ "nodes"; _n ] -> ()
+            | id :: parent :: kind :: rest ->
+                let int ~what v =
+                  match int_of_string_opt v with
+                  | Some n -> n
+                  | None ->
+                      raise
+                        (Parse_error
+                           (Fmt.str "malformed %s field %S" what v, lnum))
+                in
+                let id = int ~what:"id" id in
+                let parent_id = int ~what:"parent" parent in
+                let kind = kind_of_tag ~line:lnum kind in
+                let fields, collapsed =
+                  match List.rev rest with
+                  | last :: rev_rest
+                    when String.length last > 0 && last.[0] = '!' -> (
+                      let body = String.sub last 1 (String.length last - 1) in
+                      match String.split_on_char ',' body with
+                      | [ a; b ] ->
+                          ( List.rev rev_rest,
+                            Some (int ~what:"span" a, int ~what:"drag" b) )
+                      | _ ->
+                          raise
+                            (Parse_error ("malformed collapsed summary", lnum)))
+                  | _ -> (rest, None)
+                in
+                (match fields with
+                | [ sid; obid; oidx; bbid; cost; lidx ] -> (
+                    let sid = int ~what:"sid" sid in
+                    let origin_bid = int ~what:"origin_bid" obid in
+                    let origin_idx = int ~what:"origin_idx" oidx in
+                    let body_bid = int ~what:"body_bid" bbid in
+                    let cost = int ~what:"cost" cost in
+                    let last_idx = int ~what:"last_idx" lidx in
+                    match (kind, parent_id) with
+                    | Root, -1 ->
+                        let t = create_tree ~main_bid:body_bid in
+                        t.root.cost <- cost;
+                        t.root.collapsed <- collapsed;
+                        Hashtbl.replace by_id id t.root;
+                        tree := Some t
+                    | Root, _ ->
+                        raise (Parse_error ("root with a parent", lnum))
+                    | _, _ -> (
+                        match (!tree, Hashtbl.find_opt by_id parent_id) with
+                        | Some t, Some p ->
+                            let n =
+                              new_child t ~parent:p ~kind ~sid ~origin_bid
+                                ~origin_idx ~body_bid ()
+                            in
+                            if n.id <> id then
+                              raise
+                                (Parse_error
+                                   ( Fmt.str
+                                       "node ids must be preorder (%d <> %d)"
+                                       n.id id,
+                                     lnum ));
+                            n.cost <- cost;
+                            n.last_idx <- last_idx;
+                            n.collapsed <- collapsed;
+                            Hashtbl.replace by_id id n
+                        | None, _ ->
+                            raise (Parse_error ("node before root", lnum))
+                        | _, None ->
+                            raise
+                              (Parse_error
+                                 ( Fmt.str "unknown parent id %d" parent_id,
+                                   lnum ))))
+                | _ -> raise (Parse_error ("wrong field count", lnum)))
+            | _ -> raise (Parse_error ("unrecognized line: " ^ line, lnum)))
+        rest;
+      (match !tree with
+      | Some t -> t
+      | None -> raise (Parse_error ("empty tree", 2)))
+  | _ -> raise (Parse_error ("bad magic; not a tdrace S-DPST dump", 1))

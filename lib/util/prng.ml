@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Workload generators and the student-submission generator must be
+    reproducible across runs and platforms, so they use this explicit-state
+    generator rather than [Random]. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  (* mask to a non-negative native int before reducing *)
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))

@@ -1,0 +1,81 @@
+(** Growable arrays (amortized O(1) push).
+
+    OCaml 5.1 predates [Dynarray]; this is the small subset the S-DPST and
+    the detectors need.  Elements are stored densely in [0, length).  No
+    dummy element is required: the backing array starts empty and uses the
+    first pushed element as filler when growing. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t filler =
+  let cap = max 8 (2 * Array.length t.data) in
+  let data = Array.make cap filler in
+  Array.blit t.data 0 data 0 t.len;
+  t.data <- data
+
+let push t x =
+  if t.len = Array.length t.data then grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_list t = List.rev (fold (fun acc x -> x :: acc) [] t)
+
+let of_list xs =
+  let t = create () in
+  List.iter (push t) xs;
+  t
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let find_index p t =
+  let rec go i =
+    if i >= t.len then None else if p t.data.(i) then Some i else go (i + 1)
+  in
+  go 0
+
+(** [replace_range t ~lo ~hi x] replaces the elements in positions
+    [lo..hi] (inclusive) by the single element [x], shifting the suffix
+    left.  Used to splice a new finish node over a range of its siblings. *)
+let replace_range t ~lo ~hi x =
+  if lo < 0 || hi >= t.len || lo > hi then invalid_arg "Vec.replace_range";
+  t.data.(lo) <- x;
+  let tail = t.len - (hi + 1) in
+  Array.blit t.data (hi + 1) t.data (lo + 1) tail;
+  t.len <- lo + 1 + tail
+
+let clear t = t.len <- 0

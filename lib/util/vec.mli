@@ -1,0 +1,41 @@
+(** Growable arrays (amortized O(1) push); the small [Dynarray] subset the
+    S-DPST and detectors need on OCaml 5.1. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+(** @raise Invalid_argument out of bounds *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument out of bounds *)
+val set : 'a t -> int -> 'a -> unit
+
+val last : 'a t -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val find_index : ('a -> bool) -> 'a t -> int option
+
+(** [replace_range t ~lo ~hi x] replaces elements [lo..hi] (inclusive) by
+    the single element [x], shifting the suffix left.
+    @raise Invalid_argument on an invalid range *)
+val replace_range : 'a t -> lo:int -> hi:int -> 'a -> unit
+
+val clear : 'a t -> unit

@@ -1,0 +1,271 @@
+(* Integration tests driving the actual tdrepair binary on the sample
+   programs, the way a user would (paper Appendix A workflow). *)
+
+(* Resolve paths relative to this test executable so the tests work both
+   under `dune runtest` (cwd = _build test dir) and `dune exec` (cwd =
+   workspace root). *)
+let here = Filename.dirname Sys.executable_name
+
+let binary = Filename.concat here "../../bin/tdrepair.exe"
+
+let sample name = Filename.concat here ("../../samples/" ^ name)
+
+(* Run the binary; return (exit code, combined output). *)
+let run_cli args =
+  let out = Filename.temp_file "tdrepair_cli" ".out" in
+  let cmd =
+    Fmt.str "%s %s > %s 2>&1" (Filename.quote binary)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out in
+  let contents =
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Sys.remove out)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (code, contents)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let check_contains what output affix =
+  if not (contains ~affix output) then
+    Alcotest.failf "%s: expected output to contain %S, got:\n%s" what affix
+      output
+
+let test_help () =
+  let code, out = run_cli [ "--help=plain" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "help" out "tdrepair";
+  List.iter (check_contains "help lists command" out)
+    [ "detect"; "repair"; "strip"; "elide"; "coverage"; "grade"; "emit" ]
+
+let test_detect_fib () =
+  let code, out = run_cli [ "detect"; sample "fib_buggy.mhj" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "detect" out "MRW ESP-bags";
+  check_contains "detect" out "race report(s)";
+  check_contains "detect finds W->R" out "W->R"
+
+let test_detect_srw_figure5 () =
+  let code, out =
+    run_cli [ "detect"; sample "figure5.mhj"; "--mode"; "srw" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "srw detect" out "SRW ESP-bags: 2 race report(s)"
+
+let test_repair_roundtrip () =
+  let fixed = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let code, out =
+    run_cli [ "repair"; sample "fib_buggy.mhj"; "-o"; fixed; "-q" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "repair" out "race-free after 1 iteration(s)";
+  (* the emitted program must be clean when re-analyzed *)
+  let code2, out2 = run_cli [ "detect"; fixed ] in
+  Alcotest.(check int) "re-detect exit 0" 0 code2;
+  check_contains "re-detect" out2 "0 race report(s)";
+  (* and still compute fib correctly *)
+  let code3, out3 = run_cli [ "run"; fixed ] in
+  Alcotest.(check int) "run exit 0" 0 code3;
+  check_contains "fib(12)" out3 "144";
+  Sys.remove fixed
+
+let test_repair_incremental () =
+  let code, out =
+    run_cli
+      [ "repair"; sample "pipeline.mhj"; "--strategy"; "incremental"; "-q" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "incremental repair" out "race-free"
+
+let test_repair_report () =
+  let code, out =
+    run_cli [ "repair"; sample "figure5.mhj"; "--report"; "-q" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "report" out "insert finish around";
+  check_contains "report" out "dynamic context(s)"
+
+let test_strip_then_repair () =
+  let stripped = Filename.temp_file "tdrepair_cli" ".mhj" in
+  (* quicksort.mhj has no finishes; fib via emit does *)
+  let code, _ = run_cli [ "emit"; "Fibonacci"; "-o"; stripped ] in
+  Alcotest.(check int) "emit exit 0" 0 code;
+  let stripped2 = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let code2, _ = run_cli [ "strip"; stripped; "-o"; stripped2 ] in
+  Alcotest.(check int) "strip exit 0" 0 code2;
+  let code3, out3 = run_cli [ "detect"; stripped2 ] in
+  Alcotest.(check int) "detect exit 0" 0 code3;
+  check_contains "stripped fib races" out3 "3193 race report(s)";
+  Sys.remove stripped;
+  Sys.remove stripped2
+
+let test_elide () =
+  let code, out = run_cli [ "elide"; sample "fib_buggy.mhj" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  if contains ~affix:"async" out then
+    Alcotest.fail "elision must remove asyncs"
+
+let test_run_metrics () =
+  let code, out = run_cli [ "run"; sample "quicksort.mhj"; "-p"; "4" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "metrics" out "work (T1)";
+  check_contains "metrics" out "critical path (Tinf)";
+  check_contains "metrics" out "simulated T_4"
+
+let test_coverage () =
+  let code, out = run_cli [ "coverage"; sample "fib_buggy.mhj" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "coverage" out "async coverage"
+
+let test_benchmarks_listing () =
+  let code, out = run_cli [ "benchmarks" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter (check_contains "listing" out) [ "Fibonacci"; "Mandelbrot" ]
+
+let test_trace_file () =
+  let trc = Filename.temp_file "tdrepair_cli" ".trc" in
+  let code, out =
+    run_cli [ "detect"; sample "figure5.mhj"; "--trace"; trc ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "trace note" out "trace written";
+  let ic = open_in trc in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove trc;
+  Alcotest.(check string) "trace magic" "tdrace-trace-v1" first
+
+let test_offline_analyze () =
+  let tree = Filename.temp_file "tdrepair_cli" ".tree" in
+  let trc = Filename.temp_file "tdrepair_cli" ".trc" in
+  let code, _ =
+    run_cli
+      [ "detect"; sample "fib_buggy.mhj"; "--trace"; trc; "--dump-tree"; tree ]
+  in
+  Alcotest.(check int) "detect exit 0" 0 code;
+  let code2, out2 =
+    run_cli
+      [ "analyze"; sample "fib_buggy.mhj"; "--tree"; tree; "--trace"; trc;
+        "-q" ]
+  in
+  Alcotest.(check int) "analyze exit 0" 0 code2;
+  check_contains "analyze" out2 "finish statement(s):";
+  check_contains "analyze finds the Fig. 15 placement" out2
+    "insert finish around lines 13-14";
+  Sys.remove tree;
+  Sys.remove trc
+
+let test_set_override () =
+  (* pipeline.mhj has no int globals to vary, so use figure5 with a new
+     global via emit?  Simplest: craft a program on the fly. *)
+  let f = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let oc = open_out f in
+  output_string oc
+    "var n: int = 0;\nvar a: int[] = new int[8];\n\
+     def main() { for (i = 0 to n - 1) { async { a[i] = i; } } var s: int = \
+     0; for (i = 0 to 7) { s = s + a[i]; } print(s); }";
+  close_out oc;
+  let code, out = run_cli [ "detect"; f ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "n=0 sees nothing" out "0 race report(s)";
+  let code2, out2 = run_cli [ "detect"; f; "--set"; "n=4" ] in
+  Alcotest.(check int) "exit 0" 0 code2;
+  check_contains "n=4 races" out2 "4 race report(s)";
+  let code3, out3 = run_cli [ "detect"; f; "--set"; "n=oops" ] in
+  Alcotest.(check bool) "bad value rejected" true (code3 <> 0);
+  ignore out3;
+  Sys.remove f
+
+let test_grade_file () =
+  (* quicksort.mhj is racy by design *)
+  let code, out = run_cli [ "grade-file"; sample "quicksort.mhj" ] in
+  Alcotest.(check int) "racy exit code" 3 code;
+  check_contains "racy verdict" out "RACY";
+  (* a repaired copy grades optimal *)
+  let fixed = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let code2, _ =
+    run_cli [ "repair"; sample "quicksort.mhj"; "-o"; fixed; "-q" ]
+  in
+  Alcotest.(check int) "repair ok" 0 code2;
+  let code3, out3 = run_cli [ "grade-file"; fixed ] in
+  Alcotest.(check int) "optimal exit code" 0 code3;
+  check_contains "optimal verdict" out3 "OPTIMAL";
+  Sys.remove fixed;
+  (* an over-synchronized variant: serialize the recursion *)
+  let oversync = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let oc = open_out oversync in
+  output_string oc
+    {|
+def work_item(a: int[], i: int) { a[i] = i * i; }
+def main() {
+  val a: int[] = new int[16];
+  for (i = 0 to 15) {
+    finish { async { work_item(a, i); } }
+  }
+  var s: int = 0;
+  for (i = 0 to 15) { s = s + a[i]; }
+  print(s);
+}
+|};
+  close_out oc;
+  let code4, out4 = run_cli [ "grade-file"; oversync ] in
+  Alcotest.(check int) "over-synchronized exit code" 4 code4;
+  check_contains "oversync verdict" out4 "OVER-SYNCHRONIZED";
+  Sys.remove oversync
+
+let test_explain () =
+  let code, out = run_cli [ "explain"; sample "figure5.mhj" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "explain" out "S-DPST:";
+  check_contains "explain" out "critical path";
+  check_contains "explain" out "NS-LCA groups:";
+  check_contains "explain" out "suggested repair:"
+
+let test_errors () =
+  let code, out = run_cli [ "detect"; sample "fib_buggy.mhj"; "--mode"; "x" ] in
+  Alcotest.(check bool) "bad mode rejected" true (code <> 0);
+  ignore out;
+  let bad = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let oc = open_out bad in
+  output_string oc "def main() { print(1) }";
+  close_out oc;
+  let code2, out2 = run_cli [ "parse"; bad ] in
+  Sys.remove bad;
+  Alcotest.(check bool) "syntax error -> nonzero exit" true (code2 <> 0);
+  check_contains "error message" out2 "syntax error"
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "help" `Quick test_help;
+          Alcotest.test_case "detect fib" `Quick test_detect_fib;
+          Alcotest.test_case "detect srw figure5" `Quick
+            test_detect_srw_figure5;
+          Alcotest.test_case "repair round-trip" `Quick test_repair_roundtrip;
+          Alcotest.test_case "repair incremental" `Quick
+            test_repair_incremental;
+          Alcotest.test_case "repair report" `Quick test_repair_report;
+          Alcotest.test_case "emit/strip/detect" `Quick test_strip_then_repair;
+          Alcotest.test_case "elide" `Quick test_elide;
+          Alcotest.test_case "run metrics" `Quick test_run_metrics;
+          Alcotest.test_case "coverage" `Quick test_coverage;
+          Alcotest.test_case "benchmark listing" `Quick
+            test_benchmarks_listing;
+          Alcotest.test_case "trace file" `Quick test_trace_file;
+          Alcotest.test_case "offline analyze" `Quick test_offline_analyze;
+          Alcotest.test_case "--set override" `Quick test_set_override;
+          Alcotest.test_case "grade-file" `Quick test_grade_file;
+          Alcotest.test_case "explain" `Quick test_explain;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

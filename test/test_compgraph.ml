@@ -1,0 +1,200 @@
+(* Tests for the computation graph and the greedy scheduling simulator
+   (the substrate behind Figure 16). *)
+
+let run src = Rt.Interp.run (Mhj.Front.compile src)
+
+let graph_of src = Compgraph.Graph.of_sdpst (run src).tree
+
+let test_graph_shape () =
+  let g = graph_of "def main() { print(1); async { print(2); } print(3); }" in
+  (* source + 3 steps + root join = 5 nodes *)
+  Alcotest.(check int) "nodes" 5 (Compgraph.Graph.n_nodes g);
+  Alcotest.(check bool) "edges topological" true
+    (let ok = ref true in
+     for i = 0 to Compgraph.Graph.n_nodes g - 1 do
+       List.iter (fun j -> if j <= i then ok := false) (Compgraph.Graph.succs g i)
+     done;
+     !ok)
+
+let test_metrics_match_sdpst () =
+  List.iter
+    (fun src ->
+      let res = run src in
+      let g = Compgraph.Graph.of_sdpst res.tree in
+      Alcotest.(check int) "work" res.work (Compgraph.Metrics.work g);
+      Alcotest.(check int) "span = CPL"
+        (Sdpst.Analysis.critical_path_length res.tree)
+        (Compgraph.Metrics.span g))
+    [
+      "def main() { work(10); }";
+      "def main() { async { work(5); } work(9); }";
+      "def main() { finish { async { work(5); } async { work(7); } } work(2); }";
+      "def main() { for (i = 0 to 4) { async { work(10); } } }";
+      {|
+def f(n: int) {
+  if (n > 0) {
+    finish { async { f(n - 1); } async { f(n - 1); } }
+    work(3);
+  }
+}
+def main() { f(4); }
+|};
+    ]
+
+let metrics_match_on_random =
+  QCheck.Test.make ~name:"graph span equals S-DPST CPL on random programs"
+    ~count:40
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let res = run src in
+      let g = Compgraph.Graph.of_sdpst res.tree in
+      Compgraph.Metrics.work g = res.work
+      && Compgraph.Metrics.span g
+         = Sdpst.Analysis.critical_path_length res.tree)
+
+let test_schedule_extremes () =
+  let res = run "def main() { for (i = 0 to 9) { async { work(10); } } }" in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  let t1 = Compgraph.Sched.makespan ~procs:1 g in
+  let tinf = Compgraph.Sched.makespan ~procs:10_000 g in
+  Alcotest.(check int) "T_1 = work" (Compgraph.Metrics.work g) t1;
+  Alcotest.(check int) "T_inf = span" (Compgraph.Metrics.span g) tinf
+
+let brent_bound =
+  QCheck.Test.make
+    ~name:"greedy schedule satisfies Brent's bound and monotonicity"
+    ~count:30
+    QCheck.(pair (int_range 0 100000) (int_range 1 16))
+    (fun (seed, procs) ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let res = run src in
+      let g = Compgraph.Graph.of_sdpst res.tree in
+      let work = Compgraph.Metrics.work g in
+      let span = Compgraph.Metrics.span g in
+      let tp = Compgraph.Sched.makespan ~procs g in
+      let tp2 = Compgraph.Sched.makespan ~procs:(2 * procs) g in
+      tp >= span
+      && tp >= (work + procs - 1) / procs
+      && tp <= (work / procs) + span
+      && tp2 <= tp)
+
+let test_sched_stats () =
+  let res =
+    run "def main() { finish { async { work(10); } async { work(10); } } }"
+  in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  let s = Compgraph.Sched.simulate ~procs:2 g in
+  Alcotest.(check int) "busy = work" (Compgraph.Metrics.work g) s.busy;
+  Alcotest.(check bool) "ready queue observed" true (s.max_ready >= 1);
+  Alcotest.check_raises "procs must be positive"
+    (Invalid_argument "Sched.simulate: procs must be positive") (fun () ->
+      ignore (Compgraph.Sched.simulate ~procs:0 g))
+
+let test_pruned_tree_graph () =
+  let res =
+    run "def main() { async { work(100); } finish { async { work(40); } } }"
+  in
+  let span_before = Sdpst.Analysis.critical_path_length res.tree in
+  ignore (Sdpst.Analysis.prune res.tree ~keep:(fun _ -> false));
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  Alcotest.(check int) "span preserved through pruning" span_before
+    (Compgraph.Metrics.span g)
+
+(* ---------------- work-stealing simulation (Steal) ---------------- *)
+
+let test_steal_single_proc_is_serial () =
+  let res = run "def main() { for (i = 0 to 9) { async { work(10); } } }" in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  let s = Compgraph.Steal.simulate ~procs:1 g in
+  Alcotest.(check int) "T_1 = work" (Compgraph.Metrics.work g) s.makespan;
+  Alcotest.(check int) "no steals on one processor" 0 s.steals
+
+let test_steal_policies_complete () =
+  let res =
+    run
+      {|
+def f(n: int) {
+  if (n > 0) {
+    finish { async { f(n - 1); } async { f(n - 1); } }
+    work(3);
+  }
+}
+def main() { f(5); }
+|}
+  in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  let span = Compgraph.Metrics.span g in
+  let work = Compgraph.Metrics.work g in
+  List.iter
+    (fun policy ->
+      let s = Compgraph.Steal.simulate ~procs:4 ~policy g in
+      if s.makespan < span then Alcotest.fail "below span";
+      if s.makespan < (work + 3) / 4 then Alcotest.fail "below work/p";
+      (* stealing costs overhead, but a greedy-ish schedule should stay
+         within work/p + c*span for a small constant *)
+      if s.makespan > (work / 4) + (4 * span) then
+        Alcotest.failf "makespan %d too far above bound" s.makespan)
+    [ Compgraph.Steal.Work_first; Compgraph.Steal.Help_first ]
+
+let test_steal_parallel_graph_steals () =
+  let res = run "def main() { for (i = 0 to 19) { async { work(50); } } }" in
+  let g = Compgraph.Graph.of_sdpst res.tree in
+  let s = Compgraph.Steal.simulate ~procs:4 g in
+  Alcotest.(check bool) "steals happen" true (s.steals > 0);
+  (* 20 x 50 work over 4 procs: makespan close to 250 + overheads *)
+  Alcotest.(check bool)
+    (Fmt.str "nearly balanced (makespan %d)" s.makespan)
+    true
+    (s.makespan < 2 * ((Compgraph.Metrics.work g / 4) + Compgraph.Metrics.span g))
+
+let steal_deterministic =
+  QCheck.Test.make ~name:"steal simulation is deterministic" ~count:20
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let res = run src in
+      let g = Compgraph.Graph.of_sdpst res.tree in
+      Compgraph.Steal.makespan ~procs:3 ~seed:7 g
+      = Compgraph.Steal.makespan ~procs:3 ~seed:7 g)
+
+let steal_respects_span =
+  QCheck.Test.make ~name:"steal makespan >= span, >= work/p" ~count:25
+    QCheck.(pair (int_range 0 100000) (int_range 1 8))
+    (fun (seed, procs) ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let res = run src in
+      let g = Compgraph.Graph.of_sdpst res.tree in
+      let m = Compgraph.Steal.makespan ~procs g in
+      m >= Compgraph.Metrics.span g
+      && m >= Compgraph.Metrics.work g / procs)
+
+let () =
+  Alcotest.run "compgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "shape" `Quick test_graph_shape;
+          Alcotest.test_case "metrics match S-DPST" `Quick
+            test_metrics_match_sdpst;
+          QCheck_alcotest.to_alcotest metrics_match_on_random;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "extremes" `Quick test_schedule_extremes;
+          QCheck_alcotest.to_alcotest brent_bound;
+          Alcotest.test_case "stats" `Quick test_sched_stats;
+          Alcotest.test_case "pruned tree" `Quick test_pruned_tree_graph;
+        ] );
+      ( "work-stealing",
+        [
+          Alcotest.test_case "single proc serial" `Quick
+            test_steal_single_proc_is_serial;
+          Alcotest.test_case "policies complete" `Quick
+            test_steal_policies_complete;
+          Alcotest.test_case "steals happen" `Quick
+            test_steal_parallel_graph_steals;
+          QCheck_alcotest.to_alcotest steal_deterministic;
+          QCheck_alcotest.to_alcotest steal_respects_span;
+        ] );
+    ]

@@ -1,0 +1,128 @@
+(* Multi-input repair (paper §2): a race that only manifests for some
+   inputs is missed by a single unlucky test but caught by the input set;
+   placements merge into one program that is race-free for every input. *)
+
+(* The race in the flag-guarded branch exists only when [mode] is 1;
+   the race in the tail exists only when [count] is large enough to
+   enter the loop. *)
+let src =
+  {|
+var mode: int = 0;
+var count: int = 0;
+var x: int = 0;
+var a: int[] = new int[8];
+
+def main() {
+  if (mode == 1) {
+    async { x = 1; }
+    print(x);
+  }
+  for (i = 0 to count - 1) {
+    async { a[i] = i; }
+  }
+  var s: int = 0;
+  for (i = 0 to 7) { s = s + a[i]; }
+  print(s);
+}
+|}
+
+let races prog =
+  Espbags.Detector.race_count
+    (fst (Espbags.Detector.detect Espbags.Detector.Mrw prog))
+
+let with_input prog overrides =
+  List.fold_left
+    (fun p (g, v) -> Mhj.Transform.set_global_int p g v)
+    prog overrides
+
+let test_single_input_misses () =
+  let prog = Mhj.Front.compile src in
+  (* the weak input exposes no race at all *)
+  let weak = with_input prog [ ("mode", 0); ("count", 0) ] in
+  Alcotest.(check int) "weak input sees nothing" 0 (races weak);
+  let report = Repair.Driver.repair weak in
+  Alcotest.(check int) "so single-input repair inserts nothing" 0
+    (List.length (Repair.Driver.total_placements report));
+  (* but the strong inputs do race *)
+  Alcotest.(check bool) "mode=1 races" true
+    (races (with_input prog [ ("mode", 1) ]) > 0);
+  Alcotest.(check bool) "count=4 races" true
+    (races (with_input prog [ ("count", 4) ]) > 0)
+
+let test_repair_multi () =
+  let prog = Mhj.Front.compile src in
+  let inputs =
+    [
+      ("weak", [ ("mode", 0); ("count", 0) ]);
+      ("branch", [ ("mode", 1); ("count", 0) ]);
+      ("loop", [ ("mode", 0); ("count", 4) ]);
+    ]
+  in
+  let m = Repair.Driver.repair_multi ~inputs prog in
+  Alcotest.(check bool) "all inputs converged" true m.all_converged;
+  (* the final program is race-free under every input *)
+  List.iter
+    (fun (label, overrides) ->
+      Alcotest.(check int)
+        (label ^ " race-free")
+        0
+        (races (with_input m.final overrides)))
+    inputs;
+  (* both conditional races got their finishes *)
+  Alcotest.(check int) "two finishes inserted" 2
+    (Mhj.Ast.count_finishes m.final);
+  (* semantics preserved for each input *)
+  List.iter
+    (fun (_, overrides) ->
+      let ser = Rt.Interp.run_elision (with_input prog overrides) in
+      let rep = Rt.Interp.run (with_input m.final overrides) in
+      Alcotest.(check string) "same output" ser.output rep.output)
+    inputs
+
+let test_multi_coverage () =
+  let prog = Mhj.Front.compile src in
+  (* weak input alone leaves asyncs uncovered; the full set covers all *)
+  let weak_only =
+    Repair.Driver.repair_multi
+      ~inputs:[ ("weak", [ ("mode", 0); ("count", 0) ]) ]
+      prog
+  in
+  Alcotest.(check bool) "weak leaves async coverage gaps" true
+    (Repair.Coverage.async_coverage weak_only.coverage < 1.0);
+  let full =
+    Repair.Driver.repair_multi
+      ~inputs:
+        [
+          ("branch", [ ("mode", 1); ("count", 0) ]);
+          ("loop", [ ("mode", 0); ("count", 8) ]);
+        ]
+      prog
+  in
+  Alcotest.(check int) "full set covers every async"
+    full.coverage.total_asyncs full.coverage.covered_asyncs
+
+let test_set_global_errors () =
+  let prog = Mhj.Front.compile src in
+  Alcotest.(check bool) "unknown global rejected" true
+    (match Mhj.Transform.set_global_int prog "nope" 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let p2 = Mhj.Front.compile "var f: float = 1.0;\ndef main() { print(f); }" in
+  Alcotest.(check bool) "non-int global rejected" true
+    (match Mhj.Transform.set_global_int p2 "f" 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "multi-input",
+        [
+          Alcotest.test_case "single input misses" `Quick
+            test_single_input_misses;
+          Alcotest.test_case "repair_multi fixes all" `Quick test_repair_multi;
+          Alcotest.test_case "combined coverage" `Quick test_multi_coverage;
+          Alcotest.test_case "set_global errors" `Quick
+            test_set_global_errors;
+        ] );
+    ]

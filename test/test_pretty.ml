@@ -1,0 +1,151 @@
+(* Focused tests for the pretty-printer: precedence-faithful expression
+   rendering and statement layout, beyond the round-trip tests in
+   test_mhj.ml. *)
+
+open Mhj
+
+let expr src =
+  let p =
+    Front.compile ~require_main:false
+      (Fmt.str "def f(b1: bool, b2: bool, x: int, g: float): int { return %s; }"
+         src)
+  in
+  match (List.hd p.Ast.funcs).body.stmts with
+  | [ { s = Ast.Return (Some e); _ } ] -> Pretty.expr_to_string e
+  | _ -> Alcotest.fail "unexpected structure"
+
+let bool_expr src =
+  let p =
+    Front.compile ~require_main:false
+      (Fmt.str
+         "def f(b1: bool, b2: bool, x: int, g: float): bool { return %s; }"
+         src)
+  in
+  match (List.hd p.Ast.funcs).body.stmts with
+  | [ { s = Ast.Return (Some e); _ } ] -> Pretty.expr_to_string e
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_precedence_matrix () =
+  let cases =
+    [
+      (* input, canonical output *)
+      ("1 + 2 + 3", "1 + 2 + 3");
+      ("(1 + 2) + 3", "1 + 2 + 3");
+      ("1 + (2 + 3)", "1 + (2 + 3)");
+      ("1 * 2 + 3 * 4", "1 * 2 + 3 * 4");
+      ("(1 + 2) * (3 + 4)", "(1 + 2) * (3 + 4)");
+      ("1 - (2 - 3)", "1 - (2 - 3)");
+      ("100 / 10 / 2", "100 / 10 / 2");
+      ("100 / (10 / 2)", "100 / (10 / 2)");
+      ("x % 7 * 2", "x % 7 * 2");
+      ("-x + 1", "-x + 1");
+      ("-(x + 1)", "-(x + 1)");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (expr input))
+    cases
+
+let test_bool_precedence () =
+  let cases =
+    [
+      ("b1 && b2 || b1", "b1 && b2 || b1");
+      ("b1 && (b2 || b1)", "b1 && (b2 || b1)");
+      ("!(b1 && b2)", "!(b1 && b2)");
+      ("!b1 && b2", "!b1 && b2");
+      ("x + 1 < x * 2", "x + 1 < x * 2");
+      ("(x < 2) == b1", "(x < 2) == b1");
+    ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (bool_expr input))
+    cases
+
+let test_float_literals_reparse () =
+  List.iter
+    (fun f ->
+      let src = Fmt.str "def main() { print(%.17g); }" f in
+      let src = if String.contains src '.' then src else
+          Fmt.str "def main() { print(%.17g.0); }" f in
+      let p = Front.compile src in
+      let printed = Pretty.program_to_string p in
+      match Front.compile printed with
+      | exception e ->
+          Alcotest.failf "float %.17g does not re-parse: %s (%s)" f
+            (Printexc.to_string e) printed
+      | p2 ->
+          let out1 = (Rt.Interp.run p).output in
+          let out2 = (Rt.Interp.run p2).output in
+          Alcotest.(check string) "same printed value" out1 out2)
+    [ 0.0; 1.0; 0.5; 3.14159265358979; 1e10; 1.5e-8; 123456.789 ]
+
+let test_statement_layout () =
+  let p =
+    Front.compile
+      {|
+def main() {
+  val a: int[] = new int[4];
+  for (i = 0 to 3 by 2) {
+    a[i] = i;
+  }
+  if (a[0] == 0) {
+    print(a[0]);
+  }
+  else {
+    print(a[2]);
+  }
+}
+|}
+  in
+  let printed = Pretty.program_to_string p in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (let n = String.length needle and m = String.length printed in
+           let rec go i =
+             i + n <= m && (String.sub printed i n = needle || go (i + 1))
+           in
+           go 0)
+      then Alcotest.failf "missing %S in:\n%s" needle printed)
+    [
+      "for (i = 0 to 3 by 2)";
+      "if (a[0] == 0)";
+      "else";
+      "val a: int[] = new int[4];";
+      "a[i] = i;";
+    ]
+
+let test_multidim_printing () =
+  let p =
+    Front.compile
+      "def main() { val g: float[][] = new float[2][3]; g[1][2] = 1.5; \
+       print(g[1][2]); }"
+  in
+  let printed = Pretty.program_to_string p in
+  let contains needle =
+    let n = String.length needle and m = String.length printed in
+    let rec go i = i + n <= m && (String.sub printed i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "new float[2][3]" true (contains "new float[2][3]");
+  Alcotest.(check bool) "g[1][2] = 1.5;" true (contains "g[1][2] = 1.5;");
+  Alcotest.(check bool) "type float[][]" true (contains "float[][]")
+
+let () =
+  Alcotest.run "pretty"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "precedence matrix" `Quick test_precedence_matrix;
+          Alcotest.test_case "boolean precedence" `Quick test_bool_precedence;
+          Alcotest.test_case "float literals" `Quick test_float_literals_reparse;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "layout" `Quick test_statement_layout;
+          Alcotest.test_case "multi-dimensional" `Quick test_multidim_printing;
+        ] );
+    ]

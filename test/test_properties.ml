@@ -1,0 +1,171 @@
+(* Whole-pipeline property tests over randomly generated async-finish
+   programs (Benchsuite.Progen), checking the paper's Problem 1 contract:
+
+   1. the repaired program has no data races for the input;
+   2. inserted finishes respect lexical scope (the repaired program
+      pretty-prints to something that still compiles);
+   3. semantics equal the serial elision;
+   4. statement order/count is preserved (only finish wrappers added). *)
+
+let compile = Mhj.Front.compile
+
+let generate seed = Benchsuite.Progen.generate ~seed ()
+
+let repaired_is_race_free =
+  QCheck.Test.make ~name:"repair converges to race-freedom" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let report = Repair.Driver.repair prog in
+      report.converged
+      && Espbags.Detector.race_count
+           (fst (Espbags.Detector.detect Espbags.Detector.Mrw report.program))
+         = 0)
+
+let repaired_matches_elision =
+  QCheck.Test.make ~name:"repaired semantics = serial elision" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let report = Repair.Driver.repair prog in
+      let ser = Rt.Interp.run_elision prog in
+      let rep = Rt.Interp.run report.program in
+      ser.output = rep.output)
+
+let repaired_recompiles =
+  QCheck.Test.make ~name:"repaired program re-compiles from source" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let report = Repair.Driver.repair prog in
+      match compile (Mhj.Pretty.program_to_string report.program) with
+      | exception _ -> false
+      | reparsed ->
+          (Rt.Interp.run reparsed).output = (Rt.Interp.run report.program).output)
+
+(* Only finish statements are added: async count identical, and the
+   sequence of non-finish statement kinds in a preorder walk is identical. *)
+let kind_fingerprint prog =
+  let buf = Buffer.create 256 in
+  Mhj.Ast.iter_stmts
+    (fun st ->
+      match st.Mhj.Ast.s with
+      | Mhj.Ast.Finish _ -> ()
+      | Mhj.Ast.Block _ -> ()
+      | Mhj.Ast.Async _ -> Buffer.add_string buf "A;"
+      | Mhj.Ast.Decl (_, x, _, _) -> Buffer.add_string buf ("D" ^ x ^ ";")
+      | Mhj.Ast.Assign (x, _, _) -> Buffer.add_string buf ("=" ^ x ^ ";")
+      | Mhj.Ast.If _ -> Buffer.add_string buf "I;"
+      | Mhj.Ast.While _ -> Buffer.add_string buf "W;"
+      | Mhj.Ast.For _ -> Buffer.add_string buf "F;"
+      | Mhj.Ast.Return _ -> Buffer.add_string buf "R;"
+      | Mhj.Ast.Expr _ -> Buffer.add_string buf "E;")
+    prog;
+  Buffer.contents buf
+
+let statements_preserved =
+  QCheck.Test.make ~name:"repair only adds finish wrappers" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let report = Repair.Driver.repair prog in
+      kind_fingerprint prog = kind_fingerprint report.program
+      && Mhj.Ast.count_asyncs prog = Mhj.Ast.count_asyncs report.program
+      && Mhj.Ast.count_finishes report.program
+         >= Mhj.Ast.count_finishes prog)
+
+(* Pruning race-free subtrees (the paper's §9 memory mitigation) must not
+   degrade the repair: placements computed on the pruned tree may differ
+   slightly in extent (collapsing changes vertex granularity, and a
+   collapsed scope's drag is summarized conservatively), but they must
+   behave like the unpruned pass: leave the same residual race status (a
+   single pass is not always complete — the driver iterates — but pruning
+   must not change whether it is) and land within a few percent of the
+   unpruned placement's critical path. *)
+let prune_preserves_placement_quality =
+  QCheck.Test.make ~name:"S-DPST pruning preserves placement quality"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let det, res = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+      let races = Espbags.Detector.races det in
+      if races = [] then true
+      else begin
+        let _, merged1 = Repair.Driver.place_for_tree ~program:prog races in
+        let endpoints = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Espbags.Race.t) ->
+            Hashtbl.replace endpoints r.src.Sdpst.Node.id ();
+            Hashtbl.replace endpoints r.sink.Sdpst.Node.id ())
+          races;
+        let removed =
+          Sdpst.Analysis.prune res.tree ~keep:(fun n ->
+              Hashtbl.mem endpoints n.Sdpst.Node.id)
+        in
+        let _, merged2 = Repair.Driver.place_for_tree ~program:prog races in
+        let repaired m = Repair.Static_place.apply prog m in
+        let cpl p =
+          Sdpst.Analysis.critical_path_length (Rt.Interp.run p).tree
+        in
+        let clean p =
+          Espbags.Detector.race_count
+            (fst (Espbags.Detector.detect Espbags.Detector.Mrw p))
+          = 0
+        in
+        let p1 = repaired merged1 and p2 = repaired merged2 in
+        let c1 = cpl p1 and c2 = cpl p2 in
+        let close = abs (c1 - c2) <= max 10 (max c1 c2 / 20) in
+        removed >= 0 && clean p1 = clean p2 && close
+      end)
+
+(* Repair is idempotent: repairing a repaired program changes nothing. *)
+let repair_idempotent =
+  QCheck.Test.make ~name:"repair is idempotent" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let once = (Repair.Driver.repair prog).program in
+      let report2 = Repair.Driver.repair once in
+      List.length report2.iterations = 0)
+
+(* Pruning race-free subtrees must not change the placement demanded. *)
+let coverage_sane =
+  QCheck.Test.make ~name:"coverage ratios are within [0,1]" ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let res = Rt.Interp.run prog in
+      let c = Repair.Coverage.of_runs prog [ res.tree ] in
+      let ok r = r >= 0.0 && r <= 1.0 in
+      ok (Repair.Coverage.stmt_coverage c)
+      && ok (Repair.Coverage.async_coverage c)
+      && c.covered_stmts <= c.total_stmts
+      && c.covered_asyncs <= c.total_asyncs)
+
+(* SRW repair agrees with MRW repair on the final race count (both zero),
+   even if it takes more iterations. *)
+let srw_also_converges =
+  QCheck.Test.make ~name:"SRW-driven repair also converges" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      let report = Repair.Driver.repair ~mode:Espbags.Detector.Srw prog in
+      report.converged)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            repaired_is_race_free;
+            repaired_matches_elision;
+            repaired_recompiles;
+            statements_preserved;
+            repair_idempotent;
+            prune_preserves_placement_quality;
+            coverage_sane;
+            srw_also_converges;
+          ] );
+    ]

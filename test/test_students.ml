@@ -1,0 +1,44 @@
+(* The paper's §7.4 student-homework experiment: 59 quicksort submissions
+   classified as 5 racy / 29 over-synchronized / 25 matching the tool. *)
+
+let test_counts () =
+  let summary, _ = Benchsuite.Students.grade_all ~n:48 () in
+  Alcotest.(check int) "racy" 5 summary.racy;
+  Alcotest.(check int) "over-synchronized" 29 summary.oversync;
+  Alcotest.(check int) "optimal" 25 summary.optimal;
+  Alcotest.(check int) "generator labels all confirmed" 0 summary.mismatches
+
+let test_deterministic () =
+  let subs1 = Benchsuite.Students.submissions ~n:48 () in
+  let subs2 = Benchsuite.Students.submissions ~n:48 () in
+  Alcotest.(check int) "59 submissions" 59 (List.length subs1);
+  List.iter2
+    (fun (a : Benchsuite.Students.submission) (b : Benchsuite.Students.submission) ->
+      Alcotest.(check string) "same source" a.src b.src)
+    subs1 subs2
+
+let test_verdict_details () =
+  let _, verdicts = Benchsuite.Students.grade_all ~n:48 () in
+  List.iter
+    (fun (v : Benchsuite.Students.verdict) ->
+      match v.graded with
+      | Benchsuite.Students.Racy ->
+          if v.races = 0 then Alcotest.fail "racy verdict without races"
+      | Benchsuite.Students.Oversync ->
+          if not (v.races = 0 && v.cpl > v.tool_cpl) then
+            Alcotest.fail "oversync verdict inconsistent"
+      | Benchsuite.Students.Optimal ->
+          if not (v.races = 0 && v.cpl <= v.tool_cpl) then
+            Alcotest.fail "optimal verdict inconsistent")
+    verdicts
+
+let () =
+  Alcotest.run "students"
+    [
+      ( "grading",
+        [
+          Alcotest.test_case "paper counts (5/29/25)" `Quick test_counts;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "verdict consistency" `Quick test_verdict_details;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the shared utility library: growable vectors and the
+   deterministic PRNG. *)
+
+let test_vec_push_get () =
+  let v = Tdrutil.Vec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Tdrutil.Vec.is_empty v);
+  for i = 0 to 99 do
+    Tdrutil.Vec.push v (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Tdrutil.Vec.length v);
+  Alcotest.(check int) "get 0" 0 (Tdrutil.Vec.get v 0);
+  Alcotest.(check int) "get 99" (99 * 99) (Tdrutil.Vec.get v 99);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Tdrutil.Vec.get v 100))
+
+let test_vec_set_last () =
+  let v = Tdrutil.Vec.of_list [ 1; 2; 3 ] in
+  Tdrutil.Vec.set v 1 42;
+  Alcotest.(check (list int)) "set" [ 1; 42; 3 ] (Tdrutil.Vec.to_list v);
+  Alcotest.(check (option int)) "last" (Some 3) (Tdrutil.Vec.last v);
+  Alcotest.(check (option int))
+    "last empty" None
+    (Tdrutil.Vec.last (Tdrutil.Vec.create ()))
+
+let test_vec_replace_range () =
+  let v = Tdrutil.Vec.of_list [ 0; 1; 2; 3; 4; 5 ] in
+  Tdrutil.Vec.replace_range v ~lo:1 ~hi:3 99;
+  Alcotest.(check (list int))
+    "middle collapsed" [ 0; 99; 4; 5 ] (Tdrutil.Vec.to_list v);
+  let w = Tdrutil.Vec.of_list [ 7 ] in
+  Tdrutil.Vec.replace_range w ~lo:0 ~hi:0 8;
+  Alcotest.(check (list int)) "singleton" [ 8 ] (Tdrutil.Vec.to_list w)
+
+let test_vec_iter_fold () =
+  let v = Tdrutil.Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Tdrutil.Vec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Tdrutil.Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Alcotest.(check bool) "exists" true (Tdrutil.Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check (option int))
+    "find_index" (Some 2)
+    (Tdrutil.Vec.find_index (fun x -> x = 3) v)
+
+let vec_model =
+  QCheck.Test.make ~name:"Vec.push/to_list agrees with list model" ~count:200
+    QCheck.(small_list small_int)
+    (fun xs ->
+      let v = Tdrutil.Vec.create () in
+      List.iter (Tdrutil.Vec.push v) xs;
+      Tdrutil.Vec.to_list v = xs && Tdrutil.Vec.length v = List.length xs)
+
+let vec_replace_model =
+  QCheck.Test.make
+    ~name:"Vec.replace_range agrees with list splice" ~count:200
+    QCheck.(triple (list_of_size (Gen.int_range 1 20) small_int) small_int small_int)
+    (fun (xs, a, b) ->
+      let n = List.length xs in
+      let lo = abs a mod n in
+      let hi = lo + (abs b mod (n - lo)) in
+      let v = Tdrutil.Vec.of_list xs in
+      Tdrutil.Vec.replace_range v ~lo ~hi (-1);
+      let expected =
+        List.filteri (fun i _ -> i < lo) xs
+        @ [ -1 ]
+        @ List.filteri (fun i _ -> i > hi) xs
+      in
+      Tdrutil.Vec.to_list v = expected)
+
+let test_prng_deterministic () =
+  let a = Tdrutil.Prng.create ~seed:7 in
+  let b = Tdrutil.Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Tdrutil.Prng.int a 1000)
+      (Tdrutil.Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let r = Tdrutil.Prng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let x = Tdrutil.Prng.int r 17 in
+    if x < 0 || x >= 17 then Alcotest.fail "int out of bounds";
+    let f = Tdrutil.Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int") (fun () ->
+      ignore (Tdrutil.Prng.int r 0))
+
+let test_prng_choose () =
+  let r = Tdrutil.Prng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let x = Tdrutil.Prng.choose r [ "a"; "b"; "c" ] in
+    if not (List.mem x [ "a"; "b"; "c" ]) then Alcotest.fail "choose"
+  done
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_vec_push_get;
+          Alcotest.test_case "set/last" `Quick test_vec_set_last;
+          Alcotest.test_case "replace_range" `Quick test_vec_replace_range;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+          QCheck_alcotest.to_alcotest vec_model;
+          QCheck_alcotest.to_alcotest vec_replace_model;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "choose" `Quick test_prng_choose;
+        ] );
+    ]

@@ -18,25 +18,29 @@ let write_file path s =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
 
+module Ec = Repair.Exit_code
+
+(* Every pipeline failure exits through the Exit_code contract with a
+   located Diag printed on stderr (exit_code.mli documents the codes). *)
 let or_die f =
   try f () with
   | e -> (
-      match Mhj.Front.explain_error e with
-      | Some msg ->
-          Fmt.epr "error: %s@." msg;
-          exit 1
-      | None -> (
-          match e with
-          | Rt.Interp.Runtime_error (m, l) ->
-              Fmt.epr "runtime error at %a: %s@." Mhj.Loc.pp l m;
-              exit 1
-          | Rt.Interp.Out_of_fuel ->
-              Fmt.epr "error: execution exceeded its fuel budget@.";
-              exit 1
-          | Repair.Driver.Unrepairable m ->
-              Fmt.epr "unrepairable: %s@." m;
-              exit 1
-          | e -> raise e))
+      let diag =
+        match e with
+        | Repair.Driver.Unrepairable m ->
+            Some (Repair.Diag.make ~stage:Repair.Diag.Place m)
+        | Repair.Faultinject.Injected (fault, msg) ->
+            Some
+              (Repair.Diag.make
+                 ~stage:(Repair.Faultinject.stage_of fault)
+                 msg)
+        | e -> Repair.Diag.of_exn e
+      in
+      match diag with
+      | Some d ->
+          Fmt.epr "%a@." Repair.Diag.pp d;
+          exit (Ec.of_diag d)
+      | None -> raise e)
 
 let compile path = Mhj.Front.compile (read_file path)
 
@@ -49,13 +53,17 @@ let apply_sets prog sets =
           let name = String.sub spec 0 i in
           let v = String.sub spec (i + 1) (String.length spec - i - 1) in
           match int_of_string_opt v with
-          | Some v -> Mhj.Transform.set_global_int p name v
+          | Some v -> (
+              try Mhj.Transform.set_global_int p name v
+              with Invalid_argument m ->
+                Fmt.epr "error: --set %s: %s@." spec m;
+                exit Ec.input_error)
           | None ->
               Fmt.epr "error: --set %s: %S is not an integer@." spec v;
-              exit 1)
+              exit Ec.input_error)
       | None ->
           Fmt.epr "error: --set expects NAME=INT, got %S@." spec;
-          exit 1)
+          exit Ec.input_error)
     prog sets
 
 (* ---------------------------- arguments ---------------------------- *)
@@ -90,6 +98,42 @@ let output_arg =
     value
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write the result to $(docv).")
+
+let budgets_term =
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-fuel" ] ~docv:"N"
+          ~doc:
+            "Interpreter budget: abort any execution after $(docv) cost \
+             units (exit code 4).")
+  in
+  let sdpst =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-sdpst" ] ~docv:"N"
+          ~doc:
+            "S-DPST budget: when a detection run's tree exceeds $(docv) \
+             nodes, collapse race-free regions before placement.  The \
+             repair still converges; the degradation is recorded in the \
+             report and by exit code 4.")
+  in
+  let dp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-dp" ] ~docv:"N"
+          ~doc:
+            "Placement-DP budget in work units (~cube of the dependence \
+             graph size).  Affordable groups get the exact DP; exhausted \
+             groups degrade to per-edge interval covers (exit code 4).")
+  in
+  let mk fuel sdpst_nodes dp_work =
+    { Repair.Guard.fuel; sdpst_nodes; dp_work }
+  in
+  Term.(const mk $ fuel $ sdpst $ dp)
 
 (* ---------------------------- commands ----------------------------- *)
 
@@ -244,23 +288,28 @@ let analyze_cmd =
     Term.(const run $ file_arg $ tree_path $ trace_path $ output_arg $ quiet)
 
 let repair_cmd =
-  let run file mode strategy sets output report_flag quiet =
+  let run file mode strategy sets budgets output report_flag quiet =
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
-        let report = Repair.Driver.repair ~mode ~strategy prog in
+        let report = Repair.Driver.repair ~mode ~strategy ~budgets prog in
         if report_flag then Fmt.pr "%a" Repair.Report.pp (prog, report)
-        else
+        else begin
           Fmt.pr "%s after %d iteration(s); %d finish statement(s) inserted@."
             (if report.converged then "race-free" else "NOT converged")
             (List.length report.iterations)
             (List.length (Repair.Driver.total_placements report));
+          List.iter
+            (fun d -> Fmt.pr "degraded: %a@." Repair.Guard.pp_degradation d)
+            report.degradations
+        end;
         let src = Mhj.Pretty.program_to_string report.program in
         (match output with
         | Some path ->
             write_file path src;
             Fmt.pr "repaired program written to %s@." path
         | None -> if not quiet then print_string src);
-        if not report.converged then exit 2)
+        if not report.converged then exit Ec.not_converged;
+        if report.degradations <> [] then exit Ec.degraded)
   in
   let report_flag =
     Arg.(
@@ -287,10 +336,13 @@ let repair_cmd =
     (Cmd.info "repair"
        ~doc:
          "Iteratively insert finish statements until the program is \
-          race-free for its input (the paper's core tool).")
+          race-free for its input (the paper's core tool).  Exit codes: 0 \
+          repaired at full fidelity, 2 not converged, 3 invalid input, 4 \
+          repaired but degraded by a $(b,--budget-*) limit, 5 \
+          unrepairable.")
     Term.(
-      const run $ file_arg $ mode_arg $ strategy $ set_arg $ output_arg
-      $ report_flag $ quiet)
+      const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
+      $ output_arg $ report_flag $ quiet)
 
 let strip_cmd =
   let run file output =
@@ -376,7 +428,7 @@ let grade_file_cmd =
             races
             (Fmt.option Espbags.Race.pp)
             (List.nth_opt (Espbags.Detector.races det) 0);
-          exit 3
+          exit Ec.grade_racy
         end
         else begin
           (* race-free: compare available parallelism against what the tool
@@ -391,7 +443,7 @@ let grade_file_cmd =
               "verdict: OVER-SYNCHRONIZED — race-free, but critical path %d                vs the tool's %d (%.2fx less parallelism)@."
               submitted reference
               (float_of_int submitted /. float_of_int reference);
-            exit 4
+            exit Ec.grade_oversync
           end
           else
             Fmt.pr
@@ -486,7 +538,7 @@ let emit_cmd =
         match Benchsuite.Suite.find name with
         | None ->
             Fmt.epr "unknown benchmark %S; try 'tdrepair benchmarks'@." name;
-            exit 1
+            exit Ec.input_error
         | Some b ->
             let src =
               match which with

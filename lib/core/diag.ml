@@ -1,0 +1,74 @@
+(** Typed diagnostics for the repair pipeline (see diag.mli). *)
+
+type severity = Error | Warning | Info
+
+type stage = Parse | Typecheck | Interp | Detect | Place | Insert | Budget
+
+type t = {
+  severity : severity;
+  stage : stage;
+  loc : Mhj.Loc.t option;
+  message : string;
+}
+
+exception Fail of t
+
+let make ?(severity = Error) ?loc ~stage message =
+  { severity; stage; loc; message }
+
+let failf ?loc ~stage fmt =
+  Fmt.kstr (fun message -> raise (Fail (make ?loc ~stage message))) fmt
+
+let internal ~stage message =
+  make ~stage ("internal error (please report): " ^ message)
+
+let pp_severity ppf s =
+  Fmt.string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Info -> "info")
+
+let pp_stage ppf s =
+  Fmt.string ppf
+    (match s with
+    | Parse -> "parse"
+    | Typecheck -> "typecheck"
+    | Interp -> "interp"
+    | Detect -> "detect"
+    | Place -> "place"
+    | Insert -> "insert"
+    | Budget -> "budget")
+
+let pp ppf d =
+  match d.loc with
+  | Some l when not (Mhj.Loc.is_dummy l) ->
+      Fmt.pf ppf "%a[%a] at %a: %s" pp_severity d.severity pp_stage d.stage
+        Mhj.Loc.pp l d.message
+  | _ ->
+      Fmt.pf ppf "%a[%a]: %s" pp_severity d.severity pp_stage d.stage
+        d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let of_exn = function
+  | Fail d -> Some d
+  | Mhj.Lexer.Error (m, l) -> Some (make ~loc:l ~stage:Parse m)
+  | Mhj.Parser.Error (m, l) -> Some (make ~loc:l ~stage:Parse m)
+  | Mhj.Typecheck.Error (m, l) -> Some (make ~loc:l ~stage:Typecheck m)
+  | Rt.Interp.Runtime_error (m, l) -> Some (make ~loc:l ~stage:Interp m)
+  | Rt.Interp.Out_of_fuel ->
+      Some
+        (make ~stage:Budget
+           "execution exceeded its fuel budget (raise --budget-fuel, or \
+            check the program for non-termination)")
+  | Dp_place.Unsatisfiable (i, j) ->
+      Some
+        (make ~stage:Place
+           (Fmt.str
+              "no scope-valid finish placement resolves the dependences of \
+               vertices %d..%d"
+              i j))
+  | _ -> None
+
+let is_input_error d =
+  match d.stage with
+  | Parse | Typecheck | Interp -> true
+  | Detect | Place | Insert | Budget -> false

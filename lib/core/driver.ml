@@ -7,7 +7,14 @@
     dynamic finishes to static program locations; merge and insert them.
     Iterate until a detection run reports no races (with SRW, at least one
     extra confirmation run is always needed; with MRW, one repair iteration
-    suffices unless placements interact — paper §7.3). *)
+    suffices unless placements interact — paper §7.3).
+
+    Robustness: every stage runs inside {!Guard.at_stage}, so raw
+    [Invalid_argument]/[Failure] escapes become typed {!Diag.t}
+    diagnostics; resource budgets ({!Guard.budgets}) bound the interpreter,
+    the S-DPST and the placement DP, each with a graceful degradation path
+    recorded in the report; {!Faultinject} hooks let the test-suite fail
+    any stage deterministically. *)
 
 let src = Logs.Src.create "tdrace.driver" ~doc:"test-driven repair driver"
 
@@ -19,7 +26,8 @@ type group_result = {
   n_edges : int;
   dp_cost : int;  (** optimal block completion time found by the DP *)
   fell_back : bool;
-      (** the DP was unsatisfiable and per-edge minimal covers were used *)
+      (** the DP was bypassed (unsatisfiable or over budget) and per-edge
+          minimal covers were used *)
   insertions : Valid.insertion list;
 }
 
@@ -40,6 +48,9 @@ type report = {
   iterations : iteration list;
   converged : bool;  (** final detection run found no races *)
   final_races : int;  (** races remaining (0 when converged) *)
+  degradations : Guard.degradation list;
+      (** budget degradations that fired, in order; empty means the repair
+          ran at full fidelity *)
 }
 
 exception Unrepairable of string
@@ -101,33 +112,86 @@ let per_edge_fallback (g : Depgraph.t)
   in
   all g.edges
 
-(* Solve one NS-LCA group: dependence graph, DP, insertion mapping, with
-   the per-edge fallback when the DP is unsatisfiable. *)
-let solve_group ~wrap_ok ~span (lca : Sdpst.Node.t)
+(* DP work estimate for an n-vertex dependence graph: the interval DP does
+   O(n^3) cell updates.  Saturating, so budgets compare safely. *)
+let dp_work_of n = if n >= 100_000 then max_int / 2 else n * n * n
+
+let no_placement lca =
+  Unrepairable
+    (Fmt.str
+       "no scope-valid finish placement can separate the races at NS-LCA %a"
+       Sdpst.Node.pp lca)
+
+(* Solve one NS-LCA group.  Fidelity chain, highest affordable tier first
+   (DESIGN.md "Robustness & failure modes"):
+   - with no DP budget: the coalesced DP, exactly as always;
+   - with a budget: the exact uncoalesced DP when its ~n_raw^3 work fits,
+     else the coalesced DP when ~n^3 fits, else per-edge minimal interval
+     covers (recorded as a degradation);
+   - a DP that proves Unsatisfiable falls back to per-edge covers at any
+     tier (also recorded). *)
+let solve_group ~guard ~wrap_ok ~span (lca : Sdpst.Node.t)
     (group : Espbags.Race.t list) : group_result =
+  if Faultinject.enabled Faultinject.Place_unsat then
+    raise
+      (Unrepairable
+         (Fmt.str "injected fault: unsatisfiable placement at NS-LCA %a"
+            Sdpst.Node.pp lca));
   let g = Depgraph.build ~span lca group in
   let valid, insertion = Valid.make_checker ~wrap_ok g in
-  let finishes, dp_cost, fell_back =
-    match Dp_place.solve ~valid g with
-    | { cost; finishes } -> (finishes, cost, false)
-    | exception Dp_place.Unsatisfiable _ -> (
+  let cover_with g' insertion' =
+    match per_edge_fallback g' insertion' with
+    | Some ivs -> (g', insertion', ivs, -1, true)
+    | None -> raise (no_placement lca)
+  in
+  let solve_on g' valid' insertion' =
+    match Dp_place.solve ~valid:valid' g' with
+    | { cost; finishes } -> (g', insertion', finishes, cost, false)
+    | exception Dp_place.Unsatisfiable _ ->
         Log.warn (fun m ->
             m "DP unsatisfiable at NS-LCA %a; falling back to per-edge covers"
               Sdpst.Node.pp lca);
-        match per_edge_fallback g insertion with
-        | Some ivs -> (ivs, -1, true)
-        | None ->
-            raise
-              (Unrepairable
-                 (Fmt.str
-                    "no scope-valid finish placement can separate the races \
-                     at NS-LCA %a"
-                    Sdpst.Node.pp lca)))
+        Guard.note guard
+          (Guard.Dp_unsat_fallback { lca_id = lca.Sdpst.Node.id });
+        cover_with g' insertion'
+  in
+  let n = Depgraph.n_vertices g in
+  let g_used, insertion_used, finishes, dp_cost, fell_back =
+    if
+      Faultinject.enabled Faultinject.Dp_timeout
+      || not (Guard.dp_affordable guard (dp_work_of n))
+    then begin
+      Log.warn (fun m ->
+          m "DP work budget exhausted at NS-LCA %a; using per-edge covers"
+            Sdpst.Node.pp lca);
+      Guard.note guard
+        (Guard.Dp_interval_cover { lca_id = lca.Sdpst.Node.id });
+      cover_with g insertion
+    end
+    else begin
+      let budgeted = (Guard.budgets guard).Guard.dp_work <> None in
+      let full_work = dp_work_of g.Depgraph.n_raw in
+      if
+        budgeted && g.Depgraph.n_raw > n
+        && Guard.dp_affordable guard full_work
+      then begin
+        (* A budget is set and generous enough for the paper's exact
+           uncoalesced DP on this group: buy the extra fidelity. *)
+        Guard.dp_charge guard full_work;
+        let g_full = Depgraph.build ~coalesce:false ~span lca group in
+        let valid_full, insertion_full = Valid.make_checker ~wrap_ok g_full in
+        solve_on g_full valid_full insertion_full
+      end
+      else begin
+        Guard.dp_charge guard (dp_work_of n);
+        solve_on g valid insertion
+      end
+    end
   in
   let insertions =
     List.map
       (fun (s, e) ->
-        match insertion ~i:s ~j:e with
+        match insertion_used ~i:s ~j:e with
         | Some ins -> ins
         | None ->
             (* solve only returns intervals it validated *)
@@ -136,8 +200,8 @@ let solve_group ~wrap_ok ~span (lca : Sdpst.Node.t)
   in
   {
     lca_id = lca.Sdpst.Node.id;
-    n_vertices = Depgraph.n_vertices g;
-    n_edges = Depgraph.n_edges g;
+    n_vertices = Depgraph.n_vertices g_used;
+    n_edges = Depgraph.n_edges g_used;
     dp_cost;
     fell_back;
     insertions;
@@ -147,15 +211,18 @@ let solve_group ~wrap_ok ~span (lca : Sdpst.Node.t)
     (one detector run), without touching the program.  This is the
     "Dynamic Finish Placement" + location-mapping half of the pipeline;
     trace-file workflows drive it directly. *)
-let place_for_tree ~(program : Mhj.Ast.program) (races : Espbags.Race.t list)
-    : group_result list * Static_place.merged =
+let place_for_tree ?(guard = Guard.make Guard.unlimited)
+    ~(program : Mhj.Ast.program) (races : Espbags.Race.t list) :
+    group_result list * Static_place.merged =
   let races = Espbags.Race.dedupe_by_steps races in
   let span, _drag = Sdpst.Analysis.span_memo () in
   let scopes = Mhj.Scopecheck.build program in
   let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
   let groups = group_races races in
   let results =
-    List.map (fun (lca, group) -> solve_group ~wrap_ok ~span lca group) groups
+    List.map
+      (fun (lca, group) -> solve_group ~guard ~wrap_ok ~span lca group)
+      groups
   in
   let demands =
     List.concat_map
@@ -172,9 +239,10 @@ let place_for_tree ~(program : Mhj.Ast.program) (races : Espbags.Race.t list)
     races that finish resolves — re-checked with Theorem 1 on the updated
     tree (step e) — and regroups the remainder, whose NS-LCAs may have
     changed (step f).  Mutates [tree]. *)
-let place_incremental ~(program : Mhj.Ast.program)
-    (tree : Sdpst.Node.tree) (races : Espbags.Race.t list) :
-    group_result list * Static_place.merged =
+let place_incremental ?(guard = Guard.make Guard.unlimited)
+    ~(program : Mhj.Ast.program) (tree : Sdpst.Node.tree)
+    (races : Espbags.Race.t list) : group_result list * Static_place.merged
+    =
   let scopes = Mhj.Scopecheck.build program in
   let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
   let results = ref [] in
@@ -188,7 +256,7 @@ let place_incremental ~(program : Mhj.Ast.program)
     (* spans change as finish nodes are spliced in: fresh memo per round *)
     let span, _ = Sdpst.Analysis.span_memo () in
     let lca, group = List.hd (group_races !remaining) in
-    let r = solve_group ~wrap_ok ~span lca group in
+    let r = solve_group ~guard ~wrap_ok ~span lca group in
     (match r.insertions with
     | [] ->
         (* cannot happen: a non-empty group always demands a finish *)
@@ -216,6 +284,39 @@ let place_incremental ~(program : Mhj.Ast.program)
 
 let default_max_iterations = 10
 
+let is_unrepairable = function Unrepairable _ -> true | _ -> false
+
+(* S-DPST node budget: when the detection run's tree exceeds the budget,
+   collapse every race-free region with {!Sdpst.Analysis.prune} — the
+   paper's §9 garbage collection, placement-preserving because collapsed
+   regions contain neither race endpoints nor needed insertion points —
+   and continue on the pruned tree. *)
+let enforce_sdpst_budget ~guard (tree : Sdpst.Node.tree)
+    (races : Espbags.Race.t list) : unit =
+  match (Guard.budgets guard).Guard.sdpst_nodes with
+  | Some cap when tree.Sdpst.Node.n_nodes > cap ->
+      let keep_ids = Hashtbl.create (2 * List.length races) in
+      List.iter
+        (fun (r : Espbags.Race.t) ->
+          Hashtbl.replace keep_ids r.src.Sdpst.Node.id ();
+          Hashtbl.replace keep_ids r.sink.Sdpst.Node.id ())
+        races;
+      let nodes_before = tree.Sdpst.Node.n_nodes in
+      let removed =
+        Sdpst.Analysis.prune tree ~keep:(fun n ->
+            Hashtbl.mem keep_ids n.Sdpst.Node.id)
+      in
+      if removed > 0 then begin
+        Log.warn (fun m ->
+            m
+              "S-DPST node budget (%d) exceeded: pruned %d of %d node(s) \
+               before placement"
+              cap removed nodes_before);
+        Guard.note guard
+          (Guard.Sdpst_pruned { nodes_before; nodes_removed = removed })
+      end
+  | _ -> ()
+
 (** Repair [prog]: iterate detection and placement until race-free.
 
     @param mode detector flavour (default {!Espbags.Detector.Mrw})
@@ -228,13 +329,24 @@ let default_max_iterations = 10
       iteration on large race sets.
     @param max_iterations safety bound on repair iterations (default 10)
     @param fuel interpreter fuel per run
-    @raise Unrepairable if some race admits no scope-valid fix *)
+    @param budgets resource budgets (default {!Guard.unlimited}); on
+      exhaustion the repair degrades gracefully and records how in
+      [degradations]
+    @raise Unrepairable if some race admits no scope-valid fix
+    @raise Diag.Fail on typed pipeline failures (see {!repair_checked} for
+      the total variant) *)
 let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
     ?(max_iterations = default_max_iterations) ?fuel
-    (prog : Mhj.Ast.program) : report =
+    ?(budgets = Guard.unlimited) (prog : Mhj.Ast.program) : report =
+  let guard = Guard.make budgets in
+  let fuel = Guard.effective_fuel guard fuel in
   let rec loop program iterations remaining =
     let t0 = Unix.gettimeofday () in
-    let det, res = Espbags.Detector.detect ?fuel mode program in
+    Faultinject.fire Faultinject.Detector_abort;
+    let det, res =
+      Guard.at_stage Diag.Detect (fun () ->
+          Espbags.Detector.detect ?fuel mode program)
+    in
     let detect_time = Unix.gettimeofday () -. t0 in
     let races = Espbags.Detector.races det in
     if races = [] then
@@ -244,6 +356,7 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         iterations = List.rev iterations;
         converged = true;
         final_races = 0;
+        degradations = Guard.degradations guard;
       }
     else if remaining = 0 then
       {
@@ -252,16 +365,23 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         iterations = List.rev iterations;
         converged = false;
         final_races = List.length races;
+        degradations = Guard.degradations guard;
       }
     else begin
       let t1 = Unix.gettimeofday () in
+      enforce_sdpst_budget ~guard res.Rt.Interp.tree races;
       let groups, merged =
-        match strategy with
-        | `Batch -> place_for_tree ~program races
-        | `Incremental ->
-            place_incremental ~program res.Rt.Interp.tree races
+        Guard.at_stage ~passthrough:is_unrepairable Diag.Place (fun () ->
+            match strategy with
+            | `Batch -> place_for_tree ~guard ~program races
+            | `Incremental ->
+                place_incremental ~guard ~program res.Rt.Interp.tree races)
       in
-      let program' = Static_place.apply program merged in
+      Faultinject.fire Faultinject.Insert_fail;
+      let program' =
+        Guard.at_stage Diag.Insert (fun () ->
+            Static_place.apply program merged)
+      in
       let place_time = Unix.gettimeofday () -. t1 in
       let iter =
         {
@@ -285,6 +405,19 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
   in
   loop prog [] max_iterations
 
+let classify_unrepairable = function
+  | Unrepairable m -> Some (Diag.make ~stage:Diag.Place m)
+  | _ -> None
+
+(** Total repair: every failure mode — malformed input, runtime faults of
+    the analyzed program, fuel exhaustion, placement infeasibility,
+    injected faults, internal invariant violations — comes back as a typed
+    diagnostic instead of an exception. *)
+let repair_checked ?mode ?strategy ?max_iterations ?fuel ?budgets prog :
+    (report, Diag.t) result =
+  Guard.capture ~classify:classify_unrepairable (fun () ->
+      repair ?mode ?strategy ?max_iterations ?fuel ?budgets prog)
+
 (** Total placements inserted across all iterations. *)
 let total_placements (r : report) : Mhj.Transform.placement list =
   List.concat_map (fun it -> it.merged.Static_place.placements) r.iterations
@@ -295,33 +428,57 @@ let total_placements (r : report) : Mhj.Transform.placement list =
 (* ------------------------------------------------------------------ *)
 
 type multi_report = {
-  final : Mhj.Ast.program;  (** repaired for every input *)
-  per_input : (string * report) list;  (** input label -> last repair run *)
-  all_converged : bool;
-  coverage : Coverage.t;  (** combined coverage of all inputs *)
+  final : Mhj.Ast.program;  (** repaired for every processable input *)
+  per_input : (string * report) list;
+      (** input label -> last successful repair run *)
+  failures : (string * Diag.t) list;
+      (** inputs whose repair failed or exhausted its budget; the
+          remaining inputs are still processed *)
+  all_converged : bool;  (** every input converged and none failed *)
+  coverage : Coverage.t;  (** combined coverage of the executable inputs *)
 }
 
 (** Repair one program under several test inputs, each given as a set of
     int-global overrides ({!Mhj.Transform.set_global_int}).  Placements
     computed under any input are applied to the base program (statement
     and block ids are shared), and the loop continues until every input's
-    execution is race-free.  Also reports the combined statement/async
+    execution is race-free.  An input that fails (parse/runtime fault,
+    budget exhaustion, unrepairable race) is recorded in [failures] and
+    does not stop the others.  Also reports the combined statement/async
     coverage of the input set — the paper's §9 test-suitability metric. *)
 let repair_multi ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
-    ?(max_rounds = 10) ?fuel
+    ?(max_rounds = 10) ?fuel ?(budgets = Guard.unlimited)
     ~(inputs : (string * (string * int) list) list)
     (prog : Mhj.Ast.program) : multi_report =
   let apply_input program overrides =
     List.fold_left
-      (fun p (g, v) -> Mhj.Transform.set_global_int p g v)
+      (fun p (g, v) ->
+        try Mhj.Transform.set_global_int p g v
+        with Invalid_argument m ->
+          raise (Diag.Fail (Diag.make ~stage:Diag.Typecheck m)))
       program overrides
   in
   let rec loop program round =
-    let reports =
+    let outcomes =
       List.map
         (fun (label, overrides) ->
-          (label, repair ~mode ~strategy ?fuel (apply_input program overrides)))
+          ( label,
+            Guard.capture ~classify:classify_unrepairable (fun () ->
+                repair ~mode ~strategy ?fuel ~budgets
+                  (apply_input program overrides)) ))
         inputs
+    in
+    let reports =
+      List.filter_map
+        (fun (label, o) ->
+          match o with Ok r -> Some (label, r) | Error _ -> None)
+        outcomes
+    in
+    let failures =
+      List.filter_map
+        (fun (label, o) ->
+          match o with Error d -> Some (label, d) | Ok _ -> None)
+        outcomes
     in
     (* Collect the placements every input demanded and re-apply them to
        the shared base program.  Placements from a repair run's second or
@@ -343,17 +500,27 @@ let repair_multi ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
     let merged = Static_place.merge ~scopes demands in
     let placements = merged.Static_place.placements in
     if placements = [] || round >= max_rounds then begin
+      let cov_fuel = Guard.effective_fuel (Guard.make budgets) fuel in
       let trees =
-        List.map
+        List.filter_map
           (fun (_, overrides) ->
-            (Rt.Interp.run ?fuel (apply_input program overrides)).tree)
+            match
+              Guard.capture (fun () ->
+                  (Rt.Interp.run ?fuel:cov_fuel
+                     (apply_input program overrides))
+                    .tree)
+            with
+            | Ok tree -> Some tree
+            | Error _ -> None)
           inputs
       in
       {
         final = program;
         per_input = reports;
+        failures;
         all_converged =
-          List.for_all (fun ((_, r) : _ * report) -> r.converged) reports
+          failures = []
+          && List.for_all (fun ((_, r) : _ * report) -> r.converged) reports
           && placements = [];
         coverage = Coverage.of_runs program trees;
       }

@@ -1,6 +1,14 @@
 (** The test-driven repair driver (paper Figure 6 and §6.1): iterate
     detection, dynamic finish placement, and static insertion until the
-    program is race-free for its input. *)
+    program is race-free for its input.
+
+    Failure handling: every stage runs behind {!Guard.at_stage}, so
+    pipeline failures surface as typed {!Diag.t} diagnostics (via
+    {!Diag.Fail}) rather than raw [Failure]/[Invalid_argument] escapes;
+    {!repair_checked} is the total entry point.  Resource budgets
+    ({!Guard.budgets}) bound the interpreter, the S-DPST and the placement
+    DP; exhaustion degrades gracefully (prune / interval covers) and is
+    recorded in the report's [degradations]. *)
 
 type group_result = {
   lca_id : int;  (** S-DPST node id of the NS-LCA *)
@@ -8,7 +16,8 @@ type group_result = {
   n_edges : int;
   dp_cost : int;  (** optimal block completion time found by the DP *)
   fell_back : bool;
-      (** the DP was unsatisfiable and per-edge minimal covers were used *)
+      (** the DP was bypassed (unsatisfiable or over budget) and per-edge
+          minimal covers were used *)
   insertions : Valid.insertion list;
 }
 
@@ -29,6 +38,9 @@ type report = {
   iterations : iteration list;
   converged : bool;  (** the final detection run found no races *)
   final_races : int;  (** races remaining (0 when converged) *)
+  degradations : Guard.degradation list;
+      (** budget degradations that fired, in order; empty means the repair
+          ran at full fidelity *)
 }
 
 exception Unrepairable of string
@@ -36,8 +48,10 @@ exception Unrepairable of string
 
 (** One placement pass: the dynamic placement + location mapping for the
     races of a single detector run, without touching the program.
-    Trace-file workflows (paper Appendix A) drive this directly. *)
+    Trace-file workflows (paper Appendix A) drive this directly.
+    [guard] supplies DP budgets (default unlimited). *)
 val place_for_tree :
+  ?guard:Guard.t ->
   program:Mhj.Ast.program ->
   Espbags.Race.t list ->
   group_result list * Static_place.merged
@@ -48,6 +62,7 @@ val place_for_tree :
     regroup the remainder, whose NS-LCAs may have changed (step f).
     Mutates the tree. *)
 val place_incremental :
+  ?guard:Guard.t ->
   program:Mhj.Ast.program ->
   Sdpst.Node.tree ->
   Espbags.Race.t list ->
@@ -63,14 +78,32 @@ val default_max_iterations : int
       loop.  Both converge; [`Batch] does less work on large race sets.
     @param max_iterations safety bound (default 10)
     @param fuel interpreter fuel per run
-    @raise Unrepairable if some race admits no scope-valid fix *)
+    @param budgets resource budgets (default {!Guard.unlimited}); on
+      exhaustion the repair degrades gracefully and records how in the
+      report's [degradations]
+    @raise Unrepairable if some race admits no scope-valid fix
+    @raise Diag.Fail on typed pipeline failures *)
 val repair :
   ?mode:Espbags.Detector.mode ->
   ?strategy:[ `Batch | `Incremental ] ->
   ?max_iterations:int ->
   ?fuel:int ->
+  ?budgets:Guard.budgets ->
   Mhj.Ast.program ->
   report
+
+(** Total variant of {!repair}: every failure mode — malformed input,
+    runtime faults of the analyzed program, fuel exhaustion, placement
+    infeasibility, injected faults, internal invariant violations — comes
+    back as a typed diagnostic instead of an exception. *)
+val repair_checked :
+  ?mode:Espbags.Detector.mode ->
+  ?strategy:[ `Batch | `Incremental ] ->
+  ?max_iterations:int ->
+  ?fuel:int ->
+  ?budgets:Guard.budgets ->
+  Mhj.Ast.program ->
+  (report, Diag.t) result
 
 (** All placements inserted across the report's iterations. *)
 val total_placements : report -> Mhj.Transform.placement list
@@ -78,23 +111,29 @@ val total_placements : report -> Mhj.Transform.placement list
 (** Multi-input repair (paper §2: "the tool is applied iteratively for
     different test inputs"). *)
 type multi_report = {
-  final : Mhj.Ast.program;  (** repaired for every input *)
+  final : Mhj.Ast.program;  (** repaired for every processable input *)
   per_input : (string * report) list;  (** input label -> last repair run *)
-  all_converged : bool;
-  coverage : Coverage.t;  (** combined coverage of all inputs *)
+  failures : (string * Diag.t) list;
+      (** inputs whose repair failed or exhausted its budget; the
+          remaining inputs are still processed *)
+  all_converged : bool;  (** every input converged and none failed *)
+  coverage : Coverage.t;  (** combined coverage of the executable inputs *)
 }
 
 (** Repair one program under several test inputs, each a labelled set of
     int-global overrides ({!Mhj.Transform.set_global_int}).  Placements
     demanded under any input are merged into the shared base program;
     rounds continue until every input's execution is race-free (or
-    [max_rounds]).  The result includes the combined coverage of the input
-    set — the paper's §9 test-suitability metric. *)
+    [max_rounds]).  An input that fails — malformed override, runtime
+    fault, budget exhaustion, unrepairable race — lands in [failures]
+    without stopping the other inputs.  The result includes the combined
+    coverage of the input set — the paper's §9 test-suitability metric. *)
 val repair_multi :
   ?mode:Espbags.Detector.mode ->
   ?strategy:[ `Batch | `Incremental ] ->
   ?max_rounds:int ->
   ?fuel:int ->
+  ?budgets:Guard.budgets ->
   inputs:(string * (string * int) list) list ->
   Mhj.Ast.program ->
   multi_report

@@ -1,0 +1,46 @@
+(** Deterministic fault injection (see faultinject.mli). *)
+
+type fault =
+  | Interp_trap of int
+  | Detector_abort
+  | Dp_timeout
+  | Place_unsat
+  | Insert_fail
+
+exception Injected of fault * string
+
+let plan : fault list ref = ref []
+
+let with_faults faults f =
+  let saved = !plan in
+  plan := faults;
+  Fun.protect ~finally:(fun () -> plan := saved) f
+
+let enabled fault = List.mem fault !plan
+
+let fuel_cap () =
+  List.fold_left
+    (fun acc f ->
+      match (f, acc) with
+      | Interp_trap k, None -> Some k
+      | Interp_trap k, Some k' -> Some (min k k')
+      | _ -> acc)
+    None !plan
+
+let pp_fault ppf = function
+  | Interp_trap k -> Fmt.pf ppf "interpreter trap at %d cost units" k
+  | Detector_abort -> Fmt.string ppf "detector abort"
+  | Dp_timeout -> Fmt.string ppf "DP placement timeout"
+  | Place_unsat -> Fmt.string ppf "unsatisfiable placement"
+  | Insert_fail -> Fmt.string ppf "static insertion failure"
+
+let stage_of = function
+  | Interp_trap _ -> Diag.Budget
+  | Detector_abort -> Diag.Detect
+  | Dp_timeout -> Diag.Budget
+  | Place_unsat -> Diag.Place
+  | Insert_fail -> Diag.Insert
+
+let fire fault =
+  if enabled fault then
+    raise (Injected (fault, Fmt.str "injected fault: %a" pp_fault fault))

@@ -1,0 +1,45 @@
+(** Deterministic fault injection for the repair pipeline.
+
+    Tests install a {e plan} — a set of faults — around a driver call;
+    the driver consults the plan at its stage boundaries and fails exactly
+    where the plan says.  This is how the robustness test-suite proves the
+    driver never leaks an uncaught exception: every fault below maps to a
+    typed {!Diag.t} at the boundary where it fires.
+
+    The plan is a process-global (the test executables are sequential);
+    {!with_faults} restores the previous plan on exit, including on
+    exceptions. *)
+
+type fault =
+  | Interp_trap of int
+      (** cap the interpreter's fuel at this many cost units, trapping
+          execution deterministically at that point *)
+  | Detector_abort  (** abort at the start of the detection stage *)
+  | Dp_timeout
+      (** every DP placement behaves as if its work budget were exhausted,
+          forcing the degradation chain *)
+  | Place_unsat
+      (** every placement group behaves as if no scope-valid finish
+          placement existed *)
+  | Insert_fail  (** abort at the static-insertion boundary *)
+
+exception Injected of fault * string
+(** Raised by {!fire} when its fault is enabled.  {!Guard.capture}
+    converts it into a {!Diag.t} at the owning stage. *)
+
+(** Run [f] with [faults] enabled, restoring the previous plan after. *)
+val with_faults : fault list -> (unit -> 'a) -> 'a
+
+(** Is this exact fault in the active plan? *)
+val enabled : fault -> bool
+
+(** The fuel cap demanded by an active [Interp_trap], if any. *)
+val fuel_cap : unit -> int option
+
+(** Raise {!Injected} if [fault] is enabled; a no-op otherwise. *)
+val fire : fault -> unit
+
+(** The pipeline stage a fault belongs to, for diagnostic conversion. *)
+val stage_of : fault -> Diag.stage
+
+val pp_fault : fault Fmt.t

@@ -70,6 +70,12 @@ let pp ppf ((original, r) : Mhj.Ast.program * Driver.report) =
     (if r.converged then "race-free" else
        Fmt.str "NOT converged (%d race(s) remain)" r.final_races)
     (List.length r.iterations);
-  List.iteri (fun i it -> pp_iteration scopes ppf (i, it)) r.iterations
+  List.iteri (fun i it -> pp_iteration scopes ppf (i, it)) r.iterations;
+  if r.degradations <> [] then begin
+    Fmt.pf ppf "degraded: budget limits changed how this repair ran:@\n";
+    List.iter
+      (fun d -> Fmt.pf ppf "  - %a@\n" Guard.pp_degradation d)
+      r.degradations
+  end
 
 let to_string original r = Fmt.str "%a" pp (original, r)

@@ -315,7 +315,10 @@ and exec_body st (body : Ast.stmt) : unit =
      its statements run directly under the async/finish node. *)
   match body.s with
   | Ast.Block b -> in_frame st (fun () -> exec_stmts st b.stmts)
-  | _ -> invalid_arg "Interp: program not normalized (async/finish body)"
+  | _ ->
+      error body.sloc
+        "program not normalized (async/finish body); compile with \
+         Front.compile"
 
 and exec_stmt st (stmt : Ast.stmt) : unit =
   (* Structural statements are not charged to the current step: the charge
@@ -407,7 +410,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
               Fun.protect
                 ~finally:(fun () -> st.monitor.Monitor.on_task_end node)
                 (fun () -> exec_body st body))
-      | _ -> invalid_arg "Interp: program not normalized (async)")
+      | _ ->
+          error stmt.sloc
+            "program not normalized (async); compile with Front.compile")
   | Finish body -> (
       match body.s with
       | Ast.Block b ->
@@ -417,7 +422,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
               Fun.protect
                 ~finally:(fun () -> st.monitor.Monitor.on_finish_end node)
                 (fun () -> exec_body st body))
-      | _ -> invalid_arg "Interp: program not normalized (finish)")
+      | _ ->
+          error stmt.sloc
+            "program not normalized (finish); compile with Front.compile")
   | Block b ->
       in_structural st ~kind:(Sdpst.Node.Scope Sdpst.Node.Sblock) ~sid:stmt.sid
         ~body_bid:b.bid (fun _node ->
@@ -429,7 +436,10 @@ and exec_scope_body st (body : Ast.stmt) : unit =
      statement creates the scope node. *)
   match body.s with
   | Ast.Block _ -> exec_stmt st body
-  | _ -> invalid_arg "Interp: program not normalized (branch/loop body)"
+  | _ ->
+      error body.sloc
+        "program not normalized (branch/loop body); compile with \
+         Front.compile"
 
 and exec_for_iteration st iv i body =
   match body.s with
@@ -443,7 +453,9 @@ and exec_for_iteration st iv i body =
           in_frame st (fun () ->
               declare_local st iv (Value.VInt i);
               exec_stmts st b.stmts))
-  | _ -> invalid_arg "Interp: program not normalized (for body)"
+  | _ ->
+      error body.sloc
+        "program not normalized (for body); compile with Front.compile"
 
 (* ------------------------------------------------------------------ *)
 (* Whole-program execution                                             *)
@@ -462,11 +474,11 @@ let default_fuel = 200_000_000
 let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
     result =
   if not (Normalize.is_normalized prog) then
-    invalid_arg "Interp.run: program must be normalized (use Front.compile)";
+    error Loc.dummy "program must be normalized (use Front.compile)";
   let main =
     match Ast.find_func prog "main" with
     | Some f -> f
-    | None -> invalid_arg "Interp.run: no main function"
+    | None -> error Loc.dummy "program has no 'main' function"
   in
   let tree = Sdpst.Node.create_tree ~main_bid:main.body.bid in
   let st =

@@ -20,10 +20,10 @@ val default_fuel : int
 
     @param monitor receives structural and memory-access events
     @param fuel abort with {!Out_of_fuel} after this many cost units
-    @raise Invalid_argument if the program is not normalized (use
-      {!Mhj.Front.compile}) or has no [main]
     @raise Runtime_error on dynamic errors (bounds, division by zero, ...)
-*)
+      and on malformed programs (not normalized — use {!Mhj.Front.compile}
+      — or lacking a [main]); always carries a source location when one is
+      known *)
 val run : ?monitor:Monitor.t -> ?fuel:int -> Mhj.Ast.program -> result
 
 (** Run the serial elision (all parallel constructs erased) — the

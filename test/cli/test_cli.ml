@@ -239,8 +239,64 @@ let test_errors () =
   close_out oc;
   let code2, out2 = run_cli [ "parse"; bad ] in
   Sys.remove bad;
-  Alcotest.(check bool) "syntax error -> nonzero exit" true (code2 <> 0);
-  check_contains "error message" out2 "syntax error"
+  Alcotest.(check int) "syntax error -> input-error exit" 3 code2;
+  check_contains "located parse diagnostic" out2 "error[parse] at 1:"
+
+let with_tmp_program contents f =
+  let path = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* Golden renderings of located interpreter diagnostics: every dynamic
+   failure of the analyzed program names its stage and source position and
+   exits with the input-error code. *)
+let test_located_interp_diagnostics () =
+  with_tmp_program "def main() {\n  print(1 / 0);\n}" (fun f ->
+      let code, out = run_cli [ "run"; f ] in
+      Alcotest.(check int) "div-by-zero input-error exit" 3 code;
+      check_contains "div-by-zero" out "error[interp] at 2:11: division by zero");
+  with_tmp_program
+    "def main() {\n  val a: int[] = new int[2];\n  print(a[5]);\n}"
+    (fun f ->
+      let code, out = run_cli [ "run"; f ] in
+      Alcotest.(check int) "out-of-bounds input-error exit" 3 code;
+      check_contains "out-of-bounds" out "error[interp] at 3:";
+      check_contains "out-of-bounds" out "out of bounds");
+  with_tmp_program "def helper() { print(1); }" (fun f ->
+      let code, out = run_cli [ "run"; f ] in
+      Alcotest.(check int) "missing main input-error exit" 3 code;
+      check_contains "missing main" out "error[typecheck]";
+      check_contains "missing main" out "main")
+
+let racy_src =
+  "def main() {\n\
+  \  val a: int[] = new int[4];\n\
+  \  async { a[0] = 1; }\n\
+  \  a[0] = 2;\n\
+  \  print(a[0]);\n\
+   }"
+
+let test_budget_flags () =
+  with_tmp_program racy_src (fun f ->
+      (* a zero DP budget: still repaired, but degraded -> exit 4 *)
+      let code, out = run_cli [ "repair"; f; "-q"; "--budget-dp"; "0" ] in
+      Alcotest.(check int) "degraded exit" 4 code;
+      check_contains "degradation reported" out "degraded:";
+      check_contains "degradation names the fallback" out
+        "per-edge intervals";
+      (* an unaffordable fuel budget: typed budget diagnostic -> exit 4 *)
+      let code2, out2 = run_cli [ "repair"; f; "-q"; "--budget-fuel"; "3" ] in
+      Alcotest.(check int) "fuel-exhausted exit" 4 code2;
+      check_contains "budget diagnostic" out2 "error[budget]";
+      (* generous budgets change nothing *)
+      let code3, _ =
+        run_cli
+          [ "repair"; f; "-q"; "--budget-dp"; "100000000"; "--budget-fuel";
+            "100000000"; "--budget-sdpst"; "100000000" ]
+      in
+      Alcotest.(check int) "affordable budgets exit 0" 0 code3)
 
 let () =
   Alcotest.run "cli"
@@ -267,5 +323,8 @@ let () =
           Alcotest.test_case "grade-file" `Quick test_grade_file;
           Alcotest.test_case "explain" `Quick test_explain;
           Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "located interp diagnostics" `Quick
+            test_located_interp_diagnostics;
+          Alcotest.test_case "budget flags" `Quick test_budget_flags;
         ] );
     ]

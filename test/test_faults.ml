@@ -1,0 +1,224 @@
+(* Robustness tests: fault injection, resource budgets and graceful
+   degradation.
+
+   The headline property: whatever faults fire and however tight the
+   budgets, [Repair.Driver.repair_checked] always terminates with either a
+   converged repair or a structured diagnostic — never an uncaught
+   exception — and any repair it claims converged is verified race-free,
+   degraded or not.
+
+   Iteration count for the qcheck property is bounded for `dune runtest`;
+   the @ci alias (TDR_QCHECK_COUNT) runs a deeper pass. *)
+
+module D = Repair.Driver
+module Diag = Repair.Diag
+module Guard = Repair.Guard
+module FI = Repair.Faultinject
+
+let compile = Mhj.Front.compile
+
+(* Two independent races at the same NS-LCA: enough structure that the DP
+   has real work and the per-edge fallback must cover two edges. *)
+let racy_src =
+  {|
+def main() {
+  val a: int[] = new int[4];
+  async { a[0] = 1; }
+  a[0] = 2;
+  async { a[1] = 3; }
+  a[1] = 4;
+  print(a[0] + a[1]);
+}
+|}
+
+let race_count prog =
+  Espbags.Detector.race_count
+    (fst (Espbags.Detector.detect Espbags.Detector.Mrw prog))
+
+let check_race_free label prog =
+  Alcotest.(check int) (label ^ ": race-free") 0 (race_count prog)
+
+let check_semantics label original repaired =
+  let ser = Rt.Interp.run_elision original in
+  let rep = Rt.Interp.run repaired in
+  Alcotest.(check string) (label ^ ": elision semantics kept") ser.output
+    rep.output
+
+(* ------------------------------------------------------------------ *)
+(* Degradation paths                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Satellite: a zero DP budget forces the interval-cover fallback on every
+   group; the result must still be race-free and must say it degraded. *)
+let test_interval_cover_fallback () =
+  let prog = compile racy_src in
+  let budgets = { Guard.unlimited with Guard.dp_work = Some 0 } in
+  let r = D.repair ~budgets prog in
+  Alcotest.(check bool) "converged" true r.converged;
+  Alcotest.(check bool) "reported degraded" true
+    (List.exists
+       (function Guard.Dp_interval_cover _ -> true | _ -> false)
+       r.degradations);
+  check_race_free "interval cover" r.program;
+  check_semantics "interval cover" prog r.program
+
+let test_dp_budget_affordable_not_degraded () =
+  (* a generous budget must not degrade anything *)
+  let prog = compile racy_src in
+  let budgets = { Guard.unlimited with Guard.dp_work = Some 1_000_000 } in
+  let r = D.repair ~budgets prog in
+  Alcotest.(check bool) "converged" true r.converged;
+  Alcotest.(check (list string)) "no degradations" []
+    (List.map (Fmt.str "%a" Guard.pp_degradation) r.degradations);
+  check_race_free "affordable dp" r.program
+
+(* Acceptance: S-DPST node-budget exhaustion on the mergesort benchmark
+   degrades via prune, still converges race-free, and the degradation is
+   recorded. *)
+let test_sdpst_budget_mergesort () =
+  let bench =
+    match Benchsuite.Suite.find "mergesort" with
+    | Some b -> b
+    | None -> Alcotest.fail "mergesort benchmark missing"
+  in
+  let prog = Benchsuite.Bench.stripped_program bench in
+  let budgets = { Guard.unlimited with Guard.sdpst_nodes = Some 200 } in
+  let r = D.repair ~budgets prog in
+  Alcotest.(check bool) "converged" true r.converged;
+  Alcotest.(check bool) "pruned" true
+    (List.exists
+       (function
+         | Guard.Sdpst_pruned { nodes_removed; _ } -> nodes_removed > 0
+         | _ -> false)
+       r.degradations);
+  check_race_free "mergesort pruned" r.program
+
+let test_fuel_budget () =
+  let prog = compile racy_src in
+  let budgets = { Guard.unlimited with Guard.fuel = Some 3 } in
+  match D.repair_checked ~budgets prog with
+  | Error d -> Alcotest.(check bool) "budget stage" true (d.Diag.stage = Diag.Budget)
+  | Ok _ -> Alcotest.fail "a 3-unit fuel budget cannot complete a run"
+
+(* ------------------------------------------------------------------ *)
+(* Injected faults: each maps to a typed diagnostic at its stage        *)
+(* ------------------------------------------------------------------ *)
+
+let checked_under faults prog =
+  FI.with_faults faults (fun () -> D.repair_checked prog)
+
+let expect_stage name fault stage =
+  let prog = compile racy_src in
+  match checked_under [ fault ] prog with
+  | Error d ->
+      Alcotest.(check bool)
+        (name ^ ": diagnostic at owning stage")
+        true (d.Diag.stage = stage)
+  | Ok _ -> Alcotest.failf "%s: fault did not surface" name
+
+let test_interp_trap () = expect_stage "interp trap" (FI.Interp_trap 5) Diag.Budget
+
+let test_detector_abort () =
+  expect_stage "detector abort" FI.Detector_abort Diag.Detect
+
+let test_place_unsat () = expect_stage "place unsat" FI.Place_unsat Diag.Place
+
+let test_insert_fail () = expect_stage "insert fail" FI.Insert_fail Diag.Insert
+
+let test_dp_timeout_degrades () =
+  (* Dp_timeout is not fatal: it forces the degradation chain. *)
+  let prog = compile racy_src in
+  match checked_under [ FI.Dp_timeout ] prog with
+  | Error d -> Alcotest.failf "dp timeout became fatal: %a" Diag.pp d
+  | Ok r ->
+      Alcotest.(check bool) "converged" true r.converged;
+      Alcotest.(check bool) "degraded" true (r.degradations <> []);
+      check_race_free "dp timeout" r.program
+
+let test_plan_restored () =
+  (try
+     FI.with_faults [ FI.Detector_abort ] (fun () ->
+         ignore (D.repair (compile racy_src)))
+   with _ -> ());
+  Alcotest.(check bool) "plan restored after exception" false
+    (FI.enabled FI.Detector_abort)
+
+(* ------------------------------------------------------------------ *)
+(* The never-crash property                                            *)
+(* ------------------------------------------------------------------ *)
+
+let qcheck_count =
+  match
+    Option.bind (Sys.getenv_opt "TDR_QCHECK_COUNT") int_of_string_opt
+  with
+  | Some n when n > 0 -> n
+  | _ -> 40
+
+(* Derive a fault plan + budgets deterministically from the seed, covering
+   the clean configuration and every fault/budget combination. *)
+let scenario_of_seed seed =
+  let faults =
+    List.filteri
+      (fun i _ -> ((seed / 7) lsr i) land 1 = 1)
+      [ FI.Interp_trap (50 + (seed mod 5000)); FI.Detector_abort;
+        FI.Dp_timeout; FI.Place_unsat; FI.Insert_fail ]
+  in
+  let pick bit v =
+    if ((seed / 3) lsr bit) land 1 = 1 then Some v else None
+  in
+  let budgets =
+    {
+      Guard.fuel = pick 5 (100 + (seed mod 10_000));
+      Guard.sdpst_nodes = pick 6 (10 + (seed mod 500));
+      Guard.dp_work = pick 7 (seed mod 5_000);
+    }
+  in
+  (faults, budgets)
+
+let driver_total =
+  QCheck.Test.make
+    ~name:"repair_checked always terminates: converged or diagnosed"
+    ~count:qcheck_count
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let faults, budgets = scenario_of_seed seed in
+      match
+        FI.with_faults faults (fun () -> D.repair_checked ~budgets prog)
+      with
+      | exception e ->
+          QCheck.Test.fail_reportf "uncaught exception: %s"
+            (Printexc.to_string e)
+      | Error _ -> true (* structured non-converged report *)
+      | Ok r ->
+          (* a repair that claims convergence must be race-free even when
+             it degraded *)
+          (not r.converged) || race_count r.program = 0)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "degradation",
+        [
+          Alcotest.test_case "interval-cover fallback" `Quick
+            test_interval_cover_fallback;
+          Alcotest.test_case "affordable dp not degraded" `Quick
+            test_dp_budget_affordable_not_degraded;
+          Alcotest.test_case "sdpst budget on mergesort" `Slow
+            test_sdpst_budget_mergesort;
+          Alcotest.test_case "fuel budget" `Quick test_fuel_budget;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "interp trap" `Quick test_interp_trap;
+          Alcotest.test_case "detector abort" `Quick test_detector_abort;
+          Alcotest.test_case "place unsat" `Quick test_place_unsat;
+          Alcotest.test_case "insert fail" `Quick test_insert_fail;
+          Alcotest.test_case "dp timeout degrades" `Quick
+            test_dp_timeout_degrades;
+          Alcotest.test_case "plan restored" `Quick test_plan_restored;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest driver_total ] );
+    ]

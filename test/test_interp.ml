@@ -215,8 +215,19 @@ let test_elision_equivalence () =
 let test_unnormalized_rejected () =
   let p = Mhj.Parser.parse_program "def main() { if (true) print(1); }" in
   match Rt.Interp.run p with
-  | exception Invalid_argument _ -> ()
+  | exception Rt.Interp.Runtime_error _ -> ()
   | _ -> Alcotest.fail "unnormalized program must be rejected"
+
+let test_missing_main_rejected () =
+  let p = Mhj.Front.compile ~require_main:false "def helper() { print(1); }" in
+  match Rt.Interp.run p with
+  | exception Rt.Interp.Runtime_error (m, _) ->
+      Alcotest.(check bool) "mentions main" true
+        (let affix = "main" in
+         let n = String.length affix and len = String.length m in
+         let rec go i = i + n <= len && (String.sub m i n = affix || go (i + 1)) in
+         go 0)
+  | _ -> Alcotest.fail "program without main must be rejected"
 
 let () =
   Alcotest.run "interp"
@@ -250,5 +261,7 @@ let () =
             test_elision_equivalence;
           Alcotest.test_case "normalization required" `Quick
             test_unnormalized_rejected;
+          Alcotest.test_case "missing main rejected" `Quick
+            test_missing_main_rejected;
         ] );
     ]

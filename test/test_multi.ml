@@ -101,6 +101,80 @@ let test_multi_coverage () =
   Alcotest.(check int) "full set covers every async"
     full.coverage.total_asyncs full.coverage.covered_asyncs
 
+(* One input crashes mid-pipeline (its count drives the loop past the
+   array bound); the other inputs must still be repaired and the combined
+   report must name the failure. *)
+let test_multi_partial_failure () =
+  let prog = Mhj.Front.compile src in
+  let inputs =
+    [
+      ("branch", [ ("mode", 1); ("count", 0) ]);
+      ("crash", [ ("mode", 0); ("count", 20) ]);
+      ("loop", [ ("mode", 0); ("count", 4) ]);
+    ]
+  in
+  let m = Repair.Driver.repair_multi ~inputs prog in
+  (match m.failures with
+  | [ (label, d) ] ->
+      Alcotest.(check string) "failed input is labelled" "crash" label;
+      Alcotest.(check bool) "interp-stage diagnostic" true
+        (d.Repair.Diag.stage = Repair.Diag.Interp);
+      Alcotest.(check bool) "diagnostic is located" true
+        (match d.Repair.Diag.loc with
+        | Some l -> not (Mhj.Loc.is_dummy l)
+        | None -> false)
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  Alcotest.(check bool) "combined report flags the failure" false
+    m.all_converged;
+  Alcotest.(check int) "other inputs still processed" 2
+    (List.length m.per_input);
+  List.iter
+    (fun (label, overrides) ->
+      if label <> "crash" then
+        Alcotest.(check int)
+          (label ^ " race-free")
+          0
+          (races (with_input m.final overrides)))
+    inputs;
+  Alcotest.(check int) "both finishes inserted" 2
+    (Mhj.Ast.count_finishes m.final)
+
+(* A fuel budget only the cheap input fits under: the heavy input lands in
+   failures with a budget-stage diagnostic; the cheap one still converges. *)
+let test_multi_budget_exhaustion () =
+  let prog = Mhj.Front.compile src in
+  let cheap = [ ("mode", 1); ("count", 0) ] in
+  let heavy = [ ("mode", 0); ("count", 8) ] in
+  (* fuel also covers global-initializer setup that [work] excludes, so
+     probe for the actual threshold of each input *)
+  let fuel_needed ov =
+    let p = with_input prog ov in
+    let rec go f =
+      match Rt.Interp.run ~fuel:f p with
+      | _ -> f
+      | exception Rt.Interp.Out_of_fuel -> go (f + 1)
+    in
+    go (Rt.Interp.run p).work
+  in
+  let f_cheap = fuel_needed cheap and f_heavy = fuel_needed heavy in
+  Alcotest.(check bool) "inputs differ in cost" true (f_cheap < f_heavy);
+  let budgets =
+    { Repair.Guard.unlimited with Repair.Guard.fuel = Some ((f_cheap + f_heavy) / 2) }
+  in
+  let m =
+    Repair.Driver.repair_multi ~budgets
+      ~inputs:[ ("cheap", cheap); ("heavy", heavy) ]
+      prog
+  in
+  (match m.failures with
+  | [ ("heavy", d) ] ->
+      Alcotest.(check bool) "budget-stage diagnostic" true
+        (d.Repair.Diag.stage = Repair.Diag.Budget)
+  | _ -> Alcotest.fail "expected exactly the heavy input to fail");
+  Alcotest.(check bool) "not all converged" false m.all_converged;
+  Alcotest.(check int) "cheap input repaired" 0
+    (races (with_input m.final cheap))
+
 let test_set_global_errors () =
   let prog = Mhj.Front.compile src in
   Alcotest.(check bool) "unknown global rejected" true
@@ -122,6 +196,10 @@ let () =
             test_single_input_misses;
           Alcotest.test_case "repair_multi fixes all" `Quick test_repair_multi;
           Alcotest.test_case "combined coverage" `Quick test_multi_coverage;
+          Alcotest.test_case "partial failure" `Quick
+            test_multi_partial_failure;
+          Alcotest.test_case "budget exhaustion" `Quick
+            test_multi_budget_exhaustion;
           Alcotest.test_case "set_global errors" `Quick
             test_set_global_errors;
         ] );

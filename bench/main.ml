@@ -5,13 +5,13 @@
    single argument selects one piece:
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
-                                  students|ablation|micro|all]
+                                  students|ablation|prune|micro|all]
 
    (table3 and table4 are produced by the same SRW-vs-MRW sweep.) *)
 
 let usage () =
   Fmt.epr
-    "usage: main.exe [table1|table2|table3|table4|fig3|fig16|students|ablation|micro|all]@.";
+    "usage: main.exe [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|micro|all]@.";
   exit 1
 
 let () =
@@ -25,6 +25,7 @@ let () =
   | "fig16" -> Tables.fig16 ()
   | "students" -> Tables.students ()
   | "ablation" -> Tables.ablation ()
+  | "prune" -> Prune.run ()
   | "micro" -> Micro.run_and_print ()
   | "all" ->
       Tables.table1 ();
@@ -34,6 +35,7 @@ let () =
       Tables.fig16 ();
       Tables.students ();
       Tables.ablation ();
+      Prune.run ();
       Micro.run_and_print ()
   | _ -> usage ());
   Fmt.pr "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)

@@ -180,11 +180,32 @@ let run_cmd =
           simulated parallel time.")
     Term.(const run $ file_arg $ procs $ set_arg)
 
+let static_prune_arg =
+  Arg.(
+    value & flag
+    & info [ "static-prune" ]
+        ~doc:
+          "Run the static MHP pre-pass first and skip instrumenting \
+           accesses it proves sequential.  With $(b,--mode mrw) the \
+           reported race set is unchanged; detection only gets cheaper.")
+
 let detect_cmd =
-  let run file mode sets trace dump_tree dump_sdpst =
+  let run file mode sets trace dump_tree dump_sdpst static_prune =
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
-        let det, res = Espbags.Detector.detect mode prog in
+        let keep =
+          if static_prune then begin
+            let pr = Static.Prune.make prog in
+            Fmt.pr
+              "static prune: %d of %d statement(s) stay monitored (%d \
+               unproven MHP conflict(s))@."
+              (Static.Prune.n_kept pr) (Static.Prune.n_stmts pr)
+              (Static.Prune.n_conflicts pr);
+            Some (fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+          end
+          else None
+        in
+        let det, res = Espbags.Detector.detect ?keep mode prog in
         let races = Espbags.Detector.races det in
         if dump_sdpst then Fmt.pr "%s@." (Sdpst.Serial.to_string res.tree);
         (match dump_tree with
@@ -199,6 +220,9 @@ let detect_cmd =
           "checked %d access(es) over %d location(s); S-DPST has %d node(s)@."
           det.Espbags.Detector.n_accesses det.Espbags.Detector.n_locations
           res.Rt.Interp.tree.Sdpst.Node.n_nodes;
+        if det.Espbags.Detector.n_skipped > 0 then
+          Fmt.pr "skipped %d access(es) proven sequential@."
+            det.Espbags.Detector.n_skipped;
         List.iteri
           (fun i r ->
             if i < 20 then Fmt.pr "  %a@." Espbags.Race.pp r
@@ -233,7 +257,9 @@ let detect_cmd =
        ~doc:
          "Execute a program under an ESP-bags detector and report its data \
           races.")
-    Term.(const run $ file_arg $ mode_arg $ set_arg $ trace $ dump_tree $ dump)
+    Term.(
+      const run $ file_arg $ mode_arg $ set_arg $ trace $ dump_tree $ dump
+      $ static_prune_arg)
 
 let analyze_cmd =
   let run file tree_path trace_path output quiet =
@@ -287,11 +313,25 @@ let analyze_cmd =
           trace (the paper's Appendix A analyzer; no re-execution).")
     Term.(const run $ file_arg $ tree_path $ trace_path $ output_arg $ quiet)
 
+let static_verify_arg =
+  Arg.(
+    value & flag
+    & info [ "static-verify" ]
+        ~doc:
+          "After convergence, run the static race checker on the repaired \
+           program.  If it discharges every MHP pair, the repair is \
+           race-free for $(i,all) inputs; otherwise the unproven pairs \
+           are listed and the command exits 4.")
+
 let repair_cmd =
-  let run file mode strategy sets budgets output report_flag quiet =
+  let run file mode strategy sets budgets output report_flag quiet
+      static_prune static_verify =
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
-        let report = Repair.Driver.repair ~mode ~strategy ~budgets prog in
+        let report =
+          Repair.Driver.repair ~mode ~strategy ~budgets ~static_prune
+            ~static_verify prog
+        in
         if report_flag then Fmt.pr "%a" Repair.Report.pp (prog, report)
         else begin
           Fmt.pr "%s after %d iteration(s); %d finish statement(s) inserted@."
@@ -302,6 +342,20 @@ let repair_cmd =
             (fun d -> Fmt.pr "degraded: %a@." Repair.Guard.pp_degradation d)
             report.degradations
         end;
+        (match report.verified_static with
+        | Some true ->
+            Fmt.pr
+              "statically verified: race-free for all inputs (no unproven \
+               MHP pair)@."
+        | Some false ->
+            Fmt.pr
+              "static verification incomplete: %d unproven pair(s) remain \
+               — race-free for this input only@."
+              (List.length report.static_residual);
+            List.iter
+              (fun f -> Fmt.pr "  %a@." Static.Finding.pp f)
+              report.static_residual
+        | None -> ());
         let src = Mhj.Pretty.program_to_string report.program in
         (match output with
         | Some path ->
@@ -309,7 +363,10 @@ let repair_cmd =
             Fmt.pr "repaired program written to %s@." path
         | None -> if not quiet then print_string src);
         if not report.converged then exit Ec.not_converged;
-        if report.degradations <> [] then exit Ec.degraded)
+        (* an unverified repair is a degraded result: correct for the test
+           input, not proven for all inputs *)
+        if report.degradations <> [] || report.verified_static = Some false
+        then exit Ec.degraded)
   in
   let report_flag =
     Arg.(
@@ -338,11 +395,12 @@ let repair_cmd =
          "Iteratively insert finish statements until the program is \
           race-free for its input (the paper's core tool).  Exit codes: 0 \
           repaired at full fidelity, 2 not converged, 3 invalid input, 4 \
-          repaired but degraded by a $(b,--budget-*) limit, 5 \
-          unrepairable.")
+          repaired but degraded by a $(b,--budget-*) limit or left \
+          unproven by $(b,--static-verify), 5 unrepairable.")
     Term.(
       const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
-      $ output_arg $ report_flag $ quiet)
+      $ output_arg $ report_flag $ quiet $ static_prune_arg
+      $ static_verify_arg)
 
 let strip_cmd =
   let run file output =
@@ -573,6 +631,62 @@ let emit_cmd =
              commands).")
     Term.(const run $ name_arg $ which $ output_arg)
 
+let lint_cmd =
+  let run files exit_zero suite =
+    or_die (fun () ->
+        let total = ref 0 in
+        let lint_one label prog =
+          let findings = Static.Lint.run prog in
+          List.iter
+            (fun f -> Fmt.pr "%s: %a@." label Static.Finding.pp f)
+            findings;
+          total := !total + List.length findings
+        in
+        List.iter (fun path -> lint_one path (compile path)) files;
+        if suite then
+          List.iter
+            (fun (b : Benchsuite.Bench.t) ->
+              lint_one ("bench:" ^ b.name)
+                (Mhj.Front.compile b.repair_src))
+            Benchsuite.Suite.all;
+        if files = [] && not suite then begin
+          Fmt.epr "error: no input files (pass FILE... or --suite)@.";
+          exit Ec.input_error
+        end;
+        if !total = 0 then Fmt.pr "no findings@."
+        else begin
+          Fmt.pr "%d finding(s)@." !total;
+          if not exit_zero then exit Ec.lint_findings
+        end)
+  in
+  let files =
+    Arg.(
+      value & pos_all non_dir_file []
+      & info [] ~docv:"FILE" ~doc:"Mini-HJ source files to lint.")
+  in
+  let exit_zero =
+    Arg.(
+      value & flag
+      & info [ "exit-zero" ]
+          ~doc:
+            "Exit 0 even when findings are reported (CI mode: only \
+             crashes and invalid input fail).")
+  in
+  let suite =
+    Arg.(
+      value & flag
+      & info [ "suite" ]
+          ~doc:"Also lint every built-in benchmark program (in-process).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static MHP race checker and lint rules (static-race, \
+          redundant-finish, dead-async, finish-coarsen) without executing \
+          the program.  Exit codes: 0 no findings, 3 invalid input, 6 \
+          findings reported (0 with $(b,--exit-zero)).")
+    Term.(const run $ files $ exit_zero $ suite)
+
 let main_cmd =
   let doc =
     "test-driven repair of data races in structured parallel programs \
@@ -581,9 +695,9 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tdrepair" ~version:"1.0.0" ~doc)
     [
-      parse_cmd; run_cmd; detect_cmd; analyze_cmd; repair_cmd; strip_cmd;
-      elide_cmd; coverage_cmd; grade_cmd; grade_file_cmd; explain_cmd;
-      bench_list_cmd; emit_cmd;
+      parse_cmd; run_cmd; detect_cmd; analyze_cmd; repair_cmd; lint_cmd;
+      strip_cmd; elide_cmd; coverage_cmd; grade_cmd; grade_file_cmd;
+      explain_cmd; bench_list_cmd; emit_cmd;
     ]
 
 let () =

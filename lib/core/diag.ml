@@ -2,7 +2,7 @@
 
 type severity = Error | Warning | Info
 
-type stage = Parse | Typecheck | Interp | Detect | Place | Insert | Budget
+type stage = Parse | Typecheck | Interp | Detect | Place | Insert | Budget | Lint
 
 type t = {
   severity : severity;
@@ -35,7 +35,8 @@ let pp_stage ppf s =
     | Detect -> "detect"
     | Place -> "place"
     | Insert -> "insert"
-    | Budget -> "budget")
+    | Budget -> "budget"
+    | Lint -> "lint")
 
 let pp ppf d =
   match d.loc with
@@ -71,4 +72,16 @@ let of_exn = function
 let is_input_error d =
   match d.stage with
   | Parse | Typecheck | Interp -> true
-  | Detect | Place | Insert | Budget -> false
+  | Detect | Place | Insert | Budget | Lint -> false
+
+(* Adapt a static-analysis finding into the pipeline's diagnostic type.
+   The rule name is folded into the message; the [lint] stage marks the
+   origin. *)
+let of_finding (f : Static.Finding.t) =
+  let severity =
+    match f.Static.Finding.severity with
+    | Static.Finding.Warning -> Warning
+    | Static.Finding.Info -> Info
+  in
+  make ~severity ~loc:f.Static.Finding.loc ~stage:Lint
+    (Static.Finding.rule_name f.Static.Finding.rule ^ ": " ^ f.Static.Finding.msg)

@@ -10,8 +10,9 @@
 type severity = Error | Warning | Info
 
 (** The pipeline stage a diagnostic originates from.  [Budget] marks
-    resource exhaustion (interpreter fuel, S-DPST nodes, DP work). *)
-type stage = Parse | Typecheck | Interp | Detect | Place | Insert | Budget
+    resource exhaustion (interpreter fuel, S-DPST nodes, DP work); [Lint]
+    marks the static analysis layer (MHP/race lint, static verifier). *)
+type stage = Parse | Typecheck | Interp | Detect | Place | Insert | Budget | Lint
 
 type t = {
   severity : severity;
@@ -52,3 +53,7 @@ val of_exn : exn -> t option
 (** Did the analyzed program (not the tool) cause this?  True for
     [Parse]/[Typecheck]/[Interp] diagnostics. *)
 val is_input_error : t -> bool
+
+(** Adapt a static-analysis finding ({!Static.Finding.t}) into a [Lint]
+    diagnostic, folding the rule name into the message. *)
+val of_finding : Static.Finding.t -> t

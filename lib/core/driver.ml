@@ -40,6 +40,8 @@ type iteration = {
   detect_time : float;  (** seconds spent executing + detecting *)
   place_time : float;  (** seconds spent in placement (dynamic + static) *)
   sdpst_nodes : int;
+  n_accesses : int;  (** accesses the detector checked this run *)
+  n_skipped : int;  (** accesses skipped by the static prune pre-pass *)
 }
 
 type report = {
@@ -51,6 +53,14 @@ type report = {
   degradations : Guard.degradation list;
       (** budget degradations that fired, in order; empty means the repair
           ran at full fidelity *)
+  verified_static : bool option;
+      (** [--static-verify] verdict on the converged program: [Some true]
+          means race-free for every input, not just the test input;
+          [Some false] means unproven MHP pairs remain (see
+          [static_residual]); [None] means verification was not requested
+          or the repair did not converge *)
+  static_residual : Static.Finding.t list;
+      (** the unproven pairs behind [verified_static = Some false] *)
 }
 
 exception Unrepairable of string
@@ -332,41 +342,66 @@ let enforce_sdpst_budget ~guard (tree : Sdpst.Node.tree)
     @param budgets resource budgets (default {!Guard.unlimited}); on
       exhaustion the repair degrades gracefully and records how in
       [degradations]
+    @param static_prune run the static MHP pre-pass before each detection
+      run and skip instrumenting accesses it proves sequential (identical
+      race sets with MRW; see {!Static.Prune})
+    @param static_verify after convergence, run the static race checker on
+      the repaired program and record whether it is race-free for {e all}
+      inputs ([verified_static]), with unproven pairs in [static_residual]
     @raise Unrepairable if some race admits no scope-valid fix
     @raise Diag.Fail on typed pipeline failures (see {!repair_checked} for
       the total variant) *)
 let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
     ?(max_iterations = default_max_iterations) ?fuel
-    ?(budgets = Guard.unlimited) (prog : Mhj.Ast.program) : report =
+    ?(budgets = Guard.unlimited) ?(static_prune = false)
+    ?(static_verify = false) (prog : Mhj.Ast.program) : report =
   let guard = Guard.make budgets in
   let fuel = Guard.effective_fuel guard fuel in
+  let finish program iterations ~converged ~final_races =
+    let verified_static, static_residual =
+      if static_verify && converged then
+        let summary, _mhp, cs =
+          Guard.at_stage Diag.Lint (fun () ->
+              Static.Racecheck.check program)
+        in
+        (Some (cs = []), Static.Racecheck.to_findings summary cs)
+      else (None, [])
+    in
+    {
+      program;
+      mode;
+      iterations = List.rev iterations;
+      converged;
+      final_races;
+      degradations = Guard.degradations guard;
+      verified_static;
+      static_residual;
+    }
+  in
   let rec loop program iterations remaining =
     let t0 = Unix.gettimeofday () in
     Faultinject.fire Faultinject.Detector_abort;
+    (* the pre-pass is recomputed per iteration: inserted finishes shrink
+       the MHP relation, so later runs may skip more *)
+    let keep =
+      if static_prune then begin
+        let pr =
+          Guard.at_stage Diag.Lint (fun () -> Static.Prune.make program)
+        in
+        Some (fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+      end
+      else None
+    in
     let det, res =
       Guard.at_stage Diag.Detect (fun () ->
-          Espbags.Detector.detect ?fuel mode program)
+          Espbags.Detector.detect ?fuel ?keep mode program)
     in
     let detect_time = Unix.gettimeofday () -. t0 in
     let races = Espbags.Detector.races det in
-    if races = [] then
-      {
-        program;
-        mode;
-        iterations = List.rev iterations;
-        converged = true;
-        final_races = 0;
-        degradations = Guard.degradations guard;
-      }
+    if races = [] then finish program iterations ~converged:true ~final_races:0
     else if remaining = 0 then
-      {
-        program;
-        mode;
-        iterations = List.rev iterations;
-        converged = false;
-        final_races = List.length races;
-        degradations = Guard.degradations guard;
-      }
+      finish program iterations ~converged:false
+        ~final_races:(List.length races)
     else begin
       let t1 = Unix.gettimeofday () in
       enforce_sdpst_budget ~guard res.Rt.Interp.tree races;
@@ -394,6 +429,8 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
           detect_time;
           place_time;
           sdpst_nodes = res.tree.Sdpst.Node.n_nodes;
+          n_accesses = det.Espbags.Detector.n_accesses;
+          n_skipped = det.Espbags.Detector.n_skipped;
         }
       in
       Log.info (fun m ->
@@ -413,10 +450,11 @@ let classify_unrepairable = function
     the analyzed program, fuel exhaustion, placement infeasibility,
     injected faults, internal invariant violations — comes back as a typed
     diagnostic instead of an exception. *)
-let repair_checked ?mode ?strategy ?max_iterations ?fuel ?budgets prog :
-    (report, Diag.t) result =
+let repair_checked ?mode ?strategy ?max_iterations ?fuel ?budgets
+    ?static_prune ?static_verify prog : (report, Diag.t) result =
   Guard.capture ~classify:classify_unrepairable (fun () ->
-      repair ?mode ?strategy ?max_iterations ?fuel ?budgets prog)
+      repair ?mode ?strategy ?max_iterations ?fuel ?budgets ?static_prune
+        ?static_verify prog)
 
 (** Total placements inserted across all iterations. *)
 let total_placements (r : report) : Mhj.Transform.placement list =

@@ -30,6 +30,8 @@ type iteration = {
   detect_time : float;  (** seconds spent executing + detecting *)
   place_time : float;  (** seconds spent in placement (dynamic + static) *)
   sdpst_nodes : int;
+  n_accesses : int;  (** accesses the detector checked this run *)
+  n_skipped : int;  (** accesses skipped by the static prune pre-pass *)
 }
 
 type report = {
@@ -41,6 +43,14 @@ type report = {
   degradations : Guard.degradation list;
       (** budget degradations that fired, in order; empty means the repair
           ran at full fidelity *)
+  verified_static : bool option;
+      (** [static_verify] verdict on the converged program: [Some true]
+          means race-free for every input, not just the test input;
+          [Some false] means unproven MHP pairs remain (see
+          [static_residual]); [None] means verification was not requested
+          or the repair did not converge *)
+  static_residual : Static.Finding.t list;
+      (** the unproven pairs behind [verified_static = Some false] *)
 }
 
 exception Unrepairable of string
@@ -81,6 +91,12 @@ val default_max_iterations : int
     @param budgets resource budgets (default {!Guard.unlimited}); on
       exhaustion the repair degrades gracefully and records how in the
       report's [degradations]
+    @param static_prune run the static MHP pre-pass ({!Static.Prune})
+      before each detection run and skip instrumenting accesses it proves
+      sequential; with MRW the reported race set is unchanged
+    @param static_verify after convergence, run the static race checker
+      on the repaired program and record the verdict in [verified_static]
+      (with unproven pairs in [static_residual])
     @raise Unrepairable if some race admits no scope-valid fix
     @raise Diag.Fail on typed pipeline failures *)
 val repair :
@@ -89,6 +105,8 @@ val repair :
   ?max_iterations:int ->
   ?fuel:int ->
   ?budgets:Guard.budgets ->
+  ?static_prune:bool ->
+  ?static_verify:bool ->
   Mhj.Ast.program ->
   report
 
@@ -102,6 +120,8 @@ val repair_checked :
   ?max_iterations:int ->
   ?fuel:int ->
   ?budgets:Guard.budgets ->
+  ?static_prune:bool ->
+  ?static_verify:bool ->
   Mhj.Ast.program ->
   (report, Diag.t) result
 

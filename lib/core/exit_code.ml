@@ -12,6 +12,8 @@ let degraded = 4
 
 let unrepairable = 5
 
+let lint_findings = 6
+
 let grade_racy = 3
 
 let grade_oversync = 4
@@ -21,4 +23,4 @@ let of_diag (d : Diag.t) =
   | Diag.Parse | Diag.Typecheck | Diag.Interp -> input_error
   | Diag.Budget -> degraded
   | Diag.Place | Diag.Insert -> unrepairable
-  | Diag.Detect -> internal_error
+  | Diag.Detect | Diag.Lint -> internal_error

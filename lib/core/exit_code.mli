@@ -9,6 +9,8 @@
     4  resource budget exhausted: the result, if any, is best-effort
        (a degradation fired: S-DPST pruning, DP interval-cover fallback)
     5  unrepairable: some race admits no scope-valid finish placement
+    6  lint findings: [tdrepair lint] found at least one issue (the
+       program was analyzable; the findings themselves are the result)
     v}
 
     The [grade-file] command keeps its own documented verdict codes
@@ -26,6 +28,8 @@ val input_error : int
 val degraded : int
 
 val unrepairable : int
+
+val lint_findings : int
 
 (** Verdict codes of the [grade-file] command (paper §7.4). *)
 val grade_racy : int

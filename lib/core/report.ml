@@ -52,6 +52,11 @@ let pp_iteration scopes ppf (idx, (it : Driver.iteration)) =
   Fmt.pf ppf "iteration %d: %d race report(s), %d distinct step pair(s), %d \
               NS-LCA group(s), %d S-DPST node(s)@\n"
     (idx + 1) it.n_races it.n_race_pairs it.n_groups it.sdpst_nodes;
+  if it.n_skipped > 0 then
+    Fmt.pf ppf
+      "  static prune: %d access(es) checked, %d skipped as provably \
+       sequential@\n"
+      it.n_accesses it.n_skipped;
   List.iter
     (fun (p, n_contexts) ->
       Fmt.pf ppf "  insert finish around %a  (demanded by %d dynamic \
@@ -76,6 +81,20 @@ let pp ppf ((original, r) : Mhj.Ast.program * Driver.report) =
     List.iter
       (fun d -> Fmt.pf ppf "  - %a@\n" Guard.pp_degradation d)
       r.degradations
-  end
+  end;
+  match r.verified_static with
+  | Some true ->
+      Fmt.pf ppf
+        "statically verified: race-free for all inputs (no unproven MHP \
+         pair)@\n"
+  | Some false ->
+      Fmt.pf ppf
+        "static verification incomplete: %d unproven pair(s) remain — \
+         race-free for this input only:@\n"
+        (List.length r.static_residual);
+      List.iter
+        (fun f -> Fmt.pf ppf "  - %a@\n" Static.Finding.pp f)
+        r.static_residual
+  | None -> ()
 
 let to_string original r = Fmt.str "%a" pp (original, r)

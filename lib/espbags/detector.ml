@@ -38,6 +38,7 @@ type t = {
   races : Race.t Tdrutil.Vec.t;
   mutable n_accesses : int;  (** monitored accesses checked *)
   mutable n_locations : int;  (** distinct locations touched *)
+  mutable n_skipped : int;  (** accesses skipped by a static pre-pass *)
 }
 
 let races t = Tdrutil.Vec.to_list t.races
@@ -71,7 +72,7 @@ let make_srw () : t =
     if src.Sdpst.Node.id <> sink.Sdpst.Node.id then
       Tdrutil.Vec.push races (Race.make ~src ~sink ~addr ~kind)
   in
-  let on_access ~step addr kind =
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
     (match !det_ref with
     | Some det -> det.n_accesses <- det.n_accesses + 1
     | None -> ());
@@ -109,7 +110,10 @@ let make_srw () : t =
       on_access;
     }
   in
-  let det = { mode = Srw; monitor; races; n_accesses = 0; n_locations = 0 } in
+  let det =
+    { mode = Srw; monitor; races; n_accesses = 0; n_locations = 0;
+      n_skipped = 0 }
+  in
   det_ref := Some det;
   det
 
@@ -146,7 +150,7 @@ let make_mrw () : t =
     | Some r when r.step.Sdpst.Node.id = me.step.Sdpst.Node.id -> ()
     | _ -> Tdrutil.Vec.push vec me
   in
-  let on_access ~step addr kind =
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
     (match !det_ref with
     | Some det -> det.n_accesses <- det.n_accesses + 1
     | None -> ());
@@ -185,15 +189,32 @@ let make_mrw () : t =
       on_access;
     }
   in
-  let det = { mode = Mrw; monitor; races; n_accesses = 0; n_locations = 0 } in
+  let det =
+    { mode = Mrw; monitor; races; n_accesses = 0; n_locations = 0;
+      n_skipped = 0 }
+  in
   det_ref := Some det;
   det
 
 let make = function Srw -> make_srw () | Mrw -> make_mrw ()
 
 (** Run [prog] under a fresh detector; returns the detector (with its
-    recorded races) and the execution result. *)
-let detect ?fuel mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
+    recorded races) and the execution result.
+
+    [keep] is a per-statement monitoring predicate (a static MHP pre-pass:
+    {!Static.Prune.keep}); accesses of statements it rejects are skipped
+    and counted in [n_skipped].  With MRW, skipping statements proven
+    race-free leaves the reported race set unchanged. *)
+let detect ?fuel ?keep mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
   let det = make mode in
-  let res = Rt.Interp.run ?fuel ~monitor:det.monitor prog in
+  let monitor =
+    match keep with
+    | None -> det.monitor
+    | Some keep ->
+        Rt.Monitor.filter
+          ~keep:(fun ~bid ~idx _addr _kind -> keep ~bid ~idx)
+          ~on_skip:(fun () -> det.n_skipped <- det.n_skipped + 1)
+          det.monitor
+  in
+  let res = Rt.Interp.run ?fuel ~monitor prog in
   (det, res)

@@ -17,6 +17,7 @@ type t = private {
   races : Race.t Tdrutil.Vec.t;
   mutable n_accesses : int;  (** monitored accesses checked *)
   mutable n_locations : int;  (** distinct locations touched *)
+  mutable n_skipped : int;  (** accesses skipped by a static pre-pass *)
 }
 
 (** Races recorded so far, in report order. *)
@@ -31,5 +32,15 @@ val clean : t -> bool
 val make : mode -> t
 
 (** Run a program under a fresh detector; returns the detector (with its
-    recorded races) and the execution result. *)
-val detect : ?fuel:int -> mode -> Mhj.Ast.program -> t * Rt.Interp.result
+    recorded races) and the execution result.
+
+    [keep] is a per-statement monitoring predicate (typically a static
+    MHP pre-pass); accesses of statements it rejects are skipped and
+    counted in [n_skipped].  With MRW, skipping statements proven
+    race-free leaves the reported race set unchanged. *)
+val detect :
+  ?fuel:int ->
+  ?keep:(bid:int -> idx:int -> bool) ->
+  mode ->
+  Mhj.Ast.program ->
+  t * Rt.Interp.result

@@ -88,7 +88,7 @@ let charge st n =
 let access st addr kind =
   if not st.quiet then
     let s = ensure_step st in
-    st.monitor.Monitor.on_access ~step:s addr kind
+    st.monitor.Monitor.on_access ~step:s ~bid:st.bid ~idx:st.idx addr kind
 
 (* Enter a structural (async/finish/scope) node: the current step ends, the
    body runs under the new node with its own block cursor, and the step

@@ -6,7 +6,12 @@
     access to an optional monitor.  The ESP-bags race detectors implement
     this interface; [task] events carry the S-DPST node standing for the
     task (async or root) or finish region, and accesses carry the current
-    step node so races can be recorded as step pairs. *)
+    step node so races can be recorded as step pairs.
+
+    Accesses also carry their static position — the block id and statement
+    index of the statement whose expression evaluation performs the access —
+    so monitors can make per-statement decisions.  {!filter} uses it to
+    skip accesses a static pre-pass proved sequential. *)
 
 type access = Read | Write
 
@@ -21,7 +26,9 @@ type t = {
   on_finish_begin : Sdpst.Node.t -> unit;
       (** a finish region (or the implicit root finish) starts *)
   on_finish_end : Sdpst.Node.t -> unit;
-  on_access : step:Sdpst.Node.t -> Addr.t -> access -> unit;
+  on_access : step:Sdpst.Node.t -> bid:int -> idx:int -> Addr.t -> access -> unit;
+      (** a monitored access by the statement at index [idx] of block
+          [bid], while [step] is the current step node *)
 }
 
 let nop =
@@ -30,7 +37,7 @@ let nop =
     on_task_end = ignore;
     on_finish_begin = ignore;
     on_finish_end = ignore;
-    on_access = (fun ~step:_ _ _ -> ());
+    on_access = (fun ~step:_ ~bid:_ ~idx:_ _ _ -> ());
   }
 
 (** Compose two monitors (events delivered left first). *)
@@ -53,7 +60,20 @@ let both a b =
         a.on_finish_end n;
         b.on_finish_end n);
     on_access =
-      (fun ~step addr k ->
-        a.on_access ~step addr k;
-        b.on_access ~step addr k);
+      (fun ~step ~bid ~idx addr k ->
+        a.on_access ~step ~bid ~idx addr k;
+        b.on_access ~step ~bid ~idx addr k);
+  }
+
+(** [filter ~keep ?on_skip m] delivers only the accesses [keep] accepts to
+    [m]; skipped accesses invoke [on_skip].  Structural events pass
+    through untouched, so detector bag state stays consistent. *)
+let filter ~(keep : bid:int -> idx:int -> Addr.t -> access -> bool)
+    ?(on_skip = fun () -> ()) m =
+  {
+    m with
+    on_access =
+      (fun ~step ~bid ~idx addr k ->
+        if keep ~bid ~idx addr k then m.on_access ~step ~bid ~idx addr k
+        else on_skip ());
   }

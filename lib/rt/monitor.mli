@@ -14,7 +14,9 @@ type t = {
   on_finish_begin : Sdpst.Node.t -> unit;
       (** a finish region (or the implicit root finish) starts *)
   on_finish_end : Sdpst.Node.t -> unit;
-  on_access : step:Sdpst.Node.t -> Addr.t -> access -> unit;
+  on_access : step:Sdpst.Node.t -> bid:int -> idx:int -> Addr.t -> access -> unit;
+      (** a monitored access by the statement at index [idx] of block
+          [bid], while [step] is the current step node *)
 }
 
 (** The monitor that ignores everything. *)
@@ -22,3 +24,12 @@ val nop : t
 
 (** Compose two monitors (events delivered left first). *)
 val both : t -> t -> t
+
+(** [filter ~keep ?on_skip m] delivers only the accesses [keep] accepts
+    to [m]; skipped accesses invoke [on_skip] instead.  Structural events
+    pass through untouched. *)
+val filter :
+  keep:(bid:int -> idx:int -> Addr.t -> access -> bool) ->
+  ?on_skip:(unit -> unit) ->
+  t ->
+  t

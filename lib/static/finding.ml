@@ -1,0 +1,43 @@
+(** Findings produced by the static analysis layer (see finding.mli).
+
+    A finding is deliberately independent of the [core] diagnostic type:
+    [lib/static] sits below [lib/core] in the dependency order (the repair
+    driver consults the static verifier), so the adapter lives in
+    [Core.Diag.of_finding], not here. *)
+
+type rule =
+  | Static_race  (** a MHP statement pair with conflicting accesses *)
+  | Redundant_finish  (** a finish whose body spawns no escaping async *)
+  | Dead_async  (** an async whose body contains no statements *)
+  | Finish_coarsen  (** adjacent finishes that could be coalesced *)
+
+type severity = Warning | Info
+
+type t = { rule : rule; severity : severity; loc : Mhj.Loc.t; msg : string }
+
+let rule_name = function
+  | Static_race -> "static-race"
+  | Redundant_finish -> "redundant-finish"
+  | Dead_async -> "dead-async"
+  | Finish_coarsen -> "finish-coarsen"
+
+let make ?(severity = Warning) ~rule ~loc msg = { rule; severity; loc; msg }
+
+let pp_severity ppf = function
+  | Warning -> Fmt.string ppf "warning"
+  | Info -> Fmt.string ppf "info"
+
+let pp ppf f =
+  if Mhj.Loc.is_dummy f.loc then
+    Fmt.pf ppf "%a[%s]: %s" pp_severity f.severity (rule_name f.rule) f.msg
+  else
+    Fmt.pf ppf "%a[%s] at %a: %s" pp_severity f.severity (rule_name f.rule)
+      Mhj.Loc.pp f.loc f.msg
+
+let to_string f = Fmt.str "%a" pp f
+
+(* Stable report order: by source position, then rule, then message. *)
+let compare a b =
+  compare
+    (a.loc.Mhj.Loc.line, a.loc.Mhj.Loc.col, rule_name a.rule, a.msg)
+    (b.loc.Mhj.Loc.line, b.loc.Mhj.Loc.col, rule_name b.rule, b.msg)

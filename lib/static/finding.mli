@@ -1,0 +1,28 @@
+(** Source-located findings emitted by the static MHP/race/lint layer.
+
+    Self-contained (depends only on [Mhj.Loc]) so that both the CLI lint
+    front end and the repair driver's static verifier can report through
+    one type; [Core.Diag.of_finding] adapts findings into the pipeline's
+    diagnostic type. *)
+
+type rule =
+  | Static_race  (** a MHP statement pair with conflicting accesses *)
+  | Redundant_finish  (** a finish whose body spawns no escaping async *)
+  | Dead_async  (** an async whose body contains no statements *)
+  | Finish_coarsen  (** adjacent finishes that could be coalesced *)
+
+type severity = Warning | Info
+
+type t = { rule : rule; severity : severity; loc : Mhj.Loc.t; msg : string }
+
+(** Kebab-case rule identifier, as printed in brackets by {!pp}. *)
+val rule_name : rule -> string
+
+val make : ?severity:severity -> rule:rule -> loc:Mhj.Loc.t -> string -> t
+
+val pp : t Fmt.t
+
+val to_string : t -> string
+
+(** Stable report order: source position, then rule, then message. *)
+val compare : t -> t -> int

@@ -1,0 +1,76 @@
+(** The lint rule framework over the static analysis layer (see
+    lint.mli). *)
+
+open Mhj
+
+(* A statement is syntactically empty when it is a (possibly nested)
+   block with no effectful statements at all. *)
+let rec is_empty_stmt (st : Ast.stmt) =
+  match st.Ast.s with
+  | Ast.Block b -> List.for_all is_empty_stmt b.Ast.stmts
+  | _ -> false
+
+(* Every block of the program, in source order: function bodies plus all
+   nested blocks. *)
+let iter_blocks (prog : Ast.program) (f : Ast.block -> unit) =
+  let rec on_stmt (st : Ast.stmt) =
+    match st.Ast.s with
+    | Ast.If (_, a, b) ->
+        on_stmt a;
+        Option.iter on_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> on_stmt b
+    | Block blk -> on_block blk
+    | Decl _ | Assign _ | Return _ | Expr _ -> ()
+  and on_block blk =
+    f blk;
+    List.iter on_stmt blk.Ast.stmts
+  in
+  List.iter (fun (fn : Ast.func) -> on_block fn.body) prog.funcs
+
+let dead_asyncs (prog : Ast.program) : Finding.t list =
+  let acc = ref [] in
+  Ast.iter_stmts
+    (fun st ->
+      match st.Ast.s with
+      | Ast.Async body when is_empty_stmt body ->
+          acc :=
+            Finding.make ~rule:Finding.Dead_async ~loc:st.Ast.sloc
+              "dead async: its body contains no statements"
+            :: !acc
+      | _ -> ())
+    prog;
+  List.rev !acc
+
+let coarsen_candidates (prog : Ast.program) : Finding.t list =
+  let acc = ref [] in
+  iter_blocks prog (fun blk ->
+      let rec pairs = function
+        | ({ Ast.s = Ast.Finish _; _ } : Ast.stmt)
+          :: ({ Ast.s = Ast.Finish _; sloc; _ } as b)
+          :: rest ->
+            acc :=
+              Finding.make ~severity:Finding.Info ~rule:Finding.Finish_coarsen
+                ~loc:sloc
+                "adjacent finish statements: a single enclosing finish \
+                 would join both with one synchronization"
+              :: !acc;
+            pairs (b :: rest)
+        | _ :: rest -> pairs rest
+        | [] -> ()
+      in
+      pairs blk.Ast.stmts);
+  List.rev !acc
+
+let run (prog : Ast.program) : Finding.t list =
+  let summary, mhp, cs = Racecheck.check prog in
+  let races = Racecheck.to_findings summary cs in
+  let redundant =
+    List.map
+      (fun (_sid, loc) ->
+        Finding.make ~rule:Finding.Redundant_finish ~loc
+          "redundant finish: its body cannot spawn an escaping async, so \
+           the join is a no-op")
+      (Mhp.redundant_finishes mhp)
+  in
+  List.sort Finding.compare
+    (races @ redundant @ dead_asyncs prog @ coarsen_candidates prog)

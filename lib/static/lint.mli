@@ -1,0 +1,22 @@
+(** Lint rules over the static analysis layer, as run by
+    [tdrepair lint].
+
+    Rules (see {!Finding.rule}):
+    - {b static-race} (warning): an unproven MHP statement pair with
+      conflicting may-accesses — a possible race on some input;
+    - {b redundant-finish} (warning): a finish whose body cannot spawn an
+      escaping async (interprocedural: a body whose calls join all their
+      asyncs internally counts as async-free);
+    - {b dead-async} (warning): an async with a syntactically empty body;
+    - {b finish-coarsen} (info): adjacent sibling finishes that one
+      enclosing finish would join with a single synchronization.
+
+    The input must be normalized ({!Mhj.Front.compile}).  Findings come
+    back sorted by source position. *)
+
+val run : Mhj.Ast.program -> Finding.t list
+
+(** Individual rules (exposed for targeted tests). *)
+val dead_asyncs : Mhj.Ast.program -> Finding.t list
+
+val coarsen_candidates : Mhj.Ast.program -> Finding.t list

@@ -1,0 +1,168 @@
+(** Interprocedural static may-happen-in-parallel analysis (see mhp.mli
+    for the L/E-set semantics and the per-construct pairing rules). *)
+
+open Mhj
+module IntSet = Set.Make (Int)
+
+type t = {
+  pairs : (int * int, unit) Hashtbl.t;  (** normalized (min sid, max sid) *)
+  redundant_finishes : (int * Loc.t) list;
+  l_of_func : (string, IntSet.t) Hashtbl.t;
+  e_of_func : (string, IntSet.t) Hashtbl.t;
+}
+
+(* Analysis context: during the summary fixpoint [record] is off and only
+   the per-function L/E summaries evolve; the final pass re-walks every
+   function with [record] on, emitting MHP pairs and finish facts against
+   the converged summaries. *)
+type ctx = {
+  summary : Summary.t;
+  mutable record : bool;
+  prs : (int * int, unit) Hashtbl.t;
+  mutable redundant : (int * Loc.t) list;
+  lf : (string, IntSet.t) Hashtbl.t;
+  ef : (string, IntSet.t) Hashtbl.t;
+  mutable changed : bool;
+}
+
+let get tbl k = Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl k)
+
+let add_pairs ctx es ls =
+  if ctx.record && not (IntSet.is_empty es) then
+    IntSet.iter
+      (fun a ->
+        IntSet.iter
+          (fun b ->
+            Hashtbl.replace ctx.prs (if a <= b then (a, b) else (b, a)) ())
+          ls)
+      es
+
+(* L(s): every sid that may execute during s, transitively through calls
+   and into async bodies (including s itself).  E(s): sids that may still
+   be executing after s completes locally — the escaping asyncs.  Pairs
+   are emitted exactly where an escape meets later-or-concurrent work:
+   block suffixes, loop re-iterations, and within a statement's own
+   evaluation. *)
+let rec stmt_le ctx (st : Ast.stmt) : IntSet.t * IntSet.t =
+  let callees = Summary.calls ctx.summary st.Ast.sid in
+  let call_l =
+    List.fold_left
+      (fun acc f -> IntSet.union acc (get ctx.lf f))
+      IntSet.empty callees
+  and call_e =
+    List.fold_left
+      (fun acc f -> IntSet.union acc (get ctx.ef f))
+      IntSet.empty callees
+  in
+  let self = IntSet.singleton st.Ast.sid in
+  match st.Ast.s with
+  | Decl _ | Assign _ | Return _ | Expr _ ->
+      let l = IntSet.union self call_l in
+      (* an async escaping one call runs in parallel with the rest of the
+         statement's evaluation (later calls, the statement's accesses) *)
+      add_pairs ctx call_e l;
+      (l, call_e)
+  | If (_, a, b) ->
+      let la, ea = stmt_le ctx a in
+      let lb, eb =
+        match b with
+        | Some b -> stmt_le ctx b
+        | None -> (IntSet.empty, IntSet.empty)
+      in
+      let branches = IntSet.union la lb in
+      (* asyncs escaping the condition's calls overlap whichever branch
+         runs (and the If statement's own accesses) *)
+      add_pairs ctx call_e (IntSet.union self branches);
+      ( IntSet.union self (IntSet.union call_l branches),
+        IntSet.union call_e (IntSet.union ea eb) )
+  | While (_, body) | For (_, _, _, _, body) ->
+      let lb, eb = stmt_le ctx body in
+      let l = IntSet.union self (IntSet.union call_l lb) in
+      let e = IntSet.union call_e eb in
+      (* anything escaping the condition/bounds or one iteration may run
+         in parallel with every later iteration — including another
+         instance of itself *)
+      add_pairs ctx e l;
+      (l, e)
+  | Async body ->
+      let lb, _ = stmt_le ctx body in
+      (* the whole body escapes; no self-pairing here — a single async
+         instance runs its own body sequentially *)
+      let l = IntSet.union self lb in
+      (l, l)
+  | Finish body ->
+      let lb, eb = stmt_le ctx body in
+      if ctx.record && IntSet.is_empty eb then
+        ctx.redundant <- (st.Ast.sid, st.Ast.sloc) :: ctx.redundant;
+      (* the join: nothing escapes a finish *)
+      (IntSet.union self lb, IntSet.empty)
+  | Block blk ->
+      let lb, eb = block_le ctx blk in
+      (IntSet.union self lb, eb)
+
+and block_le ctx (blk : Ast.block) : IntSet.t * IntSet.t =
+  let les = List.map (stmt_le ctx) blk.Ast.stmts in
+  (* suffix rule: an async escaping statement i runs in parallel with
+     everything statements i+1.. may execute *)
+  ignore
+    (List.fold_right
+       (fun (l, e) suffix ->
+         add_pairs ctx e suffix;
+         IntSet.union l suffix)
+       les IntSet.empty);
+  List.fold_left
+    (fun (la, ea) (l, e) -> (IntSet.union la l, IntSet.union ea e))
+    (IntSet.empty, IntSet.empty)
+    les
+
+let analyze (prog : Ast.program) (summary : Summary.t) : t =
+  let ctx =
+    {
+      summary;
+      record = false;
+      prs = Hashtbl.create 256;
+      redundant = [];
+      lf = Hashtbl.create 16;
+      ef = Hashtbl.create 16;
+      changed = true;
+    }
+  in
+  (* per-function (L, E) summary fixpoint; sets only grow and are bounded
+     by the program's sid set, so this terminates (recursion included) *)
+  while ctx.changed do
+    ctx.changed <- false;
+    List.iter
+      (fun (fn : Ast.func) ->
+        let l, e = block_le ctx fn.body in
+        let old_l = get ctx.lf fn.fname and old_e = get ctx.ef fn.fname in
+        if not (IntSet.subset l old_l) then begin
+          Hashtbl.replace ctx.lf fn.fname (IntSet.union l old_l);
+          ctx.changed <- true
+        end;
+        if not (IntSet.subset e old_e) then begin
+          Hashtbl.replace ctx.ef fn.fname (IntSet.union e old_e);
+          ctx.changed <- true
+        end)
+      prog.funcs
+  done;
+  ctx.record <- true;
+  List.iter (fun (fn : Ast.func) -> ignore (block_le ctx fn.body)) prog.funcs;
+  {
+    pairs = ctx.prs;
+    redundant_finishes = List.rev ctx.redundant;
+    l_of_func = ctx.lf;
+    e_of_func = ctx.ef;
+  }
+
+let mhp t a b = Hashtbl.mem t.pairs (if a <= b then (a, b) else (b, a))
+
+let pairs t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.pairs [] |> List.sort compare
+
+let n_pairs t = Hashtbl.length t.pairs
+
+let redundant_finishes t = t.redundant_finishes
+
+let l_of_func t f = get t.l_of_func f
+
+let e_of_func t f = get t.e_of_func f

@@ -1,0 +1,51 @@
+(** Interprocedural static may-happen-in-parallel analysis over normalized
+    Mini-HJ ASTs.
+
+    The analysis abstracts the S-DPST's Theorem-1 MHP relation to the
+    statement level.  Each statement [s] gets two sid sets forming the
+    analysis lattice (pointwise set inclusion, bounded by the program's
+    statements):
+
+    - [L(s)] — everything that may {e execute during} [s]: [s] itself,
+      the bodies of called functions (transitively, via per-function
+      summaries iterated to fixpoint — recursion is just a larger
+      fixpoint), and all nested statements;
+    - [E(s)] — everything that may {e escape} [s]: statements of async
+      bodies spawned during [s] whose join ([finish]) is outside [s].
+      [finish] resets E to the empty set; [async] escapes its whole body;
+      a call escapes its callee's E-summary.
+
+    MHP pairs are emitted where an escape meets later-or-concurrent work:
+    for block statements [i < j], [E(s_i) × L(s_j)]; for loops,
+    [E(body) × L(body)] (cross-iteration, including self-pairs); within a
+    single statement, [E(calls) × L(s)].  The result over-approximates
+    the dynamic relation: every pair of steps that may happen in parallel
+    in some execution is covered by a pair of their statements (the
+    differential property checked in [test/test_static.ml]). *)
+
+module IntSet : Set.S with type elt = int
+
+type t
+
+(** [analyze prog summary] — [summary] supplies per-statement callee
+    lists; [prog] must be normalized ({!Mhj.Front.compile}). *)
+val analyze : Mhj.Ast.program -> Summary.t -> t
+
+(** May the two statements (by sid; order irrelevant) happen in
+    parallel?  [mhp t s s] is a self-pair: two dynamic instances of the
+    same statement may overlap (e.g. an async body under a loop). *)
+val mhp : t -> int -> int -> bool
+
+(** All pairs, normalized as (min sid, max sid), sorted. *)
+val pairs : t -> (int * int) list
+
+val n_pairs : t -> int
+
+(** Finish statements whose body cannot spawn an escaping async — the
+    join is a no-op (lint: redundant-finish). *)
+val redundant_finishes : t -> (int * Mhj.Loc.t) list
+
+(** Converged per-function summaries (diagnostics/tests). *)
+val l_of_func : t -> string -> IntSet.t
+
+val e_of_func : t -> string -> IntSet.t

@@ -1,0 +1,29 @@
+(** Static pre-pass for dynamic-detection pruning (see prune.mli). *)
+
+module IntSet = Racecheck.IntSet
+
+type t = {
+  summary : Summary.t;
+  keep_sids : IntSet.t;
+  n_conflicts : int;
+}
+
+let make (prog : Mhj.Ast.program) : t =
+  let summary, _mhp, cs = Racecheck.check prog in
+  {
+    summary;
+    keep_sids = Racecheck.may_race_sids cs;
+    n_conflicts = List.length cs;
+  }
+
+(* Unknown positions are kept: pruning is an optimization, never a bet. *)
+let keep t ~bid ~idx =
+  match Summary.stmt_at t.summary ~bid ~idx with
+  | Some sid -> IntSet.mem sid t.keep_sids
+  | None -> true
+
+let n_kept t = IntSet.cardinal t.keep_sids
+
+let n_stmts t = Summary.n_stmts t.summary
+
+let n_conflicts t = t.n_conflicts

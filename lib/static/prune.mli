@@ -1,0 +1,29 @@
+(** Static pre-pass that lets the dynamic detector skip instrumenting
+    accesses proven sequential.
+
+    A statement whose sid participates in no {!Racecheck} conflict cannot
+    be an endpoint of any dynamic race, on any input: every dynamic race
+    is covered by a static MHP pair of its statements (MHP soundness) and
+    its address falls in both statements' region summaries (alias
+    soundness), which is exactly a conflict.  Skipping the monitor
+    callback for such statements therefore leaves the MRW detector's race
+    set unchanged — MRW keeps {e all} readers and writers per location,
+    so dropping never-racing records cannot mask a race between kept
+    ones.  (SRW's single-slot shadow state is overwrite-sensitive; the
+    race-set-identity guarantee is claimed for MRW only.) *)
+
+type t
+
+val make : Mhj.Ast.program -> t
+
+(** Must the access at this interpreter position stay monitored?
+    Unknown positions are conservatively kept. *)
+val keep : t -> bid:int -> idx:int -> bool
+
+(** Statements that must stay monitored. *)
+val n_kept : t -> int
+
+val n_stmts : t -> int
+
+(** Unproven MHP/access conflicts behind the kept set. *)
+val n_conflicts : t -> int

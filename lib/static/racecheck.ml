@@ -1,0 +1,76 @@
+(** Static race reporting: intersect the MHP relation with the may-access
+    summaries (see racecheck.mli). *)
+
+open Mhj
+module IntSet = Set.Make (Int)
+module RS = Summary.RegionSet
+
+type conflict = {
+  sid_a : int;
+  sid_b : int;
+  loc_a : Loc.t;
+  loc_b : Loc.t;
+  region : Summary.region;
+  kind : [ `Write_write | `Read_write ];
+}
+
+let conflicts (summary : Summary.t) (mhp : Mhp.t) : conflict list =
+  List.filter_map
+    (fun (a, b) ->
+      let mk region kind =
+        Some
+          {
+            sid_a = a;
+            sid_b = b;
+            loc_a = Summary.loc_of summary a;
+            loc_b = Summary.loc_of summary b;
+            region;
+            kind;
+          }
+      in
+      let wa = Summary.writes summary a and wb = Summary.writes summary b in
+      let ww = RS.inter wa wb in
+      if not (RS.is_empty ww) then mk (RS.min_elt ww) `Write_write
+      else
+        let ra = Summary.reads summary a and rb = Summary.reads summary b in
+        let rw = RS.union (RS.inter wa rb) (RS.inter wb ra) in
+        if not (RS.is_empty rw) then mk (RS.min_elt rw) `Read_write
+        else None)
+    (Mhp.pairs mhp)
+
+(** Statements participating in at least one conflict — the accesses the
+    dynamic detector must keep monitoring. *)
+let may_race_sids (cs : conflict list) : IntSet.t =
+  List.fold_left
+    (fun s c -> IntSet.add c.sid_a (IntSet.add c.sid_b s))
+    IntSet.empty cs
+
+let to_findings (summary : Summary.t) (cs : conflict list) : Finding.t list =
+  List.map
+    (fun c ->
+      let kind =
+        match c.kind with
+        | `Write_write -> "write/write"
+        | `Read_write -> "read/write"
+      in
+      let pp_other ppf (c : conflict) =
+        if c.sid_a = c.sid_b then Fmt.string ppf "another instance of itself"
+        else if Loc.is_dummy c.loc_b then
+          Fmt.pf ppf "statement #%d" c.sid_b
+        else Fmt.pf ppf "the statement at %a" Loc.pp c.loc_b
+      in
+      Finding.make ~rule:Finding.Static_race ~loc:c.loc_a
+        (Fmt.str "possible %s race on %a: may happen in parallel with %a"
+           kind
+           (Summary.pp_region summary)
+           c.region pp_other c))
+    cs
+  |> List.sort_uniq Finding.compare
+
+(** One-call static verifier: analyze [prog] from scratch and report the
+    unproven pairs.  An empty result means the program is race-free for
+    {e every} input (the analysis over-approximates all executions). *)
+let check (prog : Ast.program) : Summary.t * Mhp.t * conflict list =
+  let summary = Summary.build prog in
+  let mhp = Mhp.analyze prog summary in
+  (summary, mhp, conflicts summary mhp)

@@ -1,0 +1,34 @@
+(** Static race reporting: the intersection of the {!Mhp} relation with
+    the {!Summary} may-access sets.
+
+    A {e conflict} is a statement pair that may happen in parallel and
+    whose region sets collide with at least one write.  No conflicts ⇒
+    the program is race-free for every input (both component analyses
+    over-approximate); conflicts are "unproven pairs" — possible races or
+    precision losses — reported as findings by the lint front end and as
+    the residue of the repair driver's [--static-verify] pass. *)
+
+module IntSet : Set.S with type elt = int
+
+type conflict = {
+  sid_a : int;
+  sid_b : int;
+  loc_a : Mhj.Loc.t;
+  loc_b : Mhj.Loc.t;
+  region : Summary.region;  (** one witness region of the collision *)
+  kind : [ `Write_write | `Read_write ];
+}
+
+val conflicts : Summary.t -> Mhp.t -> conflict list
+
+(** Statements participating in at least one conflict — the accesses the
+    dynamic detector must keep monitoring. *)
+val may_race_sids : conflict list -> IntSet.t
+
+(** Render conflicts as source-located, deduplicated findings. *)
+val to_findings : Summary.t -> conflict list -> Finding.t list
+
+(** Analyze a (normalized) program from scratch: build the summaries, run
+    the MHP analysis, intersect.  Empty conflicts ⇒ statically verified
+    race-free for all inputs. *)
+val check : Mhj.Ast.program -> Summary.t * Mhp.t * conflict list

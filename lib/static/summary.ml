@@ -1,0 +1,323 @@
+(** Flow-insensitive alias and access summaries for Mini-HJ (see
+    summary.mli for the model and its soundness argument). *)
+
+open Mhj
+module IntSet = Set.Make (Int)
+module SS = Set.Make (String)
+
+type region =
+  | RGlobal of string  (** the global binding itself *)
+  | RCell of int  (** any cell of an array allocated at the given site *)
+
+module RegionSet = Set.Make (struct
+  type t = region
+
+  let compare = compare
+end)
+
+(* Points-to variables of the Andersen-style analysis: each holds the set
+   of allocation sites its array value may come from. *)
+type pvar =
+  | PGlobal of string
+  | PLocal of string * string  (** (function, local or parameter) *)
+  | PRet of string  (** a function's return value *)
+  | PElem of int  (** the cells of arrays allocated at a site *)
+
+(* Allocation sites are keyed by their owner (a statement, or a global
+   initializer) and the [NewArr] occurrence index within the owner's
+   expressions in evaluation order — a pure function of the AST, so the
+   numbering is identical on every walk. *)
+type owner = Ostmt of int | Oglobal of string
+
+type info = {
+  mutable reads : RegionSet.t;
+  mutable writes : RegionSet.t;
+  mutable calls : string list;
+}
+
+type t = {
+  infos : (int, info) Hashtbl.t;  (** sid -> direct access summary *)
+  stmt_at : (int * int, int) Hashtbl.t;  (** (bid, idx) -> sid *)
+  locs : (int, Loc.t) Hashtbl.t;  (** sid -> source location *)
+  site_locs : (int, Loc.t) Hashtbl.t;  (** allocation site -> NewArr loc *)
+  n_sites : int;
+  n_stmts : int;
+}
+
+let reads t sid =
+  match Hashtbl.find_opt t.infos sid with
+  | Some i -> i.reads
+  | None -> RegionSet.empty
+
+let writes t sid =
+  match Hashtbl.find_opt t.infos sid with
+  | Some i -> i.writes
+  | None -> RegionSet.empty
+
+let calls t sid =
+  match Hashtbl.find_opt t.infos sid with Some i -> i.calls | None -> []
+
+let loc_of t sid =
+  Option.value ~default:Loc.dummy (Hashtbl.find_opt t.locs sid)
+
+let stmt_at t ~bid ~idx = Hashtbl.find_opt t.stmt_at (bid, idx)
+
+let n_sites t = t.n_sites
+
+let n_stmts t = t.n_stmts
+
+let pp_region t ppf = function
+  | RGlobal g -> Fmt.pf ppf "global '%s'" g
+  | RCell s -> (
+      match Hashtbl.find_opt t.site_locs s with
+      | Some l when not (Loc.is_dummy l) ->
+          Fmt.pf ppf "the array allocated at %a" Loc.pp l
+      | _ -> Fmt.pf ppf "an array (allocation site %d)" s)
+
+let build (prog : Ast.program) : t =
+  let globals =
+    List.fold_left
+      (fun s (g : Ast.global) -> SS.add g.gname s)
+      SS.empty prog.globals
+  in
+  (* allocation sites *)
+  let sites : (owner * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let site_locs = Hashtbl.create 64 in
+  let n_sites = ref 0 in
+  let site key loc =
+    match Hashtbl.find_opt sites key with
+    | Some s -> s
+    | None ->
+        incr n_sites;
+        let s = !n_sites in
+        Hashtbl.add sites key s;
+        Hashtbl.replace site_locs s loc;
+        s
+  in
+  (* points-to fixpoint state *)
+  let pts : (pvar, IntSet.t) Hashtbl.t = Hashtbl.create 256 in
+  let changed = ref true in
+  let lookup v =
+    Option.value ~default:IntSet.empty (Hashtbl.find_opt pts v)
+  in
+  let flow v s =
+    if not (IntSet.is_empty s) then begin
+      let cur = lookup v in
+      if not (IntSet.subset s cur) then begin
+        Hashtbl.replace pts v (IntSet.union cur s);
+        changed := true
+      end
+    end
+  in
+  (* Walk [e] in evaluation order, returning the allocation sites its
+     value may denote.  [emit]/[callf] are the record-pass hooks (no-ops
+     during the fixpoint); [ctr] numbers NewArr occurrences. *)
+  let rec expr_sites ~fname ~locals ~owner ~ctr ~emit ~callf (e : Ast.expr)
+      : IntSet.t =
+    let recur = expr_sites ~fname ~locals ~owner ~ctr ~emit ~callf in
+    match e.Ast.e with
+    | Ast.Int _ | Float _ | Bool _ | Str _ -> IntSet.empty
+    | Var x ->
+        if SS.mem x locals then lookup (PLocal (fname, x))
+        else if SS.mem x globals then begin
+          emit `R (RGlobal x);
+          lookup (PGlobal x)
+        end
+        else IntSet.empty
+    | Bin (_, a, b) ->
+        ignore (recur a);
+        ignore (recur b);
+        IntSet.empty
+    | Un (_, a) ->
+        ignore (recur a);
+        IntSet.empty
+    | Idx (a, i) ->
+        let sa = recur a in
+        ignore (recur i);
+        IntSet.iter (fun s -> emit `R (RCell s)) sa;
+        IntSet.fold
+          (fun s acc -> IntSet.union (lookup (PElem s)) acc)
+          sa IntSet.empty
+    | Call (f, args) ->
+        let arg_sites = List.map recur args in
+        if Builtins.is_builtin f then
+          (* builtins neither retain nor return caller arrays; [cas]'s
+             cell accesses are exempt from race detection by contract *)
+          IntSet.empty
+        else begin
+          callf f;
+          (match Ast.find_func prog f with
+          | Some fn when List.length fn.params = List.length arg_sites ->
+              List.iter2
+                (fun (p, _) s -> flow (PLocal (f, p)) s)
+                fn.params arg_sites
+          | _ -> ());
+          lookup (PRet f)
+        end
+    | NewArr (_, dims) ->
+        List.iter (fun d -> ignore (recur d)) dims;
+        let k = !ctr in
+        incr ctr;
+        let s = site (owner, k) e.Ast.eloc in
+        (* multi-dimensional allocation: outer cells hold the inner
+           arrays, summarized under the same site *)
+        if List.length dims > 1 then flow (PElem s) (IntSet.singleton s);
+        IntSet.singleton s
+  in
+  (* Direct effects of one statement: only its own expressions — nested
+     statements are visited separately by the walker. *)
+  let stmt_flow ~fname ~locals ~emit ~callf (st : Ast.stmt) =
+    let ctr = ref 0 in
+    let ex =
+      expr_sites ~fname ~locals ~owner:(Ostmt st.Ast.sid) ~ctr ~emit ~callf
+    in
+    match st.Ast.s with
+    | Decl (_, x, _, init) -> flow (PLocal (fname, x)) (ex init)
+    | Assign (x, [], rhs) ->
+        let s = ex rhs in
+        if SS.mem x locals then flow (PLocal (fname, x)) s
+        else if SS.mem x globals then begin
+          emit `W (RGlobal x);
+          flow (PGlobal x) s
+        end
+    | Assign (x, path, rhs) ->
+        let base =
+          if SS.mem x locals then lookup (PLocal (fname, x))
+          else if SS.mem x globals then begin
+            emit `R (RGlobal x);
+            lookup (PGlobal x)
+          end
+          else IntSet.empty
+        in
+        (* mirror the interpreter: indices in order, then the rhs, with a
+           cell read at each intermediate level and a write at the last *)
+        let rec down cur = function
+          | [] -> ()
+          | [ last ] ->
+              ignore (ex last);
+              let s = ex rhs in
+              IntSet.iter
+                (fun c ->
+                  emit `W (RCell c);
+                  flow (PElem c) s)
+                cur
+          | i :: rest ->
+              ignore (ex i);
+              IntSet.iter (fun c -> emit `R (RCell c)) cur;
+              down
+                (IntSet.fold
+                   (fun c acc -> IntSet.union (lookup (PElem c)) acc)
+                   cur IntSet.empty)
+                rest
+        in
+        down base path
+    | If (c, _, _) | While (c, _) -> ignore (ex c)
+    | For (_, lo, hi, by, _) ->
+        ignore (ex lo);
+        ignore (ex hi);
+        Option.iter (fun e -> ignore (ex e)) by
+    | Return (Some e) -> flow (PRet fname) (ex e)
+    | Return None | Async _ | Finish _ | Block _ -> ()
+    | Expr e -> ignore (ex e)
+  in
+  (* Scope-threading walker: [locals] holds the local names visible at
+     each statement (parameters, loop variables, and earlier Decls of
+     enclosing blocks), so Var resolution matches the interpreter's
+     local-shadows-global rule. *)
+  let rec walk_stmt ~fname ~locals ~emit ~callf (st : Ast.stmt) =
+    stmt_flow ~fname ~locals ~emit:(emit st) ~callf:(callf st) st;
+    match st.Ast.s with
+    | If (_, a, b) ->
+        walk_stmt ~fname ~locals ~emit ~callf a;
+        Option.iter (walk_stmt ~fname ~locals ~emit ~callf) b
+    | While (_, b) -> walk_stmt ~fname ~locals ~emit ~callf b
+    | For (i, _, _, _, b) ->
+        walk_stmt ~fname ~locals:(SS.add i locals) ~emit ~callf b
+    | Async b | Finish b -> walk_stmt ~fname ~locals ~emit ~callf b
+    | Block blk -> walk_block ~fname ~locals ~emit ~callf blk
+    | Decl _ | Assign _ | Return _ | Expr _ -> ()
+  and walk_block ~fname ~locals ~emit ~callf (blk : Ast.block) =
+    ignore
+      (List.fold_left
+         (fun locals st ->
+           walk_stmt ~fname ~locals ~emit ~callf st;
+           match st.Ast.s with
+           | Ast.Decl (_, x, _, _) -> SS.add x locals
+           | _ -> locals)
+         locals blk.Ast.stmts)
+  in
+  let pass ~emit ~callf =
+    (* global initializers run unmonitored (program setup), so their
+       accesses are never recorded — only their array flows matter *)
+    List.iter
+      (fun (g : Ast.global) ->
+        let ctr = ref 0 in
+        flow (PGlobal g.gname)
+          (expr_sites ~fname:"" ~locals:SS.empty ~owner:(Oglobal g.gname)
+             ~ctr
+             ~emit:(fun _ _ -> ())
+             ~callf:(fun _ -> ())
+             g.ginit))
+      prog.globals;
+    List.iter
+      (fun (fn : Ast.func) ->
+        let locals =
+          List.fold_left (fun s (p, _) -> SS.add p s) SS.empty fn.params
+        in
+        walk_block ~fname:fn.fname ~locals ~emit ~callf fn.body)
+      prog.funcs
+  in
+  let quiet_emit _ _ _ = () and quiet_call _ _ = () in
+  while !changed do
+    changed := false;
+    pass ~emit:quiet_emit ~callf:quiet_call
+  done;
+  (* one recording pass over the converged points-to solution *)
+  let infos = Hashtbl.create 256 in
+  let info_of sid =
+    match Hashtbl.find_opt infos sid with
+    | Some i -> i
+    | None ->
+        let i =
+          { reads = RegionSet.empty; writes = RegionSet.empty; calls = [] }
+        in
+        Hashtbl.add infos sid i;
+        i
+  in
+  let emit (st : Ast.stmt) rw region =
+    let i = info_of st.Ast.sid in
+    match rw with
+    | `R -> i.reads <- RegionSet.add region i.reads
+    | `W -> i.writes <- RegionSet.add region i.writes
+  in
+  let callf (st : Ast.stmt) f =
+    let i = info_of st.Ast.sid in
+    if not (List.mem f i.calls) then i.calls <- f :: i.calls
+  in
+  pass ~emit ~callf;
+  (* positional index: every (block id, statement index) to its sid — the
+     coordinates the interpreter reports at each monitored access *)
+  let stmt_at = Hashtbl.create 256 and locs = Hashtbl.create 256 in
+  let n_stmts = ref 0 in
+  Ast.iter_stmts
+    (fun st ->
+      incr n_stmts;
+      Hashtbl.replace locs st.Ast.sid st.Ast.sloc)
+    prog;
+  let rec index_stmt (st : Ast.stmt) =
+    match st.Ast.s with
+    | If (_, a, b) ->
+        index_stmt a;
+        Option.iter index_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> index_stmt b
+    | Block blk -> index_block blk
+    | Decl _ | Assign _ | Return _ | Expr _ -> ()
+  and index_block (blk : Ast.block) =
+    List.iteri
+      (fun i st ->
+        Hashtbl.replace stmt_at (blk.Ast.bid, i) st.Ast.sid;
+        index_stmt st)
+      blk.Ast.stmts
+  in
+  List.iter (fun (fn : Ast.func) -> index_block fn.body) prog.funcs;
+  { infos; stmt_at; locs; site_locs; n_sites = !n_sites; n_stmts = !n_stmts }

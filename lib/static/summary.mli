@@ -1,0 +1,58 @@
+(** Flow-insensitive alias and may-access summaries for Mini-HJ.
+
+    {b Model.}  Mini-HJ's only shared mutable state is globals and array
+    cells ({!Rt.Addr}).  Abstract memory regions mirror that:
+    [RGlobal g] is the global binding [g] itself, and [RCell s] stands for
+    {e any} cell of {e any} array allocated at site [s] (a [NewArr]
+    occurrence, or one per dimension group of a multi-dimensional
+    allocation).  An Andersen-style, flow- and context-insensitive
+    points-to fixpoint propagates allocation sites through locals,
+    globals, parameters, returns and array cells; per statement, a final
+    recording pass intersects the converged solution with the statement's
+    own expressions to produce may-read / may-write region sets, plus the
+    list of user functions it calls.
+
+    {b Soundness.}  The points-to sets over-approximate every execution:
+    any runtime array reachable by an expression was allocated at one of
+    the expression's static sites, so two dynamic accesses to the same
+    address always map to region sets that share a region (name identity
+    for globals, a common allocation site for cells).  Accesses are
+    attributed to the statement whose expression evaluation performs them
+    — exactly the (block id, statement index) coordinates the interpreter
+    reports to monitors — so [stmt_at] translates dynamic access positions
+    to the statement ids summarized here. *)
+
+type region =
+  | RGlobal of string  (** the global binding itself *)
+  | RCell of int  (** any cell of an array allocated at the given site *)
+
+module RegionSet : Set.S with type elt = region
+
+type t
+
+val build : Mhj.Ast.program -> t
+
+(** Regions the statement may read (its own expressions only; nested
+    statements are summarized separately). *)
+val reads : t -> int -> RegionSet.t
+
+(** Regions the statement may write. *)
+val writes : t -> int -> RegionSet.t
+
+(** User functions called from the statement's own expressions. *)
+val calls : t -> int -> string list
+
+(** Source location of a statement id ({!Mhj.Loc.dummy} if unknown). *)
+val loc_of : t -> int -> Mhj.Loc.t
+
+(** The statement id at a (block id, statement index) position — the
+    coordinates the interpreter reports at each monitored access. *)
+val stmt_at : t -> bid:int -> idx:int -> int option
+
+val n_sites : t -> int
+
+val n_stmts : t -> int
+
+(** Render a region for reports, naming the allocation site's source
+    location when known. *)
+val pp_region : t -> region Fmt.t

@@ -298,6 +298,77 @@ let test_budget_flags () =
       in
       Alcotest.(check int) "affordable budgets exit 0" 0 code3)
 
+(* The static analysis layer: lint findings, the lint exit-code contract,
+   and the --static-prune / --static-verify integration flags. *)
+let test_lint () =
+  (* racy program: static-race findings, exit 6 *)
+  let code, out = run_cli [ "lint"; sample "figure5.mhj" ] in
+  Alcotest.(check int) "findings exit" 6 code;
+  check_contains "lint" out "warning[static-race]";
+  check_contains "lint" out "finding(s)";
+  (* --exit-zero downgrades the exit code but not the findings *)
+  let code2, out2 = run_cli [ "lint"; "--exit-zero"; sample "figure5.mhj" ] in
+  Alcotest.(check int) "exit-zero" 0 code2;
+  check_contains "lint --exit-zero" out2 "warning[static-race]";
+  (* a clean, synchronized program: no findings, exit 0 *)
+  with_tmp_program
+    "var x: int = 0;\ndef main() { finish { async { x = 1; } } print(x); }"
+    (fun f ->
+      let code3, out3 = run_cli [ "lint"; f ] in
+      Alcotest.(check int) "clean exit" 0 code3;
+      check_contains "clean lint" out3 "no findings");
+  (* redundant finish is reported with its own rule name *)
+  with_tmp_program "var x: int = 0;\ndef main() { finish { x = 1; } }"
+    (fun f ->
+      let code4, out4 = run_cli [ "lint"; f ] in
+      Alcotest.(check int) "redundant-finish exit" 6 code4;
+      check_contains "redundant finish" out4 "warning[redundant-finish]");
+  (* no input at all is an input error, not "no findings" *)
+  let code5, _ = run_cli [ "lint" ] in
+  Alcotest.(check int) "no input exit" 3 code5
+
+let test_detect_static_prune () =
+  let code, out =
+    run_cli [ "detect"; "--static-prune"; sample "figure5.mhj" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "prune stats" out "statement(s) stay monitored";
+  (* the race count matches the unpruned run *)
+  check_contains "race set unchanged" out "2 race report(s)";
+  (* a program whose sequential part does real work: those accesses are
+     skipped, while the race on x is still found *)
+  with_tmp_program
+    "var x: int = 0;\nvar y: int = 0;\n\
+     def main() {\n\
+    \  y = 1;\n\
+    \  y = y + 1;\n\
+    \  async { x = 1; }\n\
+    \  x = 2;\n\
+    \  print(y);\n\
+     }"
+    (fun f ->
+      let code2, out2 = run_cli [ "detect"; "--static-prune"; f ] in
+      Alcotest.(check int) "exit 0" 0 code2;
+      check_contains "skipped accesses" out2 "proven sequential";
+      check_contains "race still found" out2 "1 race report(s)";
+      check_contains "race on x" out2 "W->W race on x")
+
+let test_repair_static_verify () =
+  (* figure5 repairs to a program with no unproven MHP pair *)
+  let code, out =
+    run_cli [ "repair"; "-q"; "--static-verify"; sample "figure5.mhj" ]
+  in
+  Alcotest.(check int) "verified exit" 0 code;
+  check_contains "verdict" out "statically verified: race-free for all inputs";
+  (* --static-prune composes with repair and converges to the same result *)
+  let code2, out2 =
+    run_cli
+      [ "repair"; "-q"; "--static-prune"; "--static-verify";
+        sample "figure5.mhj" ]
+  in
+  Alcotest.(check int) "pruned repair exit" 0 code2;
+  check_contains "pruned repair" out2 "race-free"
+
 let () =
   Alcotest.run "cli"
     [
@@ -326,5 +397,10 @@ let () =
           Alcotest.test_case "located interp diagnostics" `Quick
             test_located_interp_diagnostics;
           Alcotest.test_case "budget flags" `Quick test_budget_flags;
+          Alcotest.test_case "lint" `Quick test_lint;
+          Alcotest.test_case "detect --static-prune" `Quick
+            test_detect_static_prune;
+          Alcotest.test_case "repair --static-verify" `Quick
+            test_repair_static_verify;
         ] );
     ]

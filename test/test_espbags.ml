@@ -192,7 +192,8 @@ let mrw_equals_mhp_oracle seed =
     {
       Rt.Monitor.nop with
       Rt.Monitor.on_access =
-        (fun ~step addr kind -> accesses := (step, addr, kind) :: !accesses);
+        (fun ~step ~bid:_ ~idx:_ addr kind ->
+          accesses := (step, addr, kind) :: !accesses);
     }
   in
   let det = Espbags.Detector.make Espbags.Detector.Mrw in
@@ -264,7 +265,7 @@ let mrw_matches_oracle_prop =
       let counter =
         {
           Rt.Monitor.nop with
-          Rt.Monitor.on_access = (fun ~step:_ _ _ -> incr count);
+          Rt.Monitor.on_access = (fun ~step:_ ~bid:_ ~idx:_ _ _ -> incr count);
         }
       in
       let _ = Rt.Interp.run ~monitor:counter prog in

@@ -358,6 +358,106 @@ let test_scopecheck () =
     "no decl involved" true
     (Scopecheck.wrap_ok scopes ~bid ~lo:3 ~hi:3)
 
+(* Every block of the program — however deeply nested under async, finish,
+   loops or in helper functions — must be indexed by the scope table, or
+   position-based queries (the repair tool's, the static pruner's) would
+   silently fail on it. *)
+let all_block_ids (p : Ast.program) =
+  let acc = ref [] in
+  let rec stmt (st : Ast.stmt) =
+    match st.s with
+    | Ast.Block b -> block b
+    | Ast.Async s | Ast.Finish s | Ast.While (_, s) | Ast.For (_, _, _, _, s)
+      ->
+        stmt s
+    | Ast.If (_, t, e) ->
+        stmt t;
+        Option.iter stmt e
+    | Ast.Decl _ | Ast.Assign _ | Ast.Return _ | Ast.Expr _ -> ()
+  and block (b : Ast.block) =
+    acc := b.bid :: !acc;
+    List.iter stmt b.stmts
+  in
+  List.iter (fun (f : Ast.func) -> block f.body) p.funcs;
+  !acc
+
+let test_scopecheck_covers_nested_blocks () =
+  let p =
+    compile
+      "var x: int = 0;\n\
+       def helper(n: int) { finish { async { x = n; } } }\n\
+       def main() {\n\
+      \  async { finish { async { x = 1; } } }\n\
+      \  for (i = 0 to 2) { async { x = i; } }\n\
+      \  helper(7);\n\
+       }"
+  in
+  let scopes = Scopecheck.build p in
+  List.iter
+    (fun bid ->
+      if not (Hashtbl.mem scopes.Scopecheck.blocks bid) then
+        Alcotest.failf "block %d missing from the scope table" bid)
+    (all_block_ids p)
+
+let test_scopecheck_async_under_loop () =
+  let p =
+    compile
+      "var x: int = 0;\n\
+       def main() { for (i = 0 to 3) { val d: int = i; async { x = d; } } }"
+  in
+  let scopes = Scopecheck.build p in
+  (* the loop body block: find it as the block holding two statements,
+     the first of which declares d *)
+  let body_bid =
+    Hashtbl.fold
+      (fun bid (stmts : Ast.stmt array) acc ->
+        match (acc, Array.length stmts) with
+        | None, 2 -> (
+            match stmts.(0).Ast.s with
+            | Ast.Decl (_, "d", _, _) -> Some bid
+            | _ -> acc)
+        | _ -> acc)
+      scopes.Scopecheck.blocks None
+  in
+  match body_bid with
+  | None -> Alcotest.fail "loop body block not indexed"
+  | Some bid ->
+      Alcotest.(check bool)
+        "wrapping the decl away from the async is rejected" false
+        (Scopecheck.wrap_ok scopes ~bid ~lo:0 ~hi:0);
+      Alcotest.(check bool)
+        "wrapping decl and async together is fine" true
+        (Scopecheck.wrap_ok scopes ~bid ~lo:0 ~hi:1)
+
+let test_scopecheck_method_calls () =
+  (* wrap_ok must answer for helper-function bodies, not just main *)
+  let p =
+    compile
+      "var x: int = 0;\n\
+       def f() { val t: int = 1; x = t; }\n\
+       def main() { f(); }"
+  in
+  let scopes = Scopecheck.build p in
+  let f = Option.get (Ast.find_func p "f") in
+  Alcotest.(check bool)
+    "helper decl used later is rejected" false
+    (Scopecheck.wrap_ok scopes ~bid:f.body.bid ~lo:0 ~hi:0);
+  Alcotest.(check bool)
+    "whole helper body is fine" true
+    (Scopecheck.wrap_ok scopes ~bid:f.body.bid ~lo:0 ~hi:1)
+
+(* Normalization is a projection: running it on already-normalized
+   programs (Progen output is normalized by construction) changes
+   nothing. *)
+let normalize_idempotent_prop =
+  QCheck.Test.make ~name:"normalize is idempotent on random programs"
+    ~count:60
+    QCheck.(int_range 0 100000)
+    (fun seed ->
+      let p = compile (Benchsuite.Progen.generate ~seed ()) in
+      let n = Normalize.normalize p in
+      Normalize.is_normalized n && eq_program p n)
+
 let () =
   Alcotest.run "mhj"
     [
@@ -398,5 +498,12 @@ let () =
           Alcotest.test_case "crossing rejected" `Quick
             test_insert_crossing_rejected;
           Alcotest.test_case "scopecheck" `Quick test_scopecheck;
+          Alcotest.test_case "scopecheck nested blocks" `Quick
+            test_scopecheck_covers_nested_blocks;
+          Alcotest.test_case "scopecheck async under loop" `Quick
+            test_scopecheck_async_under_loop;
+          Alcotest.test_case "scopecheck helper functions" `Quick
+            test_scopecheck_method_calls;
+          QCheck_alcotest.to_alcotest normalize_idempotent_prop;
         ] );
     ]

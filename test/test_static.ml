@@ -1,0 +1,387 @@
+(* Tests for the static analysis layer (lib/static): MHP pairs, alias
+   summaries, race conflicts, the lint rules, and the two properties that
+   justify wiring the layer into the dynamic pipeline — soundness of the
+   static MHP relation w.r.t. the ESP-bags detector, and race-set identity
+   under static pruning. *)
+
+let compile = Mhj.Front.compile
+
+let analyze src =
+  let prog = compile src in
+  let summary = Static.Summary.build prog in
+  let mhp = Static.Mhp.analyze prog summary in
+  (prog, summary, mhp)
+
+let conflicts src =
+  let _, summary, mhp = analyze src in
+  Static.Racecheck.conflicts summary mhp
+
+(* The statement ids of every async body in source order. *)
+let async_body_sids prog =
+  let acc = ref [] in
+  Mhj.Ast.iter_stmts
+    (fun st ->
+      match st.Mhj.Ast.s with
+      | Mhj.Ast.Async body -> acc := body.Mhj.Ast.sid :: !acc
+      | _ -> ())
+    prog;
+  List.rev !acc
+
+let rule_names findings =
+  List.sort_uniq compare
+    (List.map (fun (f : Static.Finding.t) -> Static.Finding.rule_name f.rule)
+       findings)
+
+(* ------------------------------------------------------------------ *)
+(* MHP unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_sibling_asyncs_mhp () =
+  let prog, _, mhp =
+    analyze "var x: int = 0;\ndef main() { async { x = 1; } async { x = 2; } }"
+  in
+  match async_body_sids prog with
+  | [ a; b ] ->
+      Alcotest.(check bool) "bodies may run in parallel" true
+        (Static.Mhp.mhp mhp a b);
+      Alcotest.(check bool) "no self-pair without a loop" false
+        (Static.Mhp.mhp mhp a a)
+  | sids -> Alcotest.failf "expected 2 async bodies, got %d" (List.length sids)
+
+let test_finish_kills_mhp () =
+  let prog, summary, mhp =
+    analyze
+      "var x: int = 0;\n\
+       def main() { finish { async { x = 1; } } x = 2; }"
+  in
+  let body =
+    match async_body_sids prog with
+    | [ s ] -> s
+    | _ -> Alcotest.fail "expected one async"
+  in
+  (* the final assignment is some statement after the finish; no statement
+     outside the finish may overlap the async body *)
+  Mhj.Ast.iter_stmts
+    (fun st ->
+      if st.Mhj.Ast.sid <> body then
+        Alcotest.(check bool)
+          (Fmt.str "sid %d vs async body" st.Mhj.Ast.sid)
+          false
+          (Static.Mhp.mhp mhp st.Mhj.Ast.sid body))
+    prog;
+  ignore summary
+
+let test_loop_self_pair () =
+  let prog, _, mhp =
+    analyze
+      "var x: int = 0;\n\
+       def main() { for (i = 0 to 3) { async { x = x + 1; } } }"
+  in
+  match async_body_sids prog with
+  | [ body ] ->
+      Alcotest.(check bool) "cross-iteration self-pair" true
+        (Static.Mhp.mhp mhp body body)
+  | _ -> Alcotest.fail "expected one async"
+
+let test_interprocedural_escape () =
+  (* f leaves its async unjoined: the escape crosses the call boundary *)
+  let escaping =
+    conflicts
+      "var x: int = 0;\n\
+       def f() { async { x = 1; } }\n\
+       def main() { f(); x = 2; }"
+  in
+  Alcotest.(check bool) "escaping async conflicts with caller" true
+    (escaping <> []);
+  (* g joins its async internally: nothing escapes, nothing conflicts *)
+  let joined =
+    conflicts
+      "var x: int = 0;\n\
+       def g() { finish { async { x = 1; } } }\n\
+       def main() { g(); x = 2; }"
+  in
+  Alcotest.(check int) "joined async is invisible to the caller" 0
+    (List.length joined)
+
+(* ------------------------------------------------------------------ *)
+(* Alias summary / race-check unit tests                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_alias_conflict () =
+  (* b aliases a, so the two writes collide through different names *)
+  let cs =
+    conflicts
+      "def main() {\n\
+      \  val a: int[] = new int[2];\n\
+      \  val b: int[] = a;\n\
+      \  async { a[0] = 1; }\n\
+      \  b[0] = 2;\n\
+       }"
+  in
+  Alcotest.(check bool) "aliased arrays conflict" true (cs <> []);
+  Alcotest.(check bool) "witness is a write/write" true
+    (List.exists (fun (c : Static.Racecheck.conflict) -> c.kind = `Write_write)
+       cs)
+
+let test_disjoint_allocations_no_conflict () =
+  let cs =
+    conflicts
+      "def main() {\n\
+      \  val a: int[] = new int[2];\n\
+      \  val b: int[] = new int[2];\n\
+      \  async { a[0] = 1; }\n\
+      \  b[0] = 2;\n\
+       }"
+  in
+  Alcotest.(check int) "distinct sites stay disjoint" 0 (List.length cs)
+
+let test_param_aliasing () =
+  (* the same array flows into both calls; writes in the escaped asyncs
+     must be seen as colliding through the shared parameter *)
+  let cs =
+    conflicts
+      "def put(a: int[]) { async { a[0] = 1; } }\n\
+       def main() { val a: int[] = new int[4]; put(a); put(a); }"
+  in
+  Alcotest.(check bool) "aliasing through parameters detected" true
+    (cs <> [])
+
+let test_verified_clean () =
+  let prog =
+    compile
+      "var x: int = 0;\n\
+       def main() { finish { async { x = 1; } } print(x); }"
+  in
+  let _, _, cs = Static.Racecheck.check prog in
+  Alcotest.(check int) "fully synchronized program verifies" 0
+    (List.length cs)
+
+let test_figure5_static_races () =
+  (* Figure 5 of the paper: the dynamic detector finds races on x and y;
+     the static layer must cover both (soundness), as findings *)
+  let prog =
+    compile
+      {|
+var x: int = 0;
+var y: int = 0;
+def main() {
+  if (1 < 2) {
+    async { work(5); }
+    async { x = 1; }
+  }
+  async { y = 2; }
+  async { print(x + y); }
+}
+|}
+  in
+  let summary, _, cs = Static.Racecheck.check prog in
+  let findings = Static.Racecheck.to_findings summary cs in
+  Alcotest.(check bool) "finds the figure-5 conflicts" true
+    (List.length findings >= 2);
+  Alcotest.(check (list string)) "all are static-race findings"
+    [ "static-race" ] (rule_names findings)
+
+(* ------------------------------------------------------------------ *)
+(* Lint rules                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_redundant_finish () =
+  let prog = compile "var x: int = 0;\ndef main() { finish { x = 1; } }" in
+  let findings = Static.Lint.run prog in
+  Alcotest.(check (list string)) "flags the async-free finish"
+    [ "redundant-finish" ] (rule_names findings)
+
+let test_redundant_finish_interprocedural () =
+  (* the callee joins its own async, so the caller's finish is a no-op *)
+  let prog =
+    compile
+      "var x: int = 0;\n\
+       def g() { finish { async { x = 1; } } }\n\
+       def main() { finish { g(); } }"
+  in
+  let findings = Static.Lint.run prog in
+  Alcotest.(check bool) "outer finish flagged through the call" true
+    (List.mem "redundant-finish" (rule_names findings))
+
+let test_no_redundant_finish_when_needed () =
+  let prog =
+    compile "var x: int = 0;\ndef main() { finish { async { x = 1; } } }"
+  in
+  let findings = Static.Lint.run prog in
+  Alcotest.(check bool) "joining finish not flagged" false
+    (List.mem "redundant-finish" (rule_names findings))
+
+let test_dead_async () =
+  let prog = compile "def main() { async { } print(1); }" in
+  let findings = Static.Lint.dead_asyncs prog in
+  Alcotest.(check int) "one dead async" 1 (List.length findings);
+  Alcotest.(check (list string)) "rule" [ "dead-async" ] (rule_names findings)
+
+let test_finish_coarsen () =
+  let prog =
+    compile
+      "var x: int = 0;\nvar y: int = 0;\n\
+       def main() {\n\
+      \  finish { async { x = 1; } }\n\
+      \  finish { async { y = 1; } }\n\
+       }"
+  in
+  let findings = Static.Lint.coarsen_candidates prog in
+  Alcotest.(check int) "adjacent finishes reported once" 1
+    (List.length findings);
+  List.iter
+    (fun (f : Static.Finding.t) ->
+      Alcotest.(check bool) "coarsening is informational" true
+        (f.severity = Static.Finding.Info))
+    findings
+
+(* ------------------------------------------------------------------ *)
+(* Prune unit tests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_counts () =
+  let prog =
+    compile
+      "var x: int = 0;\nvar y: int = 0;\n\
+       def main() {\n\
+      \  y = 5;\n\
+      \  print(y);\n\
+      \  async { x = 1; }\n\
+      \  print(x);\n\
+       }"
+  in
+  let p = Static.Prune.make prog in
+  Alcotest.(check bool) "some statements pruned" true
+    (Static.Prune.n_kept p < Static.Prune.n_stmts p);
+  Alcotest.(check bool) "some conflicts remain" true
+    (Static.Prune.n_conflicts p > 0);
+  (* unknown coordinates are conservatively kept *)
+  Alcotest.(check bool) "unknown position kept" true
+    (Static.Prune.keep p ~bid:999_999 ~idx:0)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Statement ids a step may have executed: the step covers statement
+   indices [origin_idx .. last_idx] of its origin block. *)
+let step_sids summary (n : Sdpst.Node.t) =
+  let lo = n.Sdpst.Node.origin_idx in
+  let hi = max lo n.Sdpst.Node.last_idx in
+  let rec go i acc =
+    if i > hi then acc
+    else
+      match Static.Summary.stmt_at summary ~bid:n.Sdpst.Node.origin_bid ~idx:i with
+      | Some sid -> go (i + 1) (sid :: acc)
+      | None -> go (i + 1) acc
+  in
+  go lo []
+
+(* Differential soundness: every race the dynamic MRW detector reports is
+   covered by a static MHP pair of the endpoint statements.  This is the
+   property that makes --static-prune and --static-verify sound. *)
+let static_mhp_covers_dynamic_races =
+  QCheck.Test.make ~name:"static MHP covers every dynamic race" ~count:500
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let det, _ = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+      let summary = Static.Summary.build prog in
+      let mhp = Static.Mhp.analyze prog summary in
+      List.for_all
+        (fun (r : Espbags.Race.t) ->
+          let srcs = step_sids summary r.src in
+          let sinks = step_sids summary r.sink in
+          let covered =
+            List.exists
+              (fun a -> List.exists (fun b -> Static.Mhp.mhp mhp a b) sinks)
+              srcs
+          in
+          if not covered then
+            QCheck.Test.fail_reportf
+              "seed %d: race %a not covered by any static MHP pair\n\
+               src step: block %d, stmts %d..%d; sink step: block %d, stmts \
+               %d..%d"
+              seed Espbags.Race.pp r r.src.Sdpst.Node.origin_bid
+              r.src.Sdpst.Node.origin_idx r.src.Sdpst.Node.last_idx
+              r.sink.Sdpst.Node.origin_bid r.sink.Sdpst.Node.origin_idx
+              r.sink.Sdpst.Node.last_idx;
+          covered)
+        (Espbags.Detector.races det))
+
+(* A race signature that is stable across runs (node ids are not). *)
+let race_signature (r : Espbags.Race.t) =
+  ( r.src.Sdpst.Node.origin_bid,
+    r.src.Sdpst.Node.origin_idx,
+    r.sink.Sdpst.Node.origin_bid,
+    r.sink.Sdpst.Node.origin_idx,
+    Fmt.str "%a" Rt.Addr.pp r.addr,
+    Fmt.str "%a" Espbags.Race.pp_kind r.kind )
+
+(* Race-set identity under pruning: running MRW with the static keep
+   predicate reports exactly the same races as the unpruned run. *)
+let prune_preserves_race_set =
+  QCheck.Test.make ~name:"--static-prune preserves the MRW race set"
+    ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let full, _ = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+      let pr = Static.Prune.make prog in
+      let pruned, _ =
+        Espbags.Detector.detect
+          ~keep:(fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+          Espbags.Detector.Mrw prog
+      in
+      let sigs d =
+        List.sort_uniq compare
+          (List.map race_signature (Espbags.Detector.races d))
+      in
+      let a = sigs full and b = sigs pruned in
+      if a <> b then
+        QCheck.Test.fail_reportf
+          "seed %d: race sets differ (full %d, pruned %d; %d accesses \
+           skipped)"
+          seed (List.length a) (List.length b) pruned.n_skipped;
+      true)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "static"
+    [
+      ( "mhp",
+        [
+          Alcotest.test_case "sibling asyncs" `Quick test_sibling_asyncs_mhp;
+          Alcotest.test_case "finish barrier" `Quick test_finish_kills_mhp;
+          Alcotest.test_case "loop self-pair" `Quick test_loop_self_pair;
+          Alcotest.test_case "interprocedural escape" `Quick
+            test_interprocedural_escape;
+        ] );
+      ( "alias",
+        [
+          Alcotest.test_case "aliased arrays" `Quick test_alias_conflict;
+          Alcotest.test_case "disjoint allocations" `Quick
+            test_disjoint_allocations_no_conflict;
+          Alcotest.test_case "parameter aliasing" `Quick test_param_aliasing;
+          Alcotest.test_case "verified clean" `Quick test_verified_clean;
+          Alcotest.test_case "figure 5" `Quick test_figure5_static_races;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "redundant finish" `Quick test_redundant_finish;
+          Alcotest.test_case "redundant finish, interprocedural" `Quick
+            test_redundant_finish_interprocedural;
+          Alcotest.test_case "needed finish kept" `Quick
+            test_no_redundant_finish_when_needed;
+          Alcotest.test_case "dead async" `Quick test_dead_async;
+          Alcotest.test_case "finish coarsening" `Quick test_finish_coarsen;
+        ] );
+      ( "prune",
+        [ Alcotest.test_case "counts" `Quick test_prune_counts ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ static_mhp_covers_dynamic_races; prune_preserves_race_set ] );
+    ]

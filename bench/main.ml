@@ -5,18 +5,19 @@
    single argument selects one piece:
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
-                                  students|ablation|prune|micro|all]
+                                  students|ablation|prune|speedup|micro|all]
 
    (table3 and table4 are produced by the same SRW-vs-MRW sweep.) *)
 
 let usage () =
   Fmt.epr
-    "usage: main.exe [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|micro|all]@.";
+    "usage: main.exe \
+     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|speedup|micro|all]@.";
   exit 1
 
 let () =
   let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   (match which with
   | "table1" -> Tables.table1 ()
   | "table2" -> Tables.table2 ()
@@ -26,6 +27,7 @@ let () =
   | "students" -> Tables.students ()
   | "ablation" -> Tables.ablation ()
   | "prune" -> Prune.run ()
+  | "speedup" -> Speedup.run ()
   | "micro" -> Micro.run_and_print ()
   | "all" ->
       Tables.table1 ();
@@ -36,6 +38,7 @@ let () =
       Tables.students ();
       Tables.ablation ();
       Prune.run ();
+      Speedup.run ();
       Micro.run_and_print ()
   | _ -> usage ());
-  Fmt.pr "@.[bench completed in %.1fs]@." (Unix.gettimeofday () -. t0)
+  Fmt.pr "@.[bench completed in %.1fs]@." (Clock.elapsed_s t0)

@@ -80,6 +80,15 @@ let test_table1_frontend =
   Test.make ~name:"table1/compile-fibonacci"
     (Staged.stage (fun () -> ignore (Mhj.Front.compile src)))
 
+(* parallel backend: one deterministic fuzzed schedule of the same fib
+   program the sequential interpreter benchmarks run (compare against
+   table2/mrw-detect-fib for scheduler + snapshot overhead) *)
+let test_par_fuzz =
+  let prog = Mhj.Front.compile fib_src in
+  Test.make ~name:"par/fuzz-exec-fib"
+    (Staged.stage (fun () ->
+         ignore (Par.Engine.run ~mode:(Par.Engine.Fuzz { seed = 1 }) prog)))
+
 let all_tests =
   Test.make_grouped ~name:"tdrace"
     [
@@ -94,6 +103,7 @@ let all_tests =
       test_fig16_graph;
       test_fig16_sched;
       test_students_grade;
+      test_par_fuzz;
     ]
 
 let run_and_print () =

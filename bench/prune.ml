@@ -9,10 +9,7 @@
    (the soundness contract of lib/static/prune.mli): a mismatch aborts
    the sweep rather than print a corrupt table. *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Clock.time
 
 let hr () = Fmt.pr "%s@." (String.make 100 '-')
 

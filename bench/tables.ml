@@ -2,10 +2,7 @@
    evaluation (§7).  Each function prints the same rows/series the paper
    reports; EXPERIMENTS.md records paper-vs-measured. *)
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+let time = Clock.time
 
 let hr () = Fmt.pr "%s@." (String.make 100 '-')
 
@@ -288,7 +285,7 @@ let ablation_coalesce () =
     races;
   List.iter
     (fun coalesce ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_ns () in
       let max_n = ref 0 in
       let total_cost = ref 0 in
       Hashtbl.iter
@@ -302,7 +299,7 @@ let ablation_coalesce () =
         "  coalesce=%-5b groups=%d  max vertices=%4d  sum of DP optima=%d  \
          wall=%.3fs@."
         coalesce (Hashtbl.length groups) !max_n !total_cost
-        (Unix.gettimeofday () -. t0))
+        (Clock.elapsed_s t0))
     [ true; false ];
   Fmt.pr
     "(the wall-time gap is the O(n^3) blow-up coalescing removes; merging \

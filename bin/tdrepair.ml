@@ -148,24 +148,42 @@ let parse_cmd =
     Term.(const run $ file_arg)
 
 let run_cmd =
-  let run file procs sets =
+  let run file procs sets par seed pace_ns =
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
-        let res = Rt.Interp.run prog in
-        print_string res.output;
-        let cpl = Sdpst.Analysis.critical_path_length res.tree in
-        let g = Compgraph.Graph.of_sdpst res.tree in
-        Fmt.pr
-          "work (T1) = %d cost units@\n\
-           critical path (Tinf) = %d@\n\
-           parallelism = %.2f@\n\
-           simulated T_%d = %d@\n\
-           S-DPST nodes = %d@."
-          res.work cpl
-          (float_of_int res.work /. float_of_int (max 1 cpl))
-          procs
-          (Compgraph.Sched.makespan ~procs g)
-          res.tree.Sdpst.Node.n_nodes)
+        match par with
+        | None ->
+            let res = Rt.Interp.run prog in
+            print_string res.output;
+            let cpl = Sdpst.Analysis.critical_path_length res.tree in
+            let g = Compgraph.Graph.of_sdpst res.tree in
+            Fmt.pr
+              "work (T1) = %d cost units@\n\
+               critical path (Tinf) = %d@\n\
+               parallelism = %.2f@\n\
+               simulated T_%d = %d@\n\
+               S-DPST nodes = %d@."
+              res.work cpl
+              (float_of_int res.work /. float_of_int (max 1 cpl))
+              procs
+              (Compgraph.Sched.makespan ~procs g)
+              res.tree.Sdpst.Node.n_nodes
+        | Some n ->
+            let n = if n <= 0 then Domain.recommended_domain_count () else n in
+            let mode =
+              if n = 1 then Par.Engine.Fuzz { seed }
+              else Par.Engine.Domains { n; seed }
+            in
+            let res = Par.Engine.run ~pace_ns ~mode prog in
+            print_string res.output;
+            Fmt.pr
+              "parallel run: %d domain(s)%s, seed %d@\n\
+               work (T1) = %d cost units@\n\
+               tasks spawned = %d, steals = %d@\n\
+               wall-clock = %.3f s@."
+              res.n_domains
+              (if n = 1 then " (deterministic fuzz schedule)" else "")
+              seed res.work res.n_tasks res.n_steals res.wall_s)
   in
   let procs =
     Arg.(
@@ -173,12 +191,41 @@ let run_cmd =
       & info [ "p"; "procs" ] ~docv:"P"
           ~doc:"Processors for the scheduling simulation.")
   in
+  let par =
+    Arg.(
+      value
+      & opt ~vopt:(Some 0) (some int) None
+      & info [ "par" ] ~docv:"N"
+          ~doc:
+            "Execute on the parallel backend with $(docv) OCaml domains \
+             instead of depth-first.  $(b,--par=1) is the deterministic \
+             schedule-fuzzing mode (replayable from $(b,--seed)); \
+             $(b,--par) alone uses the recommended domain count.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Schedule seed: with $(b,--par=1) the same seed replays the \
+             same schedule exactly; with more domains it drives victim \
+             selection (best-effort).")
+  in
+  let pace =
+    Arg.(
+      value & opt int 0
+      & info [ "pace" ] ~docv:"NS"
+          ~doc:
+            "Pace parallel execution: each cost unit also costs $(docv) \
+             nanoseconds of sleep, so wall-clock time reflects schedule \
+             overlap (used by $(b,bench speedup)).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Execute a program depth-first and report work, critical path and \
-          simulated parallel time.")
-    Term.(const run $ file_arg $ procs $ set_arg)
+         "Execute a program: depth-first with work/critical-path analysis \
+          (default), or for real on the parallel backend ($(b,--par)).")
+    Term.(const run $ file_arg $ procs $ set_arg $ par $ seed $ pace)
 
 let static_prune_arg =
   Arg.(
@@ -325,12 +372,22 @@ let static_verify_arg =
 
 let repair_cmd =
   let run file mode strategy sets budgets output report_flag quiet
-      static_prune static_verify =
+      static_prune static_verify validate_par validate_seed budget_validate =
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
+        let validate_par =
+          Option.map
+            (fun schedules ->
+              {
+                Par.Validate.schedules;
+                seed = validate_seed;
+                budget_ms = budget_validate;
+              })
+            validate_par
+        in
         let report =
           Repair.Driver.repair ~mode ~strategy ~budgets ~static_prune
-            ~static_verify prog
+            ~static_verify ?validate_par prog
         in
         if report_flag then Fmt.pr "%a" Repair.Report.pp (prog, report)
         else begin
@@ -356,6 +413,11 @@ let repair_cmd =
               (fun f -> Fmt.pr "  %a@." Static.Finding.pp f)
               report.static_residual
         | None -> ());
+        (match report.validated_par with
+        | Some v when not report_flag ->
+            (* the --report path prints this via Report.pp *)
+            Fmt.pr "parallel validation: %a@." Par.Validate.pp v
+        | _ -> ());
         let src = Mhj.Pretty.program_to_string report.program in
         (match output with
         | Some path ->
@@ -363,6 +425,12 @@ let repair_cmd =
             Fmt.pr "repaired program written to %s@." path
         | None -> if not quiet then print_string src);
         if not report.converged then exit Ec.not_converged;
+        (* a schedule divergence means the "repaired" program still behaves
+           nondeterministically: the repair did not actually converge *)
+        (match report.validated_par with
+        | Some v when v.Par.Validate.divergences <> [] ->
+            exit Ec.not_converged
+        | _ -> ());
         (* an unverified repair is a degraded result: correct for the test
            input, not proven for all inputs *)
         if report.degradations <> [] || report.verified_static = Some false
@@ -389,18 +457,49 @@ let repair_cmd =
              detection run) or $(b,incremental) (the paper's §6.1 \
              live-S-DPST loop).")
   in
+  let validate_par =
+    Arg.(
+      value
+      & opt ~vopt:(Some 10) (some int) None
+      & info [ "validate-par" ] ~docv:"K"
+          ~doc:
+            "After convergence, re-run the repaired program under $(docv) \
+             deterministic fuzzed parallel schedules (default 10) and \
+             require each to reproduce the sequential semantics.  A \
+             divergence exits 2; schedules skipped under \
+             $(b,--budget-validate) exit 4.")
+  in
+  let validate_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "validate-seed" ] ~docv:"S"
+          ~doc:
+            "Base schedule seed for $(b,--validate-par); schedule $(i,k) \
+             uses seed S+$(i,k), replayable with $(b,run --par=1 --seed).")
+  in
+  let budget_validate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-validate" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for $(b,--validate-par) in milliseconds; \
+             remaining schedules are skipped once it is exceeded (exit \
+             code 4).")
+  in
   Cmd.v
     (Cmd.info "repair"
        ~doc:
          "Iteratively insert finish statements until the program is \
           race-free for its input (the paper's core tool).  Exit codes: 0 \
-          repaired at full fidelity, 2 not converged, 3 invalid input, 4 \
-          repaired but degraded by a $(b,--budget-*) limit or left \
-          unproven by $(b,--static-verify), 5 unrepairable.")
+          repaired at full fidelity, 2 not converged (or \
+          $(b,--validate-par) found a schedule divergence), 3 invalid \
+          input, 4 repaired but degraded by a $(b,--budget-*) limit or \
+          left unproven by $(b,--static-verify), 5 unrepairable.")
     Term.(
       const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
       $ output_arg $ report_flag $ quiet $ static_prune_arg
-      $ static_verify_arg)
+      $ static_verify_arg $ validate_par $ validate_seed $ budget_validate)
 
 let strip_cmd =
   let run file output =

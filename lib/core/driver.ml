@@ -61,6 +61,11 @@ type report = {
           or the repair did not converge *)
   static_residual : Static.Finding.t list;
       (** the unproven pairs behind [verified_static = Some false] *)
+  validated_par : Par.Validate.t option;
+      (** [--validate-par] outcome on the converged program: the repaired
+          program re-run under fuzzed parallel schedules and compared
+          against the sequential semantics ([None] when not requested or
+          not converged) *)
 }
 
 exception Unrepairable of string
@@ -354,7 +359,7 @@ let enforce_sdpst_budget ~guard (tree : Sdpst.Node.tree)
 let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
     ?(max_iterations = default_max_iterations) ?fuel
     ?(budgets = Guard.unlimited) ?(static_prune = false)
-    ?(static_verify = false) (prog : Mhj.Ast.program) : report =
+    ?(static_verify = false) ?validate_par (prog : Mhj.Ast.program) : report =
   let guard = Guard.make budgets in
   let fuel = Guard.effective_fuel guard fuel in
   let finish program iterations ~converged ~final_races =
@@ -367,6 +372,20 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         (Some (cs = []), Static.Racecheck.to_findings summary cs)
       else (None, [])
     in
+    let validated_par =
+      match validate_par with
+      | Some req when converged ->
+          let v =
+            Guard.at_stage Diag.Interp (fun () ->
+                Par.Validate.of_request ?fuel req program)
+          in
+          if v.Par.Validate.skipped > 0 then
+            Guard.note guard
+              (Guard.Validate_par_skipped
+                 { ran = v.Par.Validate.ran; requested = v.Par.Validate.requested });
+          Some v
+      | _ -> None
+    in
     {
       program;
       mode;
@@ -376,6 +395,7 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
       degradations = Guard.degradations guard;
       verified_static;
       static_residual;
+      validated_par;
     }
   in
   let rec loop program iterations remaining =
@@ -451,10 +471,10 @@ let classify_unrepairable = function
     injected faults, internal invariant violations — comes back as a typed
     diagnostic instead of an exception. *)
 let repair_checked ?mode ?strategy ?max_iterations ?fuel ?budgets
-    ?static_prune ?static_verify prog : (report, Diag.t) result =
+    ?static_prune ?static_verify ?validate_par prog : (report, Diag.t) result =
   Guard.capture ~classify:classify_unrepairable (fun () ->
       repair ?mode ?strategy ?max_iterations ?fuel ?budgets ?static_prune
-        ?static_verify prog)
+        ?static_verify ?validate_par prog)
 
 (** Total placements inserted across all iterations. *)
 let total_placements (r : report) : Mhj.Transform.placement list =

@@ -51,6 +51,14 @@ type report = {
           or the repair did not converge *)
   static_residual : Static.Finding.t list;
       (** the unproven pairs behind [verified_static = Some false] *)
+  validated_par : Par.Validate.t option;
+      (** [validate_par] outcome on the converged program: the repaired
+          program re-executed under fuzzed parallel schedules
+          ({!Par.Engine.Fuzz}) and compared against the sequential
+          semantics.  [None] when validation was not requested or the
+          repair did not converge.  Skipped schedules (wall-clock budget)
+          are also recorded as a {!Guard.Validate_par_skipped}
+          degradation. *)
 }
 
 exception Unrepairable of string
@@ -97,6 +105,9 @@ val default_max_iterations : int
     @param static_verify after convergence, run the static race checker
       on the repaired program and record the verdict in [verified_static]
       (with unproven pairs in [static_residual])
+    @param validate_par after convergence, re-run the repaired program
+      under fuzzed parallel schedules and record the differential outcome
+      in [validated_par] (see {!Par.Validate})
     @raise Unrepairable if some race admits no scope-valid fix
     @raise Diag.Fail on typed pipeline failures *)
 val repair :
@@ -107,6 +118,7 @@ val repair :
   ?budgets:Guard.budgets ->
   ?static_prune:bool ->
   ?static_verify:bool ->
+  ?validate_par:Par.Validate.request ->
   Mhj.Ast.program ->
   report
 
@@ -122,6 +134,7 @@ val repair_checked :
   ?budgets:Guard.budgets ->
   ?static_prune:bool ->
   ?static_verify:bool ->
+  ?validate_par:Par.Validate.request ->
   Mhj.Ast.program ->
   (report, Diag.t) result
 

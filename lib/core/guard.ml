@@ -12,6 +12,7 @@ type degradation =
   | Sdpst_pruned of { nodes_before : int; nodes_removed : int }
   | Dp_interval_cover of { lca_id : int }
   | Dp_unsat_fallback of { lca_id : int }
+  | Validate_par_skipped of { ran : int; requested : int }
 
 let pp_degradation ppf = function
   | Sdpst_pruned { nodes_before; nodes_removed } ->
@@ -29,6 +30,11 @@ let pp_degradation ppf = function
         "DP unsatisfiable at NS-LCA %d: races covered by minimal per-edge \
          intervals"
         lca_id
+  | Validate_par_skipped { ran; requested } ->
+      Fmt.pf ppf
+        "parallel validation budget exhausted: only %d of %d fuzzed \
+         schedule(s) ran (the repair is unvalidated beyond those)"
+        ran requested
 
 type t = {
   budgets : budgets;

@@ -39,6 +39,9 @@ type degradation =
           covered by minimal per-edge intervals instead *)
   | Dp_unsat_fallback of { lca_id : int }
       (** the DP was unsatisfiable and per-edge covers were used *)
+  | Validate_par_skipped of { ran : int; requested : int }
+      (** [--validate-par]'s wall-clock budget ran out before all
+          requested fuzzed schedules executed *)
 
 val pp_degradation : degradation Fmt.t
 

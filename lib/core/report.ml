@@ -82,7 +82,7 @@ let pp ppf ((original, r) : Mhj.Ast.program * Driver.report) =
       (fun d -> Fmt.pf ppf "  - %a@\n" Guard.pp_degradation d)
       r.degradations
   end;
-  match r.verified_static with
+  (match r.verified_static with
   | Some true ->
       Fmt.pf ppf
         "statically verified: race-free for all inputs (no unproven MHP \
@@ -95,6 +95,10 @@ let pp ppf ((original, r) : Mhj.Ast.program * Driver.report) =
       List.iter
         (fun f -> Fmt.pf ppf "  - %a@\n" Static.Finding.pp f)
         r.static_residual
+  | None -> ());
+  match r.validated_par with
+  | Some v ->
+      Fmt.pf ppf "parallel validation: %a@\n" Par.Validate.pp v
   | None -> ()
 
 let to_string original r = Fmt.str "%a" pp (original, r)

@@ -1,0 +1,96 @@
+(** Chase-Lev work-stealing deque (see deque.mli).
+
+    Single-owner bottom end ([push]/[pop]), multi-thief top end ([steal]
+    with a compare-and-set on [top]).  All cross-domain synchronization
+    goes through OCaml [Atomic]s, whose sequentially-consistent accesses
+    establish the happens-before edges the classic algorithm needs: the
+    owner publishes a slot with a plain write followed by the atomic
+    store to [bottom]; a thief acquires [top]/[bottom] before reading the
+    slot, and the winning CAS on [top] claims it.
+
+    Growth copies live entries into a buffer of twice the capacity and
+    publishes it through the [buf] atomic; a thief that read the old
+    buffer still reads a valid value, because the owner never recycles a
+    slot whose index is below the published [top]. *)
+
+type 'a t = {
+  top : int Atomic.t;  (** next index thieves take from *)
+  bottom : int Atomic.t;  (** next index the owner pushes at *)
+  buf : 'a option array Atomic.t;  (** circular, power-of-two capacity *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 2 capacity in
+  (* round up to a power of two so [land] masks work *)
+  let cap =
+    let rec up n = if n >= cap then n else up (2 * n) in
+    up 2
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.make cap None);
+  }
+
+let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+let slot a i = i land (Array.length a - 1)
+
+(* Owner only.  Doubles the buffer when full. *)
+let push t v =
+  let b = Atomic.get t.bottom in
+  let top = Atomic.get t.top in
+  let a = Atomic.get t.buf in
+  let a =
+    if b - top >= Array.length a - 1 then begin
+      let bigger = Array.make (2 * Array.length a) None in
+      for i = top to b - 1 do
+        bigger.(slot bigger i) <- a.(slot a i)
+      done;
+      Atomic.set t.buf bigger;
+      bigger
+    end
+    else a
+  in
+  a.(slot a b) <- Some v;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only.  LIFO end; races with thieves only on the last element,
+   resolved by the CAS on [top]. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  let a = Atomic.get t.buf in
+  Atomic.set t.bottom b;
+  let top = Atomic.get t.top in
+  if b < top then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set t.bottom top;
+    None
+  end
+  else if b > top then begin
+    let v = a.(slot a b) in
+    a.(slot a b) <- None;
+    v
+  end
+  else begin
+    (* exactly one element left: fight the thieves for it *)
+    let won = Atomic.compare_and_set t.top top (top + 1) in
+    Atomic.set t.bottom (top + 1);
+    if won then begin
+      let v = a.(slot a b) in
+      a.(slot a b) <- None;
+      v
+    end
+    else None
+  end
+
+(* Any domain.  FIFO end; the CAS on [top] claims the element. *)
+let steal t =
+  let top = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if top >= b then None
+  else begin
+    let a = Atomic.get t.buf in
+    let v = a.(slot a top) in
+    if Atomic.compare_and_set t.top top (top + 1) then v else None
+  end

@@ -1,0 +1,28 @@
+(** Chase-Lev work-stealing deque.
+
+    One domain owns the bottom end and uses {!push}/{!pop} (LIFO, so an
+    owner executing its own deque runs depth-first); any other domain may
+    {!steal} from the top end (FIFO, so thieves take the oldest — usually
+    largest — task).  Lock-free: synchronization is a compare-and-set on
+    the [top] index plus sequentially-consistent loads/stores of [top] and
+    [bottom].  The buffer grows transparently; [push] never fails. *)
+
+type 'a t
+
+(** [create ?capacity ()] — an empty deque.  [capacity] (default 64) is
+    rounded up to a power of two; the buffer doubles as needed. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner only: push onto the bottom (LIFO) end. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only: pop from the bottom (LIFO) end.  [None] when empty or
+    when a thief won the race for the last element. *)
+val pop : 'a t -> 'a option
+
+(** Any domain: steal from the top (FIFO) end.  [None] when empty or when
+    the CAS lost a race (the caller should retry elsewhere). *)
+val steal : 'a t -> 'a option
+
+(** Snapshot size (racy; only a hint for victim selection). *)
+val size : 'a t -> int

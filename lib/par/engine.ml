@@ -1,0 +1,710 @@
+(** Parallel async-finish interpreter on OCaml 5 domains.
+
+    This is the "real" execution backend next to {!Rt.Interp}'s canonical
+    depth-first one.  Two modes share one interpreter core:
+
+    - [Domains {n; seed}] — [n] workers, each pinned to its own domain,
+      run a help-first work-stealing scheduler: an [async] pushes its task
+      onto the spawning worker's Chase-Lev {!Deque}; a worker blocked at a
+      [finish] (or idle) pops its own deque LIFO and steals FIFO from a
+      PRNG-chosen victim.  Timing-dependent, so only best-effort
+      reproducible; [seed] drives victim selection.
+
+    - [Fuzz {seed}] — a single worker with an explicit task pool and a
+      seeded PRNG deciding, at every [async], whether to inline the child
+      or defer it, at statement boundaries whether to yield to a pooled
+      task, and which pooled task a waiting [finish] runs next.  Fully
+      deterministic: the same seed replays the same schedule exactly, so
+      divergences found by schedule fuzzing are reproducible from the
+      seed alone.
+
+    Memory-safety of the shared heap (see DESIGN.md §9): local frames are
+    snapshotted ([Hashtbl.copy]) at spawn, so no [Hashtbl] structure is
+    ever mutated concurrently; globals are created during the sequential
+    initializer phase and only their contents ([ref]s and array cells)
+    race afterwards, which is memory-safe under the OCaml 5 memory model
+    — racy programs yield outcome nondeterminism, never crashes.
+
+    Fuel is a global [Atomic] decremented in per-worker batches; pacing
+    ([pace_ns] per cost unit) is paid as debt-based sleeping so that
+    wall-clock speedup reflects the schedule's overlap even when the
+    interpreter itself is not the bottleneck. *)
+
+open Mhj
+
+exception Abort
+(* internal: unwind a task after another task poisoned the run *)
+
+exception Return_v of Rt.Value.t
+
+type mode = Fuzz of { seed : int } | Domains of { n : int; seed : int }
+
+type policy = { inline_pct : int; yield_pct : int }
+
+let fuzz_policy = { inline_pct = 45; yield_pct = 10 }
+
+let domains_policy = { inline_pct = 0; yield_pct = 0 }
+
+type result = {
+  output : string;
+  globals : (string * Rt.Value.t) list;
+  digest : string;
+  work : int;
+  wall_s : float;
+  n_domains : int;
+  n_tasks : int;
+  n_steals : int;
+}
+
+let error loc fmt =
+  Fmt.kstr (fun m -> raise (Rt.Interp.Runtime_error (m, loc))) fmt
+
+type frame = (string, Rt.Value.t ref) Hashtbl.t
+
+type finish = { pending : int Atomic.t }
+
+type task = {
+  t_body : Ast.stmt;  (** normalized block *)
+  t_env : frame list;  (** frame snapshot taken at the spawn point *)
+  t_fin : finish;
+}
+
+(* Growable task pool with PRNG-indexed removal (Fuzz mode only; accessed
+   by the single worker, so no synchronization). *)
+module Pool = struct
+  type t = { mutable data : task array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push p t =
+    if p.len = Array.length p.data then begin
+      let cap = max 8 (2 * Array.length p.data) in
+      let bigger = Array.make cap t in
+      Array.blit p.data 0 bigger 0 p.len;
+      p.data <- bigger
+    end;
+    p.data.(p.len) <- t;
+    p.len <- p.len + 1
+
+  (* Remove and return the element at [i] (swap with the last). *)
+  let take p i =
+    let t = p.data.(i) in
+    p.len <- p.len - 1;
+    p.data.(i) <- p.data.(p.len);
+    t
+end
+
+type worker = {
+  id : int;
+  deque : task Deque.t;
+  rng : Tdrutil.Prng.t;
+  mutable work : int;  (** cost units charged by this worker *)
+  mutable batch : int;  (** units since the last slow-path flush *)
+  mutable pace_debt_ns : float;  (** pacing debt not yet slept off *)
+}
+
+type engine = {
+  funcs : (string, Ast.func) Hashtbl.t;
+  globals : (string, Rt.Value.t ref) Hashtbl.t;
+      (** structure frozen after the sequential initializer phase *)
+  fuel : int Atomic.t;
+  aid : int Atomic.t;
+  buf : Buffer.t;
+  buf_mu : Mutex.t;
+  cas_mu : Mutex.t;  (** serializes the [cas] builtin *)
+  poison : exn option Atomic.t;  (** first exception wins; aborts the run *)
+  finished : bool Atomic.t;  (** tells idle workers to exit *)
+  pace_ns : int;  (** nanoseconds of sleep per cost unit (0 = none) *)
+  batch_limit : int;  (** slow-path flush granularity, in cost units *)
+  policy : policy;
+  is_fuzz : bool;
+  workers : worker array;
+  pool : Pool.t;  (** Fuzz mode's deferred-task pool *)
+  n_tasks : int Atomic.t;
+  n_steals : int Atomic.t;
+}
+
+type tstate = {
+  eng : engine;
+  w : worker;  (** the worker currently executing this task *)
+  mutable locals : frame list;
+  mutable fin : finish;  (** innermost enclosing finish *)
+  mutable quiet : bool;  (** global-initializer mode: fuel but no work *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cost, fuel, pacing, poison                                          *)
+(* ------------------------------------------------------------------ *)
+
+let poison_with eng e =
+  ignore (Atomic.compare_and_set eng.poison None (Some e))
+
+let poisoned eng = Atomic.get eng.poison <> None
+
+(* Flush the per-worker batch: settle fuel globally, check for poison,
+   and sleep off accumulated pacing debt.  Oversleep (the common case on
+   a loaded machine) is credited against future debt, so pacing
+   self-corrects instead of drifting. *)
+let slow_path st =
+  let eng = st.eng and w = st.w in
+  let b = w.batch in
+  w.batch <- 0;
+  let before = Atomic.fetch_and_add eng.fuel (-b) in
+  if before - b < 0 then begin
+    poison_with eng Rt.Interp.Out_of_fuel;
+    raise Rt.Interp.Out_of_fuel
+  end;
+  if poisoned eng then raise Abort;
+  if eng.pace_ns > 0 && (not st.quiet) && w.pace_debt_ns >= 300_000. then begin
+    let t0 = Unix.gettimeofday () in
+    Unix.sleepf (w.pace_debt_ns *. 1e-9);
+    let slept_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+    w.pace_debt_ns <- w.pace_debt_ns -. slept_ns
+  end
+
+let charge st n =
+  let w = st.w in
+  w.batch <- w.batch + n;
+  if not st.quiet then begin
+    w.work <- w.work + n;
+    if st.eng.pace_ns > 0 then
+      w.pace_debt_ns <- w.pace_debt_ns +. float_of_int (n * st.eng.pace_ns)
+  end;
+  if w.batch >= st.eng.batch_limit then slow_path st
+
+(* ------------------------------------------------------------------ *)
+(* Frames                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let push_frame st = st.locals <- Hashtbl.create 8 :: st.locals
+
+let pop_frame st = st.locals <- List.tl st.locals
+
+let in_frame st f =
+  push_frame st;
+  Fun.protect ~finally:(fun () -> pop_frame st) f
+
+let lookup_local st x =
+  let rec go = function
+    | [] -> None
+    | fr :: rest -> (
+        match Hashtbl.find_opt fr x with Some r -> Some r | None -> go rest)
+  in
+  go st.locals
+
+let declare_local st x v =
+  match st.locals with
+  | fr :: _ -> Hashtbl.replace fr x (ref v)
+  | [] -> invalid_arg "Par.Engine.declare_local: no frame"
+
+(* Spawn-time environment snapshot.  The typechecker only lets an async
+   body read immutable ([val]) outer locals declared before the async, so
+   copying the frames at the spawn point is observationally identical to
+   sharing them — and it keeps Hashtbl structure single-domain. *)
+let snapshot_env st = List.map Hashtbl.copy st.locals
+
+(* ------------------------------------------------------------------ *)
+(* Values and operators (identical semantics to Rt.Interp)             *)
+(* ------------------------------------------------------------------ *)
+
+let as_int loc = function
+  | Rt.Value.VInt n -> n
+  | v -> error loc "expected int, got %a" Rt.Value.pp v
+
+let as_bool loc = function
+  | Rt.Value.VBool b -> b
+  | v -> error loc "expected bool, got %a" Rt.Value.pp v
+
+let as_arr loc = function
+  | Rt.Value.VArr a -> a
+  | v -> error loc "expected array, got %a" Rt.Value.pp v
+
+let eval_binop loc op (a : Rt.Value.t) (b : Rt.Value.t) : Rt.Value.t =
+  let open Ast in
+  match (op, a, b) with
+  | Add, VInt x, VInt y -> VInt (x + y)
+  | Sub, VInt x, VInt y -> VInt (x - y)
+  | Mul, VInt x, VInt y -> VInt (x * y)
+  | Div, VInt _, VInt 0 -> error loc "division by zero"
+  | Div, VInt x, VInt y -> VInt (x / y)
+  | Mod, VInt _, VInt 0 -> error loc "modulo by zero"
+  | Mod, VInt x, VInt y -> VInt (x mod y)
+  | Add, VFloat x, VFloat y -> VFloat (x +. y)
+  | Sub, VFloat x, VFloat y -> VFloat (x -. y)
+  | Mul, VFloat x, VFloat y -> VFloat (x *. y)
+  | Div, VFloat x, VFloat y -> VFloat (x /. y)
+  | Eq, VInt x, VInt y -> VBool (x = y)
+  | Ne, VInt x, VInt y -> VBool (x <> y)
+  | Lt, VInt x, VInt y -> VBool (x < y)
+  | Le, VInt x, VInt y -> VBool (x <= y)
+  | Gt, VInt x, VInt y -> VBool (x > y)
+  | Ge, VInt x, VInt y -> VBool (x >= y)
+  | Eq, VFloat x, VFloat y -> VBool (x = y)
+  | Ne, VFloat x, VFloat y -> VBool (x <> y)
+  | Lt, VFloat x, VFloat y -> VBool (x < y)
+  | Le, VFloat x, VFloat y -> VBool (x <= y)
+  | Gt, VFloat x, VFloat y -> VBool (x > y)
+  | Ge, VFloat x, VFloat y -> VBool (x >= y)
+  | Eq, VBool x, VBool y -> VBool (x = y)
+  | Ne, VBool x, VBool y -> VBool (x <> y)
+  | _ ->
+      error loc "operator '%s' applied to %a and %a" (string_of_binop op)
+        Rt.Value.pp a Rt.Value.pp b
+
+let rec alloc_array st loc base dims : Rt.Value.t =
+  match dims with
+  | [] -> assert false
+  | [ n ] ->
+      if n < 0 then error loc "negative array dimension %d" n;
+      charge st (n * Rt.Cost.array_cell_alloc);
+      let aid = 1 + Atomic.fetch_and_add st.eng.aid 1 in
+      Rt.Value.VArr { aid; cells = Array.make n (Rt.Value.zero base) }
+  | n :: rest ->
+      if n < 0 then error loc "negative array dimension %d" n;
+      charge st (n * Rt.Cost.array_cell_alloc);
+      let aid = 1 + Atomic.fetch_and_add st.eng.aid 1 in
+      let cells = Array.init n (fun _ -> alloc_array st loc base rest) in
+      Rt.Value.VArr { aid; cells }
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling primitives                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Pop own deque, else steal from a PRNG-chosen victim (scanning all
+   others from a random start so a lone busy victim is always found). *)
+let try_get eng (w : worker) : task option =
+  match Deque.pop w.deque with
+  | Some _ as t -> t
+  | None ->
+      let n = Array.length eng.workers in
+      if n = 1 then None
+      else begin
+        let start = Tdrutil.Prng.int w.rng (n - 1) in
+        let rec scan k =
+          if k > n - 2 then None
+          else
+            let v = (start + k) mod (n - 1) in
+            let v = if v >= w.id then v + 1 else v in
+            match Deque.steal eng.workers.(v).deque with
+            | Some _ as t ->
+                Atomic.incr eng.n_steals;
+                t
+            | None -> scan (k + 1)
+        in
+        scan 0
+      end
+
+let backoff_sleep failures =
+  if failures < 4 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 5e-4 (2e-5 *. float_of_int failures))
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter core                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval st (e : Ast.expr) : Rt.Value.t =
+  charge st Rt.Cost.expr_node;
+  match e.e with
+  | Int n -> VInt n
+  | Float f -> VFloat f
+  | Bool b -> VBool b
+  | Str s -> VStr s
+  | Var x -> (
+      match lookup_local st x with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt st.eng.globals x with
+          | Some r -> !r
+          | None -> error e.eloc "unbound variable '%s'" x))
+  | Bin (And, a, b) ->
+      if as_bool a.eloc (eval st a) then eval st b else VBool false
+  | Bin (Or, a, b) ->
+      if as_bool a.eloc (eval st a) then VBool true else eval st b
+  | Bin (op, a, b) ->
+      let va = eval st a in
+      let vb = eval st b in
+      eval_binop e.eloc op va vb
+  | Un (Neg, a) -> (
+      match eval st a with
+      | VInt n -> VInt (-n)
+      | VFloat f -> VFloat (-.f)
+      | v -> error e.eloc "unary '-' applied to %a" Rt.Value.pp v)
+  | Un (Not, a) -> VBool (not (as_bool a.eloc (eval st a)))
+  | Idx (a, i) ->
+      let arr = as_arr a.eloc (eval st a) in
+      let i = as_int i.eloc (eval st i) in
+      if i < 0 || i >= Array.length arr.cells then
+        error e.eloc "index %d out of bounds [0..%d)" i (Array.length arr.cells);
+      arr.cells.(i)
+  | NewArr (base, dims) ->
+      let dims = List.map (fun d -> as_int d.Ast.eloc (eval st d)) dims in
+      alloc_array st e.eloc base dims
+  | Call (name, args) ->
+      let vargs = List.map (eval st) args in
+      if Builtins.is_builtin name then eval_builtin st e.eloc name vargs
+      else call_function st e.eloc name vargs
+
+and eval_builtin st loc name (args : Rt.Value.t list) : Rt.Value.t =
+  charge st Rt.Cost.builtin_overhead;
+  match (name, args) with
+  | "alen", [ VArr a ] -> VInt (Array.length a.cells)
+  | "print", [ v ] ->
+      let line = Fmt.str "%a" Rt.Value.pp v in
+      Mutex.lock st.eng.buf_mu;
+      Buffer.add_string st.eng.buf line;
+      Buffer.add_char st.eng.buf '\n';
+      Mutex.unlock st.eng.buf_mu;
+      VUnit
+  | "work", [ VInt n ] ->
+      if n < 0 then error loc "work(%d): negative amount" n;
+      charge st n;
+      VUnit
+  | "cas", [ VArr a; VInt i; VInt old_v; VInt new_v ] ->
+      (* Atomic here for real: concurrent claimants must serialize. *)
+      if i < 0 || i >= Array.length a.cells then
+        error loc "cas: index %d out of bounds [0..%d)" i (Array.length a.cells);
+      Mutex.lock st.eng.cas_mu;
+      let won = a.cells.(i) = VInt old_v in
+      if won then a.cells.(i) <- VInt new_v;
+      Mutex.unlock st.eng.cas_mu;
+      VBool won
+  | "float", [ VInt n ] -> VFloat (float_of_int n)
+  | "int", [ VFloat f ] -> VInt (int_of_float f)
+  | "sqrt", [ VFloat f ] -> VFloat (sqrt f)
+  | "sin", [ VFloat f ] -> VFloat (sin f)
+  | "cos", [ VFloat f ] -> VFloat (cos f)
+  | "fabs", [ VFloat f ] -> VFloat (abs_float f)
+  | "pow", [ VFloat a; VFloat b ] -> VFloat (a ** b)
+  | "log", [ VFloat f ] -> VFloat (log f)
+  | "exp", [ VFloat f ] -> VFloat (exp f)
+  | _ ->
+      error loc "builtin '%s' applied to (%a)" name
+        Fmt.(list ~sep:comma Rt.Value.pp)
+        args
+
+and call_function st loc name (args : Rt.Value.t list) : Rt.Value.t =
+  let f =
+    match Hashtbl.find_opt st.eng.funcs name with
+    | Some f -> f
+    | None -> error loc "unknown function '%s'" name
+  in
+  charge st Rt.Cost.call_overhead;
+  let saved_locals = st.locals in
+  st.locals <- [ Hashtbl.create 8 ];
+  List.iter2 (fun (x, _ty) v -> declare_local st x v) f.params args;
+  push_frame st;
+  let restore () = st.locals <- saved_locals in
+  Fun.protect ~finally:restore (fun () ->
+      match exec_stmts st f.body.stmts with
+      | () -> Rt.Value.VUnit
+      | exception Return_v v -> v)
+
+and exec_stmts st (stmts : Ast.stmt list) : unit =
+  List.iter
+    (fun s ->
+      maybe_yield st;
+      exec_stmt st s)
+    stmts
+
+and exec_body st (body : Ast.stmt) : unit =
+  match body.s with
+  | Ast.Block b -> in_frame st (fun () -> exec_stmts st b.stmts)
+  | _ ->
+      error body.sloc
+        "program not normalized (async/finish body); compile with \
+         Front.compile"
+
+and exec_stmt st (stmt : Ast.stmt) : unit =
+  (match stmt.s with
+  | Async _ | Finish _ | Block _ -> ()
+  | _ -> charge st Rt.Cost.stmt);
+  match stmt.s with
+  | Decl (_m, x, _ty, init) ->
+      let v = eval st init in
+      declare_local st x v
+  | Assign (x, [], rhs) -> (
+      let v = eval st rhs in
+      match lookup_local st x with
+      | Some r -> r := v
+      | None -> (
+          match Hashtbl.find_opt st.eng.globals x with
+          | Some r -> r := v
+          | None -> error stmt.sloc "unbound variable '%s'" x))
+  | Assign (x, path, rhs) ->
+      let base =
+        match lookup_local st x with
+        | Some r -> !r
+        | None -> (
+            match Hashtbl.find_opt st.eng.globals x with
+            | Some r -> !r
+            | None -> error stmt.sloc "unbound variable '%s'" x)
+      in
+      let rec walk v = function
+        | [] -> assert false
+        | [ last ] ->
+            let arr = as_arr stmt.sloc v in
+            let i = as_int last.Ast.eloc (eval st last) in
+            if i < 0 || i >= Array.length arr.cells then
+              error stmt.sloc "index %d out of bounds [0..%d)" i
+                (Array.length arr.cells);
+            let rhs_v = eval st rhs in
+            arr.cells.(i) <- rhs_v
+        | idx :: rest ->
+            let arr = as_arr stmt.sloc v in
+            let i = as_int idx.Ast.eloc (eval st idx) in
+            if i < 0 || i >= Array.length arr.cells then
+              error stmt.sloc "index %d out of bounds [0..%d)" i
+                (Array.length arr.cells);
+            walk arr.cells.(i) rest
+      in
+      walk base path
+  | If (c, a, b) ->
+      if as_bool c.eloc (eval st c) then exec_scope_body st a
+      else Option.iter (exec_scope_body st) b
+  | While (c, body) ->
+      while as_bool c.eloc (eval st c) do
+        exec_scope_body st body
+      done
+  | For (iv, lo, hi, by, body) ->
+      let lo = as_int lo.eloc (eval st lo) in
+      let hi = as_int hi.eloc (eval st hi) in
+      let step =
+        match by with
+        | None -> 1
+        | Some e -> (
+            match as_int e.eloc (eval st e) with
+            | 0 -> error stmt.sloc "for step must be non-zero"
+            | s -> s)
+      in
+      let i = ref lo in
+      let continue () = if step > 0 then !i <= hi else !i >= hi in
+      while continue () do
+        exec_for_iteration st iv !i body;
+        i := !i + step
+      done
+  | Return None -> raise (Return_v Rt.Value.VUnit)
+  | Return (Some e) ->
+      let v = eval st e in
+      raise (Return_v v)
+  | Async body -> (
+      match body.s with
+      | Ast.Block _ -> spawn st body
+      | _ ->
+          error stmt.sloc
+            "program not normalized (async); compile with Front.compile")
+  | Finish body -> (
+      match body.s with
+      | Ast.Block _ ->
+          let fin = { pending = Atomic.make 0 } in
+          let saved = st.fin in
+          st.fin <- fin;
+          Fun.protect
+            ~finally:(fun () -> st.fin <- saved)
+            (fun () -> exec_body st body);
+          wait_fin st fin
+      | _ ->
+          error stmt.sloc
+            "program not normalized (finish); compile with Front.compile")
+  | Block b -> in_frame st (fun () -> exec_stmts st b.stmts)
+  | Expr e -> ignore (eval st e)
+
+and exec_scope_body st (body : Ast.stmt) : unit =
+  match body.s with
+  | Ast.Block _ -> exec_stmt st body
+  | _ ->
+      error body.sloc
+        "program not normalized (branch/loop body); compile with \
+         Front.compile"
+
+and exec_for_iteration st iv i body =
+  match body.s with
+  | Ast.Block b ->
+      in_frame st (fun () ->
+          declare_local st iv (Rt.Value.VInt i);
+          exec_stmts st b.stmts)
+  | _ ->
+      error body.sloc
+        "program not normalized (for body); compile with Front.compile"
+
+(* -------------------------- scheduling ----------------------------- *)
+
+and spawn st (body : Ast.stmt) : unit =
+  let eng = st.eng in
+  let fin = st.fin in
+  Atomic.incr eng.n_tasks;
+  Atomic.incr fin.pending;
+  let t = { t_body = body; t_env = snapshot_env st; t_fin = fin } in
+  if eng.is_fuzz then begin
+    if Tdrutil.Prng.int st.w.rng 100 < eng.policy.inline_pct then
+      run_task eng st.w t
+    else Pool.push eng.pool t
+  end
+  else Deque.push st.w.deque t
+
+(* Fuzz mode only: at a statement boundary, maybe run a pooled task now.
+   This lets a deferred sibling interleave between the parent's
+   statements instead of only before-all (inline) or after-all (finish
+   join). *)
+and maybe_yield st =
+  let eng = st.eng in
+  if
+    eng.is_fuzz && (not st.quiet) && eng.pool.len > 0
+    && Tdrutil.Prng.int st.w.rng 100 < eng.policy.yield_pct
+  then run_task eng st.w (Pool.take eng.pool (Tdrutil.Prng.int st.w.rng eng.pool.len))
+
+and wait_fin st (fin : finish) : unit =
+  let eng = st.eng in
+  if eng.is_fuzz then begin
+    while Atomic.get fin.pending > 0 do
+      if poisoned eng then raise Abort;
+      if eng.pool.len = 0 then
+        (* cannot happen: single worker, so every pending task is pooled *)
+        invalid_arg "Par.Engine: pending tasks but empty pool";
+      run_task eng st.w (Pool.take eng.pool (Tdrutil.Prng.int st.w.rng eng.pool.len))
+    done;
+    if poisoned eng then raise Abort
+  end
+  else begin
+    let failures = ref 0 in
+    while Atomic.get fin.pending > 0 && not (poisoned eng) do
+      match try_get eng st.w with
+      | Some t ->
+          failures := 0;
+          run_task eng st.w t
+      | None ->
+          incr failures;
+          backoff_sleep !failures
+    done;
+    if Atomic.get fin.pending > 0 then raise Abort
+  end
+
+(* Run [t] to completion on worker [w].  Never raises: failures poison
+   the engine; the pending count is always decremented so joins cannot
+   hang. *)
+and run_task eng (w : worker) (t : task) : unit =
+  let st = { eng; w; locals = t.t_env; fin = t.t_fin; quiet = false } in
+  (try exec_body st t.t_body with
+  | Abort -> ()
+  | Return_v _ ->
+      (* the typechecker rejects [return] crossing an async boundary *)
+      ()
+  | e -> poison_with eng e);
+  ignore (Atomic.fetch_and_add t.t_fin.pending (-1))
+
+(* ------------------------------------------------------------------ *)
+(* Worker loop and whole-program execution                             *)
+(* ------------------------------------------------------------------ *)
+
+let worker_loop eng (w : worker) =
+  let failures = ref 0 in
+  while not (Atomic.get eng.finished) do
+    if poisoned eng then Unix.sleepf 2e-4
+    else
+      match try_get eng w with
+      | Some t ->
+          failures := 0;
+          run_task eng w t
+      | None ->
+          incr failures;
+          backoff_sleep !failures
+  done
+
+let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
+    (prog : Ast.program) : result =
+  if not (Normalize.is_normalized prog) then
+    error Loc.dummy "program must be normalized (use Front.compile)";
+  let main =
+    match Ast.find_func prog "main" with
+    | Some f -> f
+    | None -> error Loc.dummy "program has no 'main' function"
+  in
+  let is_fuzz, n_domains, seed =
+    match mode with
+    | Fuzz { seed } -> (true, 1, seed)
+    | Domains { n; seed } -> (false, max 1 n, seed)
+  in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> if is_fuzz then fuzz_policy else domains_policy
+  in
+  let workers =
+    Array.init n_domains (fun id ->
+        {
+          id;
+          deque = Deque.create ();
+          (* distinct, seed-derived streams per worker *)
+          rng = Tdrutil.Prng.create ~seed:(seed + (31 * id));
+          work = 0;
+          batch = 0;
+          pace_debt_ns = 0.;
+        })
+  in
+  let eng =
+    {
+      funcs = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      fuel = Atomic.make fuel;
+      aid = Atomic.make 0;
+      buf = Buffer.create 256;
+      buf_mu = Mutex.create ();
+      cas_mu = Mutex.create ();
+      poison = Atomic.make None;
+      finished = Atomic.make false;
+      pace_ns;
+      batch_limit =
+        (if pace_ns > 0 then max 32 (300_000 / pace_ns) else 2048);
+      policy;
+      is_fuzz;
+      workers;
+      pool = Pool.create ();
+      n_tasks = Atomic.make 0;
+      n_steals = Atomic.make 0;
+    }
+  in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace eng.funcs f.fname f) prog.funcs;
+  let root = { pending = Atomic.make 0 } in
+  let st0 =
+    { eng; w = workers.(0); locals = [ Hashtbl.create 8 ]; fin = root;
+      quiet = false }
+  in
+  (* Global initializers are sequenced before every task: run them before
+     any other domain exists, then never touch the table's structure
+     again (only the refs and arrays it holds). *)
+  st0.quiet <- true;
+  List.iter
+    (fun (g : Ast.global) ->
+      let v = eval st0 g.ginit in
+      Hashtbl.replace eng.globals g.gname (ref v))
+    prog.globals;
+  st0.quiet <- false;
+  let t_start = Unix.gettimeofday () in
+  let doms =
+    Array.init (n_domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop eng workers.(i + 1)))
+  in
+  (try
+     (try in_frame st0 (fun () -> exec_stmts st0 main.body.stmts)
+      with Return_v _ -> ());
+     wait_fin st0 root
+   with
+  | Abort -> ()
+  | e -> poison_with eng e);
+  Atomic.set eng.finished true;
+  Array.iter Domain.join doms;
+  let wall_s = Unix.gettimeofday () -. t_start in
+  (match Atomic.get eng.poison with Some e -> raise e | None -> ());
+  let globals =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) eng.globals []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    output = Buffer.contents eng.buf;
+    globals;
+    digest = Rt.Value.digest_globals globals;
+    work = Array.fold_left (fun acc w -> acc + w.work) 0 workers;
+    wall_s;
+    n_domains;
+    n_tasks = Atomic.get eng.n_tasks;
+    n_steals = Atomic.get eng.n_steals;
+  }

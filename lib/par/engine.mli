@@ -1,0 +1,67 @@
+(** Parallel async-finish execution backend on OCaml 5 domains.
+
+    Runs a normalized Mini-HJ program for real — [async] bodies execute
+    concurrently instead of depth-first — with the same value semantics
+    and cost model as {!Rt.Interp}.  Two modes:
+
+    - {!Domains}: [n] workers on [n] domains, help-first work stealing
+      over per-worker Chase-Lev {!Deque}s; [seed] drives victim
+      selection.  Timing-dependent (real parallelism).
+    - {!Fuzz}: a single worker whose seeded PRNG chooses the schedule
+      (inline-vs-defer at each [async], yields at statement boundaries,
+      pool order at [finish] joins).  Fully deterministic: the same seed
+      replays the same schedule, which is what the schedule-fuzzing
+      differential tests and [repair --validate-par] rely on.
+
+    Racy programs may produce different outputs/final states across
+    schedules — that is the point — but never memory-unsafe behavior
+    (DESIGN.md §9). *)
+
+type mode =
+  | Fuzz of { seed : int }  (** deterministic schedule exploration *)
+  | Domains of { n : int; seed : int }  (** real parallel execution *)
+
+type policy = {
+  inline_pct : int;  (** chance (0-100) an [async] runs inline at spawn *)
+  yield_pct : int;
+      (** chance (0-100) of running a pooled task at a statement boundary
+          (Fuzz mode only) *)
+}
+
+val fuzz_policy : policy
+(** Default for {!Fuzz}: 45% inline, 10% yield. *)
+
+val domains_policy : policy
+(** Default for {!Domains}: always defer (maximize available parallelism),
+    never yield. *)
+
+type result = {
+  output : string;  (** everything [print]ed; line order is schedule-dependent *)
+  globals : (string * Rt.Value.t) list;  (** final global state, sorted *)
+  digest : string;  (** {!Rt.Value.digest_globals} of [globals] *)
+  work : int;  (** total cost units charged across all workers *)
+  wall_s : float;  (** wall-clock seconds of the parallel phase *)
+  n_domains : int;
+  n_tasks : int;  (** asyncs spawned *)
+  n_steals : int;  (** successful steals (Domains mode) *)
+}
+
+(** Execute [prog] from [main].
+
+    @param fuel shared across workers; {!Rt.Interp.Out_of_fuel} when spent
+      (checked at batch granularity, so the abort point is approximate)
+    @param pace_ns nanoseconds of sleep-debt per cost unit (default 0).
+      Pacing makes wall-clock time proportional to the schedule's span
+      even when interpretation itself is faster, so speedup measurements
+      reflect schedule overlap rather than host core count.
+    @param policy scheduling probabilities; defaults to {!fuzz_policy} or
+      {!domains_policy} according to [mode]
+    @raise Rt.Interp.Runtime_error as {!Rt.Interp.run} (first failing
+      task wins; the run is cancelled and joined before re-raising) *)
+val run :
+  ?fuel:int ->
+  ?pace_ns:int ->
+  ?policy:policy ->
+  mode:mode ->
+  Mhj.Ast.program ->
+  result

@@ -1,0 +1,99 @@
+(** Schedule-fuzzing differential validation.
+
+    Race-free async-finish programs are deterministic (the paper's
+    foundation), so after a repair claims race-freedom we can test the
+    claim behaviorally: run the program under [schedules] deterministic
+    fuzzed schedules ({!Engine.Fuzz}) and require every one to reproduce
+    the sequential interpreter's observable behavior — the multiset of
+    printed lines plus the final global state digest.  Print *order* is
+    legitimately schedule-dependent even in race-free programs, so lines
+    are compared as a sorted multiset.
+
+    Each schedule [k] uses seed [seed + k]; a reported divergence is
+    replayable with [tdrepair run --par=1 --seed <that seed>]. *)
+
+type request = { schedules : int; seed : int; budget_ms : int option }
+
+let default_request = { schedules = 10; seed = 1; budget_ms = None }
+
+type divergence = { schedule_seed : int; detail : string }
+
+type t = {
+  requested : int;
+  ran : int;
+  skipped : int;
+  divergences : divergence list;
+}
+
+let ok t = t.divergences = [] && t.skipped = 0
+
+let sorted_lines s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> l <> "")
+  |> List.sort String.compare
+
+(* One fuzzed schedule against the reference observation; [None] = match. *)
+let check_schedule ?fuel prog ~schedule_seed ~ref_lines ~ref_digest =
+  match Engine.run ?fuel ~mode:(Engine.Fuzz { seed = schedule_seed }) prog with
+  | r ->
+      if sorted_lines r.output <> ref_lines then
+        Some { schedule_seed; detail = "printed output differs" }
+      else if r.digest <> ref_digest then
+        Some { schedule_seed; detail = "final global state differs" }
+      else None
+  | exception e ->
+      Some
+        {
+          schedule_seed;
+          detail = Fmt.str "schedule raised: %s" (Printexc.to_string e);
+        }
+
+let check ?fuel ?budget_ms ?(schedules = 10) ?(seed = 1)
+    (prog : Mhj.Ast.program) : t =
+  let reference = Rt.Interp.run ?fuel prog in
+  let ref_lines = sorted_lines reference.output in
+  let ref_digest = Rt.Value.digest_globals reference.globals in
+  let t0 = Unix.gettimeofday () in
+  let over_budget () =
+    match budget_ms with
+    | None -> false
+    | Some ms -> (Unix.gettimeofday () -. t0) *. 1000. >= float_of_int ms
+  in
+  let ran = ref 0 in
+  let divergences = ref [] in
+  (try
+     for k = 0 to schedules - 1 do
+       if over_budget () then raise Exit;
+       (match
+          check_schedule ?fuel prog ~schedule_seed:(seed + k) ~ref_lines
+            ~ref_digest
+        with
+       | Some d -> divergences := d :: !divergences
+       | None -> ());
+       incr ran
+     done
+   with Exit -> ());
+  {
+    requested = schedules;
+    ran = !ran;
+    skipped = schedules - !ran;
+    divergences = List.rev !divergences;
+  }
+
+let of_request ?fuel (r : request) prog =
+  check ?fuel ?budget_ms:r.budget_ms ~schedules:r.schedules ~seed:r.seed prog
+
+let pp ppf t =
+  if t.skipped > 0 then
+    Fmt.pf ppf "%d/%d fuzzed schedule(s) run (%d skipped under budget)" t.ran
+      t.requested t.skipped
+  else Fmt.pf ppf "%d/%d fuzzed schedule(s) run" t.ran t.requested;
+  match t.divergences with
+  | [] -> if t.ran > 0 then Fmt.pf ppf ", all match the sequential semantics"
+  | ds ->
+      Fmt.pf ppf ", %d divergence(s):" (List.length ds);
+      List.iter
+        (fun d ->
+          Fmt.pf ppf "@\n  seed %d: %s (replay: run --par=1 --seed %d)"
+            d.schedule_seed d.detail d.schedule_seed)
+        ds

@@ -36,6 +36,10 @@ type result = {
   output : string;  (** everything [print]ed, one line per call *)
   tree : Sdpst.Node.tree;  (** the S-DPST of the execution *)
   work : int;  (** total cost units charged (serial execution time) *)
+  globals : (string * Value.t) list;
+      (** final global-variable state, sorted by name — the reference the
+          parallel backend's schedule-fuzzing differential checks compare
+          against (digest with {!Value.digest_globals}) *)
 }
 
 type state = {
@@ -518,7 +522,11 @@ let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
   close_step st;
   monitor.Monitor.on_finish_end tree.root;
   monitor.Monitor.on_task_end tree.root;
-  { output = Buffer.contents st.buf; tree; work = st.work }
+  let globals =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) st.globals []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { output = Buffer.contents st.buf; tree; work = st.work; globals }
 
 (** Run the serial elision of [prog] (all parallel constructs erased) and
     return its result — the reference semantics for repair correctness. *)

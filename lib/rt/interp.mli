@@ -12,6 +12,10 @@ type result = {
   output : string;  (** everything [print]ed, one line per call *)
   tree : Sdpst.Node.tree;  (** the S-DPST of the execution *)
   work : int;  (** total cost units charged (serial execution time) *)
+  globals : (string * Value.t) list;
+      (** final global-variable state, sorted by name — the reference the
+          parallel backend's schedule-fuzzing differential checks compare
+          against (digest with {!Value.digest_globals}) *)
 }
 
 val default_fuel : int

@@ -18,6 +18,34 @@ let pp ppf = function
   | VUnit -> Fmt.string ppf "()"
   | VArr a -> Fmt.pf ppf "arr%d(%d cells)" a.aid (Array.length a.cells)
 
+(** Structural deep printer, independent of array identity: cells are
+    printed recursively and [aid]s are omitted.  Two runs that allocate
+    arrays in different orders (e.g. a depth-first and a parallel
+    execution of the same program) produce the same rendering iff their
+    final states agree cell-for-cell, which is what the schedule-fuzzing
+    differential tests compare.  Floats print in hex ([%h]) so the digest
+    never identifies two distinct values. *)
+let rec deep_pp ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VFloat f -> Fmt.pf ppf "%h" f
+  | VBool b -> Fmt.bool ppf b
+  | VStr s -> Fmt.pf ppf "%S" s
+  | VUnit -> Fmt.string ppf "()"
+  | VArr a ->
+      Fmt.pf ppf "[%a]" Fmt.(array ~sep:semi deep_pp) a.cells
+
+let deep_to_string v = Fmt.str "%a" deep_pp v
+
+(** Canonical digest of a final global-variable state: one [name=value]
+    line per global, sorted by name, arrays printed deeply without
+    [aid]s. *)
+let digest_globals (globals : (string * t) list) : string =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) globals
+  in
+  String.concat "\n"
+    (List.map (fun (name, v) -> name ^ "=" ^ deep_to_string v) sorted)
+
 (** Default (zero) value of a scalar type.  Array cells of array type are
     always filled by multi-dimensional [new] expressions (enforced by the
     type checker), so [TArr] has no default. *)

@@ -369,6 +369,104 @@ let test_repair_static_verify () =
   Alcotest.(check int) "pruned repair exit" 0 code2;
   check_contains "pruned repair" out2 "race-free"
 
+(* ---------------- parallel backend and schedule fuzzing ------------- *)
+
+(* Race-free divide-and-conquer program: every schedule prints 55. *)
+let par_fib_src =
+  "def fib(n: int, out: int[], i: int) {\n\
+  \  if (n < 2) { out[i] = n; return; }\n\
+  \  val a: int[] = new int[2];\n\
+  \  finish {\n\
+  \    async { fib(n - 1, a, 0); }\n\
+  \    async { fib(n - 2, a, 1); }\n\
+  \  }\n\
+  \  out[i] = a[0] + a[1];\n\
+   }\n\
+   def main() {\n\
+  \  val r: int[] = new int[1];\n\
+  \  finish { async { fib(10, r, 0); } }\n\
+  \  print(r[0]);\n\
+   }"
+
+(* Racy accumulator: schedules may lose updates and print differently. *)
+let par_racy_src =
+  "var sum: int = 0;\n\
+   def main() {\n\
+  \  val a: int[] = new int[8];\n\
+  \  finish {\n\
+  \    for (i = 0 to 7) {\n\
+  \      async { a[i] = i; sum = sum + i; }\n\
+  \    }\n\
+  \  }\n\
+  \  print(sum);\n\
+   }"
+
+let strip_wall_clock out =
+  String.split_on_char '\n' out
+  |> List.filter (fun l -> not (contains ~affix:"wall-clock" l))
+  |> String.concat "\n"
+
+let test_run_par () =
+  with_tmp_program par_fib_src (fun f ->
+      let code, out = run_cli [ "run"; f; "--par=2"; "--seed"; "3" ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      check_contains "program output" out "55";
+      check_contains "domain count" out "parallel run: 2 domain(s)";
+      check_contains "seed echoed" out "seed 3";
+      check_contains "task count" out "tasks spawned";
+      (* --par with no value picks the host's recommended domain count *)
+      let code2, out2 = run_cli [ "run"; f; "--par" ] in
+      Alcotest.(check int) "auto exit 0" 0 code2;
+      check_contains "auto domains" out2 "domain(s)")
+
+let test_run_par_replay () =
+  with_tmp_program par_racy_src (fun f ->
+      (* same seed => bit-identical schedule, replayable from the CLI *)
+      let c1, o1 = run_cli [ "run"; f; "--par=1"; "--seed"; "5" ] in
+      let c2, o2 = run_cli [ "run"; f; "--par=1"; "--seed"; "5" ] in
+      Alcotest.(check int) "exit 0" 0 c1;
+      Alcotest.(check int) "replay exit 0" 0 c2;
+      check_contains "fuzz mode announced" o1 "deterministic fuzz schedule";
+      Alcotest.(check string)
+        "same seed replays the same run"
+        (strip_wall_clock o1) (strip_wall_clock o2);
+      (* racy program: fuzzed schedules must expose >1 distinct outcome *)
+      let outputs =
+        List.init 10 (fun seed ->
+            strip_wall_clock
+              (snd
+                 (run_cli
+                    [ "run"; f; "--par=1"; "--seed"; string_of_int seed ])))
+      in
+      let distinct = List.sort_uniq compare outputs in
+      if List.length distinct < 2 then
+        Alcotest.failf
+          "expected the racy program to diverge across 10 schedules, got \
+           only:\n%s"
+          (List.hd outputs))
+
+let test_repair_validate_par () =
+  with_tmp_program par_racy_src (fun f ->
+      let code, out = run_cli [ "repair"; f; "-q"; "--validate-par" ] in
+      Alcotest.(check int) "validated exit 0" 0 code;
+      check_contains "all schedules ran" out "10/10 fuzzed schedule(s) run";
+      check_contains "verdict" out "all match the sequential semantics";
+      (* custom schedule count and base seed *)
+      let code2, out2 =
+        run_cli
+          [ "repair"; f; "-q"; "--validate-par=3"; "--validate-seed"; "42" ]
+      in
+      Alcotest.(check int) "custom K exit 0" 0 code2;
+      check_contains "3 schedules" out2 "3/3 fuzzed schedule(s) run";
+      (* zero budget: validation deterministically skipped -> degraded *)
+      let code3, out3 =
+        run_cli
+          [ "repair"; f; "-q"; "--validate-par"; "--budget-validate"; "0" ]
+      in
+      Alcotest.(check int) "degraded exit" 4 code3;
+      check_contains "degradation recorded" out3 "degraded:";
+      check_contains "skip reported" out3 "skipped under budget")
+
 let () =
   Alcotest.run "cli"
     [
@@ -402,5 +500,9 @@ let () =
             test_detect_static_prune;
           Alcotest.test_case "repair --static-verify" `Quick
             test_repair_static_verify;
+          Alcotest.test_case "run --par" `Quick test_run_par;
+          Alcotest.test_case "run --par replay" `Quick test_run_par_replay;
+          Alcotest.test_case "repair --validate-par" `Quick
+            test_repair_validate_par;
         ] );
     ]

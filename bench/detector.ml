@@ -1,0 +1,294 @@
+(* `bench detector`: per-access overhead of the race detectors on the
+   Table 1 suite (finish-stripped, repair input sizes).
+
+   For each benchmark the sweep times five configurations of the same
+   deterministic execution: uninstrumented (nop), SRW, MRW, MRW with the
+   static prune pre-pass (`--static-prune`, Static.Prune.keep_fn), and
+   the seed MRW implementation kept in Espbags.Reference — hashtable
+   bags, boxed-address shadow, per-access allocation — as the "before"
+   side.
+
+   The headline metric is detection throughput: monitored accesses per
+   second of detector work, where detector work is the run's time minus
+   the uninstrumented (nop) run of the same program — i.e. the per-access
+   cost the detector itself adds, the quantity this PR's dense-shadow hot
+   path optimizes.  (Total-run times are also recorded; on
+   interpreter-bound programs they dilute any detector change with
+   constant interpretation cost.)  The speedup column is the ratio of new
+   to seed detection throughput.
+
+   The interpreter is deterministic, so S-DPST node ids are stable across
+   runs; the sweep asserts the new detectors' race reports byte-identical
+   (same order, same (src, sink, addr, kind) records) to the seed's for
+   both SRW and MRW, and the pruned run's race multiset identical to the
+   unpruned one.  Any mismatch aborts rather than print a corrupt table.
+
+   Timing discipline: minimum of TDR_BENCH_REPEAT timed runs (default 5,
+   plus a warmup), with a [Gc.full_major] before every configuration so
+   one configuration's garbage is not collected on another's clock.
+
+   Environment knobs: TDR_BENCH_REPEAT, TDR_BENCH_DETECTOR_JSON (default
+   BENCH_detector.json; "-" disables).  The quick variant (`bench
+   detector-quick`, @ci) does a single run per configuration and skips
+   the JSON, keeping the race-set identity assertions. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+type row = {
+  name : string;
+  accesses : int;
+  races : int;
+  nop_s : float;
+  srw_s : float;
+  mrw_s : float;
+  analysis_s : float;  (** Static.Prune.make, paid once per program *)
+  mrw_pruned_s : float;
+  skipped : int;
+  ref_srw_s : float;
+  ref_mrw_s : float;
+}
+
+(* Detection time: run minus uninstrumented baseline, floored at 1us so
+   clock jitter on a near-free configuration cannot yield a zero or
+   negative denominator. *)
+let det_time run nop = Float.max (run -. nop) 1e-6
+
+(* A detection time below this floor (both absolute and relative to the
+   interpreter baseline) is clock noise, not measurement: on
+   interpreter-bound programs the run-to-run variance of the baseline
+   itself exceeds the detector's contribution.  Such rows are printed and
+   recorded but excluded from the summary speedups. *)
+let measurable run nop = run -. nop >= Float.max 3e-4 (0.05 *. nop)
+
+let mrw_aps r = float_of_int r.accesses /. det_time r.mrw_s r.nop_s
+
+let ref_mrw_aps r = float_of_int r.accesses /. det_time r.ref_mrw_s r.nop_s
+
+let mrw_speedup r = mrw_aps r /. ref_mrw_aps r
+
+(* Both sides' detection time above the noise floor? *)
+let row_measurable r =
+  measurable r.mrw_s r.nop_s && measurable r.ref_mrw_s r.nop_s
+
+(* Node ids are deterministic, so this is a byte-level record identity:
+   two runs report the same races in the same order iff these lists are
+   equal. *)
+let exact_sigs races =
+  List.map
+    (fun (r : Espbags.Race.t) ->
+      ( r.src.Sdpst.Node.id,
+        r.sink.Sdpst.Node.id,
+        Fmt.str "%a" Rt.Addr.pp r.addr,
+        Fmt.str "%a" Espbags.Race.pp_kind r.kind ))
+    races
+
+let identical name what a b =
+  if a <> b then
+    failwith
+      (Fmt.str "detector bench: %s: %s race records differ (%d vs %d) — \
+                detector bug"
+         name what (List.length a) (List.length b))
+
+let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
+  let prog = Benchsuite.Bench.stripped_program b in
+  (* The configurations are timed in interleaved rounds (every
+     configuration once per round, minimum over rounds) rather than
+     back-to-back: heap size and allocator state drift over a long bench
+     process, and interleaving exposes every configuration to the same
+     drift instead of letting it bias whichever ran last.  A full major
+     collection before each run keeps one configuration's garbage off
+     another's clock. *)
+  let once f =
+    Gc.full_major ();
+    let r, s = Clock.time f in
+    ignore (Sys.opaque_identity r);
+    s
+  in
+  let pr = Static.Prune.make prog in
+  let nop () = ignore (Rt.Interp.run prog) in
+  let srw_f () = fst (Espbags.Detector.detect Espbags.Detector.Srw prog) in
+  let mrw_f () = fst (Espbags.Detector.detect Espbags.Detector.Mrw prog) in
+  let analysis () = ignore (Static.Prune.make prog) in
+  let pruned_f () =
+    fst
+      (Espbags.Detector.detect
+         ~keep:(Static.Prune.keep_fn pr)
+         Espbags.Detector.Mrw prog)
+  in
+  let ref_srw_f () = fst (Espbags.Reference.detect Espbags.Detector.Srw prog) in
+  let ref_mrw_f () = fst (Espbags.Reference.detect Espbags.Detector.Mrw prog) in
+  for _ = 1 to warmup do
+    nop ();
+    ignore (srw_f ());
+    ignore (mrw_f ());
+    ignore (pruned_f ());
+    ignore (ref_srw_f ());
+    ignore (ref_mrw_f ())
+  done;
+  let nop_s = ref infinity
+  and srw_s = ref infinity
+  and mrw_s = ref infinity
+  and analysis_s = ref infinity
+  and mrw_pruned_s = ref infinity
+  and ref_srw_s = ref infinity
+  and ref_mrw_s = ref infinity in
+  let keep_min cell s = if s < !cell then cell := s in
+  for _ = 1 to max 1 repeat do
+    keep_min nop_s (once nop);
+    keep_min srw_s (once (fun () -> ignore (srw_f ())));
+    keep_min mrw_s (once (fun () -> ignore (mrw_f ())));
+    keep_min analysis_s (once analysis);
+    keep_min mrw_pruned_s (once (fun () -> ignore (pruned_f ())));
+    keep_min ref_srw_s (once (fun () -> ignore (ref_srw_f ())));
+    keep_min ref_mrw_s (once (fun () -> ignore (ref_mrw_f ())))
+  done;
+  let nop_s = !nop_s
+  and srw_s = !srw_s
+  and mrw_s = !mrw_s
+  and analysis_s = !analysis_s
+  and mrw_pruned_s = !mrw_pruned_s
+  and ref_srw_s = !ref_srw_s
+  and ref_mrw_s = !ref_mrw_s in
+  let srw = srw_f ()
+  and mrw = mrw_f ()
+  and pruned = pruned_f ()
+  and ref_srw = ref_srw_f ()
+  and ref_mrw = ref_mrw_f () in
+  identical b.name "SRW vs seed"
+    (exact_sigs (Espbags.Detector.races srw))
+    (exact_sigs (Espbags.Reference.races ref_srw));
+  identical b.name "MRW vs seed"
+    (exact_sigs (Espbags.Detector.races mrw))
+    (exact_sigs (Espbags.Reference.races ref_mrw));
+  identical b.name "MRW vs pruned MRW"
+    (List.sort compare (exact_sigs (Espbags.Detector.races mrw)))
+    (List.sort compare (exact_sigs (Espbags.Detector.races pruned)));
+  {
+    name = b.name;
+    accesses = mrw.Espbags.Detector.n_accesses;
+    races = Espbags.Detector.race_count mrw;
+    nop_s;
+    srw_s;
+    mrw_s;
+    analysis_s;
+    mrw_pruned_s;
+    skipped = pruned.Espbags.Detector.n_skipped;
+    ref_srw_s;
+    ref_mrw_s;
+  }
+
+let json_of_rows ~repeat rows =
+  let buf = Buffer.create 2048 in
+  let row_json r =
+    Fmt.str
+      "    {\"name\": %S, \"accesses\": %d, \"races\": %d, \"nop_s\": %.6f, \
+       \"srw_s\": %.6f, \"mrw_s\": %.6f, \"prune_analysis_s\": %.6f, \
+       \"mrw_pruned_s\": %.6f, \"skipped_accesses\": %d, \"ref_srw_s\": \
+       %.6f, \"ref_mrw_s\": %.6f, \"mrw_det_accesses_per_s\": %.0f, \
+       \"ref_mrw_det_accesses_per_s\": %.0f, \"mrw_speedup_vs_seed\": %.3f, \
+       \"mrw_overhead\": %.3f, \"ref_mrw_overhead\": %.3f, \"measurable\": \
+       %b}"
+      r.name r.accesses r.races r.nop_s r.srw_s r.mrw_s r.analysis_s
+      r.mrw_pruned_s r.skipped r.ref_srw_s r.ref_mrw_s (mrw_aps r)
+      (ref_mrw_aps r) (mrw_speedup r) (r.mrw_s /. r.nop_s)
+      (r.ref_mrw_s /. r.nop_s) (row_measurable r)
+  in
+  (* summary statistics cover only rows whose detection time is above the
+     noise floor on both sides *)
+  let mrows = List.filter row_measurable rows in
+  let geomean f =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0. mrows
+      /. float_of_int (max 1 (List.length mrows)))
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. mrows in
+  let agg_speedup =
+    total (fun r -> det_time r.ref_mrw_s r.nop_s)
+    /. total (fun r -> det_time r.mrw_s r.nop_s)
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Fmt.str "  \"repeat\": %d,\n" repeat);
+  Buffer.add_string buf
+    (Fmt.str "  \"measured_rows\": %d,\n" (List.length mrows));
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_mrw_speedup_vs_seed\": %.3f,\n" agg_speedup);
+  Buffer.add_string buf
+    (Fmt.str "  \"total_accesses\": %.0f,\n"
+       (total (fun r -> float_of_int r.accesses)));
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_mrw_det_accesses_per_s\": %.0f,\n"
+       (total (fun r -> float_of_int r.accesses)
+       /. total (fun r -> det_time r.mrw_s r.nop_s)));
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_ref_mrw_det_accesses_per_s\": %.0f,\n"
+       (total (fun r -> float_of_int r.accesses)
+       /. total (fun r -> det_time r.ref_mrw_s r.nop_s)));
+  Buffer.add_string buf
+    (Fmt.str "  \"geomean_mrw_speedup_vs_seed\": %.3f,\n" (geomean mrw_speedup));
+  Buffer.add_string buf
+    (Fmt.str "  \"geomean_srw_speedup_vs_seed\": %.3f,\n"
+       (geomean (fun r ->
+            det_time r.ref_srw_s r.nop_s /. det_time r.srw_s r.nop_s)));
+  Buffer.add_string buf "  \"rows\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map row_json rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let sweep ~quick () =
+  let repeat = if quick then 1 else env_int "TDR_BENCH_REPEAT" 5 in
+  let warmup = if quick then 0 else 1 in
+  Fmt.pr "== detector overhead: MRW hot path vs seed implementation ==@.";
+  Fmt.pr
+    "(accesses/sec of detection time = run minus uninstrumented baseline)@.";
+  Fmt.pr "%-14s %10s %6s %9s %9s %9s %11s %11s %8s@." "benchmark" "accesses"
+    "races" "nop(ms)" "mrw(ms)" "seed(ms)" "mrw(a/s)" "seed(a/s)" "speedup";
+  let rows =
+    List.map
+      (fun b ->
+        let r = measure ~warmup ~repeat b in
+        let speedup =
+          if row_measurable r then Fmt.str "%7.2fx" (mrw_speedup r)
+          else "    n/a"
+        in
+        Fmt.pr "%-14s %10d %6d %9.2f %9.2f %9.2f %11.0f %11.0f %s@." r.name
+          r.accesses r.races (1e3 *. r.nop_s) (1e3 *. r.mrw_s)
+          (1e3 *. r.ref_mrw_s) (mrw_aps r) (ref_mrw_aps r) speedup;
+        r)
+      Benchsuite.Suite.all
+  in
+  let mrows = List.filter row_measurable rows in
+  let geomean =
+    exp
+      (List.fold_left (fun acc r -> acc +. log (mrw_speedup r)) 0. mrows
+      /. float_of_int (max 1 (List.length mrows)))
+  in
+  let total f = List.fold_left (fun acc r -> acc +. f r) 0. mrows in
+  let agg =
+    total (fun r -> det_time r.ref_mrw_s r.nop_s)
+    /. total (fun r -> det_time r.mrw_s r.nop_s)
+  in
+  Fmt.pr
+    "race sets byte-identical to the seed on all %d benchmark(s); MRW \
+     speedup vs seed over the %d with measurable detection time: %.2fx \
+     aggregate (suite accesses per detection second), %.2fx geomean@."
+    (List.length rows) (List.length mrows) agg geomean;
+  if quick then ()
+  else
+    match Sys.getenv_opt "TDR_BENCH_DETECTOR_JSON" with
+    | Some "-" -> ()
+    | path_opt ->
+        let path = Option.value ~default:"BENCH_detector.json" path_opt in
+        let oc = open_out path in
+        output_string oc (json_of_rows ~repeat rows);
+        close_out oc;
+        Fmt.pr "[detector data written to %s]@." path
+
+let run () = sweep ~quick:false ()
+
+(* CI variant: single timed run per configuration, no JSON; the race-set
+   identity assertions (new vs seed, pruned vs unpruned) still run on the
+   whole suite. *)
+let run_quick () = sweep ~quick:true ()

@@ -5,14 +5,17 @@
    single argument selects one piece:
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
-                                  students|ablation|prune|speedup|micro|all]
+                                  students|ablation|prune|detector|
+                                  detector-quick|speedup|micro|all]
 
-   (table3 and table4 are produced by the same SRW-vs-MRW sweep.) *)
+   (table3 and table4 are produced by the same SRW-vs-MRW sweep;
+   detector-quick is the single-run CI variant of the detector-overhead
+   sweep.) *)
 
 let usage () =
   Fmt.epr
     "usage: main.exe \
-     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|speedup|micro|all]@.";
+     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|detector|detector-quick|speedup|micro|all]@.";
   exit 1
 
 let () =
@@ -27,6 +30,8 @@ let () =
   | "students" -> Tables.students ()
   | "ablation" -> Tables.ablation ()
   | "prune" -> Prune.run ()
+  | "detector" -> Detector.run ()
+  | "detector-quick" -> Detector.run_quick ()
   | "speedup" -> Speedup.run ()
   | "micro" -> Micro.run_and_print ()
   | "all" ->
@@ -38,6 +43,7 @@ let () =
       Tables.students ();
       Tables.ablation ();
       Prune.run ();
+      Detector.run ();
       Speedup.run ();
       Micro.run_and_print ()
   | _ -> usage ());

@@ -47,7 +47,7 @@ let sweep_row (b : Benchsuite.Bench.t) : row =
   let (pruned, _), pruned_s =
     time (fun () ->
         Espbags.Detector.detect
-          ~keep:(fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+          ~keep:(Static.Prune.keep_fn pr)
           Espbags.Detector.Mrw prog)
   in
   if signatures full <> signatures pruned then

@@ -248,7 +248,7 @@ let detect_cmd =
                unproven MHP conflict(s))@."
               (Static.Prune.n_kept pr) (Static.Prune.n_stmts pr)
               (Static.Prune.n_conflicts pr);
-            Some (fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+            Some (Static.Prune.keep_fn pr)
           end
           else None
         in

@@ -408,7 +408,7 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         let pr =
           Guard.at_stage Diag.Lint (fun () -> Static.Prune.make program)
         in
-        Some (fun ~bid ~idx -> Static.Prune.keep pr ~bid ~idx)
+        Some (Static.Prune.keep_fn pr)
       end
       else None
     in

@@ -13,113 +13,219 @@
     A memory access by the current task races with an earlier access by
     task [t] iff [t] is currently in a P-bag.
 
-    Bags are union-find classes over task ids (S-DPST node ids); each class
-    root carries a mark saying which bag the class currently is. *)
+    Bags are union-find classes over tasks.  Tasks are handed in as
+    S-DPST node ids but interned to {e dense task indices} at
+    [task_begin]: node ids are dense over {e all} nodes (every step is a
+    node), so arrays indexed by them are an order of magnitude larger
+    than the task count and every probe is a cache miss.  Indexed by
+    dense task index, the whole union-find state (parent, rank, mark,
+    memo) of a run fits in cache.  [current_task] and [in_pbag] speak
+    dense indices — they are the detector's per-shadow-entry scan pair,
+    so a membership test must be a few cached array reads, not a
+    hashtable probe chain.  Bag marks are unboxed ints ([2*owner +
+    kind]), and the task/finish stacks are int vectors, so no bag
+    transition or membership test allocates. *)
 
-type mark =
-  | Sbag of int  (** S-bag of the task with this node id *)
-  | Pbag of int  (** P-bag of the finish with this node id *)
+(* A class root's mark encodes which bag the class currently is:
+   [2*task] for the S-bag of [task], [2*finish + 1] for the P-bag of
+   [finish].  Marks of non-root nodes are stale and never read. *)
+let sbag task = 2 * task
+
+let pbag finish = (2 * finish) + 1
 
 type t = {
-  parent : (int, int) Hashtbl.t;
-  rank : (int, int) Hashtbl.t;
-  mark : (int, mark) Hashtbl.t;  (** class root -> current bag *)
-  pbag_root : (int, int) Hashtbl.t;  (** finish id -> an element of its P-bag *)
-  mutable task_stack : int list;  (** dynamically enclosing tasks, innermost first *)
-  mutable finish_stack : int list;  (** dynamically enclosing finishes *)
+  mutable n_tasks : int;  (** dense task indices are [0 .. n_tasks-1] *)
+  parent : Tdrutil.Ivec.t;
+      (** dense task index -> union-find parent; -1 unknown *)
+  rank : Tdrutil.Ivec.t;  (** meaningful at class roots *)
+  mark : Tdrutil.Ivec.t;  (** class root -> current bag (encoded) *)
+  pbag_root : Tdrutil.Ivec.t;
+      (** finish node id -> an element (dense index) of its P-bag; -1
+          empty *)
+  task_stack : Tdrutil.Ivec.t;
+      (** dynamically enclosing task {e node ids}, innermost last (kept
+          as node ids so [task_end] can check the caller's id) *)
+  dtask_stack : Tdrutil.Ivec.t;  (** parallel: their dense indices *)
+  finish_stack : Tdrutil.Ivec.t;  (** dynamically enclosing finishes *)
+  mutable version : int;
+      (** bumped by every transition that can change a bag membership
+          ([task_end], [finish_end]); lets [in_pbag] cache its answer *)
+  pbag_cache : Tdrutil.Ivec.t;
+      (** dense task index -> [2*version + in_pbag] memo of the last
+          [in_pbag] query; -1 never queried.  Detector scans re-test the
+          same tasks many times between transitions, so most tests are
+          one array read instead of a union-find walk. *)
 }
 
 let create () =
   {
-    parent = Hashtbl.create 256;
-    rank = Hashtbl.create 256;
-    mark = Hashtbl.create 256;
-    pbag_root = Hashtbl.create 64;
-    task_stack = [];
-    finish_stack = [];
+    n_tasks = 0;
+    parent = Tdrutil.Ivec.create ~capacity:256 ();
+    rank = Tdrutil.Ivec.create ~capacity:256 ();
+    mark = Tdrutil.Ivec.create ~capacity:256 ();
+    pbag_root = Tdrutil.Ivec.create ~capacity:64 ();
+    task_stack = Tdrutil.Ivec.create ~capacity:32 ();
+    dtask_stack = Tdrutil.Ivec.create ~capacity:32 ();
+    finish_stack = Tdrutil.Ivec.create ~capacity:32 ();
+    version = 0;
+    pbag_cache = Tdrutil.Ivec.create ~capacity:256 ();
   }
 
-let rec find t x =
-  match Hashtbl.find_opt t.parent x with
-  | None -> invalid_arg (Fmt.str "Bags.find: unknown task %d" x)
-  | Some p ->
-      if p = x then x
-      else begin
-        let r = find t p in
-        Hashtbl.replace t.parent x r;
-        r
-      end
+let find t x =
+  if
+    x < 0
+    || x >= Tdrutil.Ivec.length t.parent
+    || Tdrutil.Ivec.unsafe_get t.parent x < 0
+  then invalid_arg (Fmt.str "Bags.find: unknown task %d" x);
+  (* path halving: every node on the walk is re-pointed at its
+     grandparent, so repeated finds flatten the class *)
+  let x = ref x in
+  let p = ref (Tdrutil.Ivec.unsafe_get t.parent !x) in
+  while !p <> !x do
+    let gp = Tdrutil.Ivec.unsafe_get t.parent !p in
+    Tdrutil.Ivec.unsafe_set t.parent !x gp;
+    x := gp;
+    p := Tdrutil.Ivec.unsafe_get t.parent gp
+  done;
+  !x
 
 let union t a b =
   let ra = find t a and rb = find t b in
   if ra = rb then ra
   else begin
-    let ka = Hashtbl.find t.rank ra and kb = Hashtbl.find t.rank rb in
+    let ka = Tdrutil.Ivec.unsafe_get t.rank ra
+    and kb = Tdrutil.Ivec.unsafe_get t.rank rb in
     let root, child = if ka >= kb then (ra, rb) else (rb, ra) in
-    Hashtbl.replace t.parent child root;
-    if ka = kb then Hashtbl.replace t.rank root (ka + 1);
-    Hashtbl.remove t.mark child;
+    Tdrutil.Ivec.unsafe_set t.parent child root;
+    if ka = kb then Tdrutil.Ivec.unsafe_set t.rank root (ka + 1);
     root
   end
 
-let mark_of t x = Hashtbl.find t.mark (find t x)
+let mark_of t x = Tdrutil.Ivec.unsafe_get t.mark (find t x)
 
 (** Is task [x] currently in a P-bag (i.e. parallel-possible with the
-    currently executing code)? *)
-let in_pbag t x = match mark_of t x with Pbag _ -> true | Sbag _ -> false
+    currently executing code)?  Memoized per [version]: between two
+    membership-changing transitions the answer is constant, so repeated
+    tests (the detector's shadow scans) cost one array read. *)
+let in_pbag t x =
+  if x < 0 || x >= t.n_tasks then
+    (* unknown task: [find] raises the contractual Invalid_argument *)
+    mark_of t x land 1 = 1
+  else begin
+    let c = Tdrutil.Ivec.unsafe_get t.pbag_cache x in
+    if c >= 0 && c lsr 1 = t.version then c land 1 = 1
+    else begin
+      let b = mark_of t x land 1 = 1 in
+      Tdrutil.Ivec.unsafe_set t.pbag_cache x
+        ((t.version lsl 1) lor Bool.to_int b);
+      b
+    end
+  end
+
+(** [scan_report t entries ~out ~sink ~meta] is the detector's fused
+    inner loop.  [entries] is a shadow location's recorded-access list,
+    each element packed as [(task lsl 31) lor sid] — [task] a dense index
+    from {!current_task}, [sid] the recording step's id.  For every entry
+    whose task is currently in a P-bag, the packed 2-int race record
+    [(sid lsl 31) lor sink, meta] is appended to [out] — unless
+    [sid = sink] (an access never races with its own step).  Batching
+    the loop here keeps the membership-memo probe inlined (one cached
+    read per entry on the fast path) and emits hit records in the same
+    pass, with no per-element cross-module call, no hit scratch vector,
+    and no closure.  Callers guarantee [sink] and every packed [sid] fit
+    in 31 bits (they are S-DPST node ids; see the detector's record-push
+    guard). *)
+let scan_report t entries ~out ~sink ~meta =
+  let n = Tdrutil.Ivec.length entries in
+  let ver = t.version in
+  (* raw backing arrays, hoisted: neither [entries] nor the memo grows
+     during the scan ([out] is a different vector), so the arrays stay
+     valid and the loop body reloads nothing *)
+  let edata = Tdrutil.Ivec.unsafe_data entries in
+  let cdata = Tdrutil.Ivec.unsafe_data t.pbag_cache in
+  for i = 0 to n - 1 do
+    let e = Array.unsafe_get edata i in
+    let x = e lsr 31 in
+    let c = Array.unsafe_get cdata x in
+    let hit =
+      if c >= 0 && c lsr 1 = ver then c land 1 = 1
+      else begin
+        let bit = mark_of t x land 1 = 1 in
+        Array.unsafe_set cdata x ((ver lsl 1) lor Bool.to_int bit);
+        bit
+      end
+    in
+    if hit then begin
+      let src = e land ((1 lsl 31) - 1) in
+      if src <> sink then
+        Tdrutil.Ivec.push2 out ((src lsl 31) lor sink) meta
+    end
+  done
 
 let current_task t =
-  match t.task_stack with
-  | task :: _ -> task
-  | [] -> invalid_arg "Bags.current_task: no task executing"
+  if Tdrutil.Ivec.is_empty t.dtask_stack then
+    invalid_arg "Bags.current_task: no task executing";
+  Tdrutil.Ivec.top t.dtask_stack
 
 (* ------------------------------------------------------------------ *)
 (* ESP-bags transitions                                                *)
 (* ------------------------------------------------------------------ *)
 
-(** A task starts: fresh singleton S-bag {task}. *)
+(** A task starts: fresh singleton S-bag {task}.  [task] (a node id) is
+    interned to the next dense index here. *)
 let task_begin t ~task =
-  Hashtbl.replace t.parent task task;
-  Hashtbl.replace t.rank task 0;
-  Hashtbl.replace t.mark task (Sbag task);
-  t.task_stack <- task :: t.task_stack
+  let d = t.n_tasks in
+  t.n_tasks <- d + 1;
+  Tdrutil.Ivec.push t.parent d;
+  Tdrutil.Ivec.push t.rank 0;
+  Tdrutil.Ivec.push t.mark (sbag d);
+  Tdrutil.Ivec.push t.pbag_cache (-1);
+  Tdrutil.Ivec.push t.task_stack task;
+  Tdrutil.Ivec.push t.dtask_stack d
 
 (** A task ends: its S-bag contents move to the P-bag of its immediately
     enclosing finish — they may now run in parallel with the continuation
     of the parent task, until that finish completes. *)
 let task_end t ~task =
-  (match t.task_stack with
-  | x :: rest when x = task -> t.task_stack <- rest
-  | _ -> invalid_arg "Bags.task_end: task stack mismatch");
-  match t.finish_stack with
-  | [] ->
-      (* The root task ends after the root finish; nothing outlives it. *)
-      ()
-  | ief :: _ -> (
-      let r = find t task in
-      match Hashtbl.find_opt t.pbag_root ief with
-      | None ->
-          Hashtbl.replace t.mark r (Pbag ief);
-          Hashtbl.replace t.pbag_root ief r
-      | Some existing ->
-          let root = union t r existing in
-          Hashtbl.replace t.mark root (Pbag ief);
-          Hashtbl.replace t.pbag_root ief root)
+  if Tdrutil.Ivec.is_empty t.task_stack || Tdrutil.Ivec.top t.task_stack <> task
+  then invalid_arg "Bags.task_end: task stack mismatch";
+  ignore (Tdrutil.Ivec.pop t.task_stack);
+  let d = Tdrutil.Ivec.pop t.dtask_stack in
+  t.version <- t.version + 1;
+  if not (Tdrutil.Ivec.is_empty t.finish_stack) then begin
+    (* the root task ends after the root finish; nothing outlives it *)
+    let ief = Tdrutil.Ivec.top t.finish_stack in
+    let r = find t d in
+    match Tdrutil.Ivec.get t.pbag_root ief with
+    | -1 ->
+        Tdrutil.Ivec.unsafe_set t.mark r (pbag ief);
+        Tdrutil.Ivec.unsafe_set t.pbag_root ief r
+    | existing ->
+        let root = union t r existing in
+        Tdrutil.Ivec.unsafe_set t.mark root (pbag ief);
+        Tdrutil.Ivec.unsafe_set t.pbag_root ief root
+  end
 
 (** A finish region starts: its P-bag is empty. *)
-let finish_begin t ~finish = t.finish_stack <- finish :: t.finish_stack
+let finish_begin t ~finish =
+  Tdrutil.Ivec.ensure t.pbag_root (finish + 1) ~fill:(-1);
+  Tdrutil.Ivec.unsafe_set t.pbag_root finish (-1);
+  Tdrutil.Ivec.push t.finish_stack finish
 
 (** A finish region ends: everything in its P-bag is now serialized with
     the continuation of the enclosing task, so it moves to that task's
     S-bag. *)
 let finish_end t ~finish =
-  (match t.finish_stack with
-  | f :: rest when f = finish -> t.finish_stack <- rest
-  | _ -> invalid_arg "Bags.finish_end: finish stack mismatch");
-  match Hashtbl.find_opt t.pbag_root finish with
-  | None -> ()
-  | Some r ->
-      Hashtbl.remove t.pbag_root finish;
+  if
+    Tdrutil.Ivec.is_empty t.finish_stack
+    || Tdrutil.Ivec.top t.finish_stack <> finish
+  then invalid_arg "Bags.finish_end: finish stack mismatch";
+  ignore (Tdrutil.Ivec.pop t.finish_stack);
+  t.version <- t.version + 1;
+  match Tdrutil.Ivec.get t.pbag_root finish with
+  | -1 -> ()
+  | r ->
+      Tdrutil.Ivec.unsafe_set t.pbag_root finish (-1);
       let task = current_task t in
       let root = union t r (find t task) in
-      Hashtbl.replace t.mark root (Sbag task)
+      Tdrutil.Ivec.unsafe_set t.mark root (sbag task)

@@ -4,20 +4,35 @@
     root task) owns an S-bag and every finish instance (plus the implicit
     root finish) owns a P-bag.  A memory access by the current task races
     with an earlier access by task [t] iff [t] is currently in a P-bag.
-    Bags are union-find classes over task ids (S-DPST node ids). *)
+    Bags are union-find classes over tasks.  Structural transitions take
+    S-DPST node ids, but tasks are interned to dense indices at
+    {!task_begin}: {!current_task} returns the innermost task's dense
+    index and {!in_pbag} takes one, which keeps the scan-side state small
+    enough to stay in cache. *)
 
 type t
 
 val create : unit -> t
 
-(** The innermost executing task.
+(** The innermost executing task, as its dense index (the value to store
+    in shadow state and later pass to {!in_pbag}).
     @raise Invalid_argument if no task has begun. *)
 val current_task : t -> int
 
-(** Is this task currently in a P-bag (parallel-possible with the
-    currently executing code)?
-    @raise Invalid_argument for an unknown task id. *)
+(** Is this task (a dense index from {!current_task}) currently in a
+    P-bag (parallel-possible with the currently executing code)?
+    @raise Invalid_argument for an unknown task index. *)
 val in_pbag : t -> int -> bool
+
+(** [scan_report t entries ~out ~sink ~meta] appends to [out] the packed
+    2-int race record [(sid lsl 31) lor sink, meta] for every element of
+    [entries] — each packed as [(task lsl 31) lor sid] with [task] a
+    dense index from {!current_task} — whose task is currently in a
+    P-bag, skipping entries whose [sid] equals [sink].  The detector's
+    fused scan-and-report inner loop; [sink] and packed [sid]s must fit
+    in 31 bits (see bags.ml). *)
+val scan_report :
+  t -> Tdrutil.Ivec.t -> out:Tdrutil.Ivec.t -> sink:int -> meta:int -> unit
 
 (** A task starts: fresh singleton S-bag. *)
 val task_begin : t -> task:int -> unit
@@ -34,3 +49,4 @@ val finish_begin : t -> finish:int -> unit
     enclosing task.
     @raise Invalid_argument if [finish] is not the innermost finish. *)
 val finish_end : t -> finish:int -> unit
+

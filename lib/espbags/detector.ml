@@ -12,7 +12,24 @@
     repair.
 
     Both are packaged as {!Rt.Monitor} implementations to be passed to
-    {!Rt.Interp.run}. *)
+    {!Rt.Interp.run}.
+
+    {b Hot-path representation.}  Detection is the inner loop of the whole
+    tool, so the per-access path allocates nothing and hashes nothing:
+
+    - locations arrive as dense interned ids ({!Rt.Addr.Intern}), so the
+      shadow memory is a flat growable table indexed by id — no
+      [Addr.Table] probe, no boxed address;
+    - MRW access lists are struct-of-arrays (an int vector of task ids
+      scanned against the bags, and a parallel vector of step nodes read
+      only when a race is actually reported) — no per-access record;
+    - per-location step {e epochs} (the id of the last recorded
+      reader/writer step) give O(1) full per-step dedup of the lists: the
+      depth-first execution never resumes a step node, so a step's
+      accesses to a location are contiguous and one epoch compare replaces
+      the seed's inspect-the-last-record dance (and its option
+      allocation).  {!Reference} keeps the seed representation; the
+      differential suite holds the two to identical race multisets. *)
 
 type mode = Srw | Mrw
 
@@ -20,180 +37,305 @@ let pp_mode ppf = function
   | Srw -> Fmt.string ppf "SRW"
   | Mrw -> Fmt.string ppf "MRW"
 
-type access_record = { task : int; step : Sdpst.Node.t }
-
-type srw_shadow = {
-  mutable writer : access_record option;
-  mutable reader : access_record option;
-}
-
-type mrw_shadow = {
-  writers : access_record Tdrutil.Vec.t;
-  readers : access_record Tdrutil.Vec.t;
-}
-
+(* Race reports are recorded as packed 2-int records in one flat buffer
+   and only materialized into {!Race.t} values when [races] is called:
+   reporting is on the per-access hot path (a racy location's whole
+   access list reports on every later conflicting access), and deferring
+   the boxed-address reconstruction and record allocation keeps that path
+   down to one [Ivec.push2] — no allocation and, crucially, no GC write
+   barrier (pushing a step {e node} instead of its id would run
+   [caml_modify] per report).  Packing [(src lsl 31) lor sink] and
+   [(addr lsl 2) lor kind] halves the buffer: on racy inputs the record
+   volume is the detector's main memory traffic (and GC pacing charge).
+   Step ids are guarded to 31 bits when recorded into shadow lists.  The
+   [steps] registry maps a step id back to its node — one pointer store
+   per step, not per report — and is what materialization reads. *)
 type t = {
   mode : mode;
-  monitor : Rt.Monitor.t;
-  races : Race.t Tdrutil.Vec.t;
+  mutable monitor : Rt.Monitor.t;
+  steps : Sdpst.Node.t Tdrutil.Vec.t;
+      (** step id -> step node, filled on each step's first access *)
+  r_buf : Tdrutil.Ivec.t;
+      (** race records, stride 2, packed: [(src lsl 31) lor sink] of the
+          source/sink step ids, then [(addr lsl 2) lor kind] of the
+          interned address id and encoded {!Race.kind} *)
+  mutable intern : Rt.Addr.Intern.t;
+      (** the monitored run's address interner (set by [on_init]); used to
+          reconstruct boxed addresses when races are materialized *)
   mutable n_accesses : int;  (** monitored accesses checked *)
   mutable n_locations : int;  (** distinct locations touched *)
   mutable n_skipped : int;  (** accesses skipped by a static pre-pass *)
 }
 
-let races t = Tdrutil.Vec.to_list t.races
+let wr = 0
 
-let race_count t = Tdrutil.Vec.length t.races
+and rw = 1
+
+and ww = 2
+
+let kind_of_code = function
+  | 0 -> Race.Write_read
+  | 1 -> Race.Read_write
+  | _ -> Race.Write_write
+
+let race_count t = Tdrutil.Ivec.length t.r_buf / 2
 
 (** Is the execution race-free (no race reported)? *)
-let clean t = Tdrutil.Vec.is_empty t.races
+let clean t = Tdrutil.Ivec.is_empty t.r_buf
+
+let sid_mask = (1 lsl 31) - 1
+
+let races t =
+  let node i = Tdrutil.Vec.unsafe_get t.steps i in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let ss = Tdrutil.Ivec.unsafe_get t.r_buf i
+      and meta = Tdrutil.Ivec.unsafe_get t.r_buf (i + 1) in
+      go (i - 2)
+        (Race.make
+           ~src:(node (ss lsr 31))
+           ~sink:(node (ss land sid_mask))
+           ~addr:(Rt.Addr.Intern.of_id t.intern (meta lsr 2))
+           ~kind:(kind_of_code (meta land 3))
+        :: acc)
+  in
+  go (Tdrutil.Ivec.length t.r_buf - 2) []
+
+let report det ~src_id ~sink_id ~addr ~kind =
+  if src_id <> sink_id then
+    Tdrutil.Ivec.push2 det.r_buf
+      ((src_id lsl 31) lor sink_id)
+      ((addr lsl 2) lor kind)
+
+(* The packed encodings hold step ids in 31-bit fields; unreachable in
+   practice (step ids are fuel-bounded S-DPST node ids) but checked where
+   ids enter shadow state rather than assumed. *)
+let check_sid sid =
+  if sid < 0 || sid >= 1 lsl 31 then
+    invalid_arg "Detector: step id exceeds 31 bits" 
+
+(* A placeholder step node used as array filler where a slot's task id is
+   the sentinel -1 or the registry slot is unfilled; never read through. *)
+let dummy_step () = (Sdpst.Node.create_tree ~main_bid:(-1)).Sdpst.Node.root
+
+(* Record [step] in the id -> node registry (no-op after the step's first
+   access).  Every reported id is registered: a sink is the current step,
+   and a source was the current step when its access was recorded. *)
+let register_step det ~dummy step sid =
+  Tdrutil.Vec.ensure det.steps (sid + 1) ~fill:dummy;
+  if Tdrutil.Vec.unsafe_get det.steps sid == dummy then
+    Tdrutil.Vec.unsafe_set det.steps sid step
+
+let structural (bags : Bags.t) ~on_init ~on_access : Rt.Monitor.t =
+  {
+    Rt.Monitor.on_init;
+    on_task_begin = (fun n -> Bags.task_begin bags ~task:n.Sdpst.Node.id);
+    on_task_end = (fun n -> Bags.task_end bags ~task:n.Sdpst.Node.id);
+    on_finish_begin = (fun n -> Bags.finish_begin bags ~finish:n.Sdpst.Node.id);
+    on_finish_end = (fun n -> Bags.finish_end bags ~finish:n.Sdpst.Node.id);
+    on_access;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* SRW                                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Flat struct-of-arrays shadow: one slot per interned location id, task
+   id -1 = no recorded access.  The step columns are only read behind a
+   task id >= 0 guard, so the dummy filler is never observed. *)
+
 let make_srw () : t =
   let bags = Bags.create () in
-  let shadow : srw_shadow Rt.Addr.Table.t = Rt.Addr.Table.create 1024 in
-  let races = Tdrutil.Vec.create () in
-  let det_ref = ref None in
-  let lookup addr =
-    match Rt.Addr.Table.find_opt shadow addr with
-    | Some s -> s
-    | None ->
-        let s = { writer = None; reader = None } in
-        Rt.Addr.Table.add shadow addr s;
-        (match !det_ref with
-        | Some det -> det.n_locations <- det.n_locations + 1
-        | None -> ());
-        s
-  in
-  let report ~src ~sink ~addr ~kind =
-    if src.Sdpst.Node.id <> sink.Sdpst.Node.id then
-      Tdrutil.Vec.push races (Race.make ~src ~sink ~addr ~kind)
-  in
-  let on_access ~step ~bid:_ ~idx:_ addr kind =
-    (match !det_ref with
-    | Some det -> det.n_accesses <- det.n_accesses + 1
-    | None -> ());
-    let s = lookup addr in
-    let task = Bags.current_task bags in
-    let me = { task; step } in
-    match kind with
-    | Rt.Monitor.Read ->
-        (match s.writer with
-        | Some w when Bags.in_pbag bags w.task ->
-            report ~src:w.step ~sink:step ~addr ~kind:Race.Write_read
-        | _ -> ());
-        (match s.reader with
-        | Some r when Bags.in_pbag bags r.task -> ()
-        | _ -> s.reader <- Some me)
-    | Rt.Monitor.Write ->
-        (match s.writer with
-        | Some w when Bags.in_pbag bags w.task ->
-            report ~src:w.step ~sink:step ~addr ~kind:Race.Write_write
-        | _ -> ());
-        (match s.reader with
-        | Some r when Bags.in_pbag bags r.task ->
-            report ~src:r.step ~sink:step ~addr ~kind:Race.Read_write
-        | _ -> ());
-        s.writer <- Some me
-  in
-  let monitor =
+  let det =
     {
-      Rt.Monitor.on_task_begin =
-        (fun n -> Bags.task_begin bags ~task:n.Sdpst.Node.id);
-      on_task_end = (fun n -> Bags.task_end bags ~task:n.Sdpst.Node.id);
-      on_finish_begin =
-        (fun n -> Bags.finish_begin bags ~finish:n.Sdpst.Node.id);
-      on_finish_end = (fun n -> Bags.finish_end bags ~finish:n.Sdpst.Node.id);
-      on_access;
+      mode = Srw;
+      monitor = Rt.Monitor.nop;
+      steps = Tdrutil.Vec.create ();
+      r_buf = Tdrutil.Ivec.create ();
+      intern = Rt.Addr.Intern.create ();
+      n_accesses = 0;
+      n_locations = 0;
+      n_skipped = 0;
     }
   in
-  let det =
-    { mode = Srw; monitor; races; n_accesses = 0; n_locations = 0;
-      n_skipped = 0 }
+  let dummy = dummy_step () in
+  let w_task = Tdrutil.Ivec.create ()
+  and w_id = Tdrutil.Ivec.create ()
+  and r_task = Tdrutil.Ivec.create ()
+  and r_id = Tdrutil.Ivec.create () in
+  let cap = ref 0 in
+  let grow addr =
+    let n = max (addr + 1) (2 * !cap) in
+    Tdrutil.Ivec.ensure w_task n ~fill:(-1);
+    Tdrutil.Ivec.ensure w_id n ~fill:(-1);
+    Tdrutil.Ivec.ensure r_task n ~fill:(-1);
+    Tdrutil.Ivec.ensure r_id n ~fill:(-1);
+    cap := n
   in
-  det_ref := Some det;
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
+    det.n_accesses <- det.n_accesses + 1;
+    if addr >= !cap then grow addr;
+    let sid = step.Sdpst.Node.id in
+    register_step det ~dummy step sid;
+    let wt = Tdrutil.Ivec.unsafe_get w_task addr
+    and rt = Tdrutil.Ivec.unsafe_get r_task addr in
+    if wt < 0 && rt < 0 then det.n_locations <- det.n_locations + 1;
+    let task = Bags.current_task bags in
+    match kind with
+    | Rt.Monitor.Read ->
+        if wt >= 0 && Bags.in_pbag bags wt then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~sink_id:sid ~addr ~kind:wr;
+        if not (rt >= 0 && Bags.in_pbag bags rt) then begin
+          check_sid sid;
+          Tdrutil.Ivec.unsafe_set r_task addr task;
+          Tdrutil.Ivec.unsafe_set r_id addr sid
+        end
+    | Rt.Monitor.Write ->
+        if wt >= 0 && Bags.in_pbag bags wt then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~sink_id:sid ~addr ~kind:ww;
+        if rt >= 0 && Bags.in_pbag bags rt then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get r_id addr)
+            ~sink_id:sid ~addr ~kind:rw;
+        check_sid sid;
+        Tdrutil.Ivec.unsafe_set w_task addr task;
+        Tdrutil.Ivec.unsafe_set w_id addr sid
+  in
+  det.monitor <-
+    structural bags ~on_init:(fun intern -> det.intern <- intern) ~on_access;
   det
 
 (* ------------------------------------------------------------------ *)
 (* MRW                                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Per-location access lists: one int vector per direction, each entry
+   packing the recording task (a dense {!Bags.current_task} index,
+   scanned against the bags) with its step node id (used when reporting)
+   as [(task lsl 31) lor sid] — one cache line holds eight entries.  The
+   step {e nodes} live in the detector-wide [steps] registry, so the
+   shadow holds no pointers at all. *)
+type mrw_loc = {
+  w_list : Tdrutil.Ivec.t;  (** recorded writers, packed [task, sid] *)
+  r_list : Tdrutil.Ivec.t;  (** recorded readers, packed [task, sid] *)
+  mutable w_epoch : int;  (** id of the last recorded writer step; -1 none *)
+  mutable r_epoch : int;
+  (* Scan replay (per access kind): while one step executes there are no
+     structural transitions, so bag memberships are frozen, and the only
+     possible change to this location's lists is the step's own recorded
+     entry — which never reports (a task is not parallel with itself, and
+     [report] drops same-step pairs anyway).  A step's repeated
+     same-kind accesses to one location therefore append byte-identical
+     report runs: remember the [r_buf] range the first scan appended and
+     re-emit it with a blit instead of re-scanning. *)
+  mutable rscan_epoch : int;  (** last step whose Read scanned here; -1 none *)
+  mutable rscan_lo : int;  (** its appended [r_buf] range: [lo, hi) *)
+  mutable rscan_hi : int;
+  mutable wscan_epoch : int;  (** same for Write (both its scans) *)
+  mutable wscan_lo : int;
+  mutable wscan_hi : int;
+}
+
+let fresh_loc () =
+  {
+    w_list = Tdrutil.Ivec.create ();
+    r_list = Tdrutil.Ivec.create ();
+    w_epoch = -1;
+    r_epoch = -1;
+    rscan_epoch = -1;
+    rscan_lo = 0;
+    rscan_hi = 0;
+    wscan_epoch = -1;
+    wscan_lo = 0;
+    wscan_hi = 0;
+  }
+
 let make_mrw () : t =
   let bags = Bags.create () in
-  let shadow : mrw_shadow Rt.Addr.Table.t = Rt.Addr.Table.create 1024 in
-  let races = Tdrutil.Vec.create () in
-  let det_ref = ref None in
-  let lookup addr =
-    match Rt.Addr.Table.find_opt shadow addr with
-    | Some s -> s
-    | None ->
-        let s =
-          { writers = Tdrutil.Vec.create (); readers = Tdrutil.Vec.create () }
-        in
-        Rt.Addr.Table.add shadow addr s;
-        (match !det_ref with
-        | Some det -> det.n_locations <- det.n_locations + 1
-        | None -> ());
-        s
-  in
-  let report ~src ~sink ~addr ~kind =
-    if src.Sdpst.Node.id <> sink.Sdpst.Node.id then
-      Tdrutil.Vec.push races (Race.make ~src ~sink ~addr ~kind)
-  in
-  (* Consecutive accesses by the same step are redundant: they would
-     produce byte-identical race reports. *)
-  let push_unless_last vec (me : access_record) =
-    match Tdrutil.Vec.last vec with
-    | Some r when r.step.Sdpst.Node.id = me.step.Sdpst.Node.id -> ()
-    | _ -> Tdrutil.Vec.push vec me
-  in
-  let on_access ~step ~bid:_ ~idx:_ addr kind =
-    (match !det_ref with
-    | Some det -> det.n_accesses <- det.n_accesses + 1
-    | None -> ());
-    let s = lookup addr in
-    let task = Bags.current_task bags in
-    let me = { task; step } in
-    match kind with
-    | Rt.Monitor.Read ->
-        Tdrutil.Vec.iter
-          (fun w ->
-            if Bags.in_pbag bags w.task then
-              report ~src:w.step ~sink:step ~addr ~kind:Race.Write_read)
-          s.writers;
-        push_unless_last s.readers me
-    | Rt.Monitor.Write ->
-        Tdrutil.Vec.iter
-          (fun w ->
-            if Bags.in_pbag bags w.task then
-              report ~src:w.step ~sink:step ~addr ~kind:Race.Write_write)
-          s.writers;
-        Tdrutil.Vec.iter
-          (fun r ->
-            if Bags.in_pbag bags r.task then
-              report ~src:r.step ~sink:step ~addr ~kind:Race.Read_write)
-          s.readers;
-        push_unless_last s.writers me
-  in
-  let monitor =
+  let det =
     {
-      Rt.Monitor.on_task_begin =
-        (fun n -> Bags.task_begin bags ~task:n.Sdpst.Node.id);
-      on_task_end = (fun n -> Bags.task_end bags ~task:n.Sdpst.Node.id);
-      on_finish_begin =
-        (fun n -> Bags.finish_begin bags ~finish:n.Sdpst.Node.id);
-      on_finish_end = (fun n -> Bags.finish_end bags ~finish:n.Sdpst.Node.id);
-      on_access;
+      mode = Mrw;
+      monitor = Rt.Monitor.nop;
+      steps = Tdrutil.Vec.create ();
+      r_buf = Tdrutil.Ivec.create ();
+      intern = Rt.Addr.Intern.create ();
+      n_accesses = 0;
+      n_locations = 0;
+      n_skipped = 0;
     }
   in
-  let det =
-    { mode = Mrw; monitor; races; n_accesses = 0; n_locations = 0;
-      n_skipped = 0 }
+  let dummy = dummy_step () in
+  (* Shared physical sentinel for untouched slots: location state is
+     created lazily on first access (and counted), without an option. *)
+  let null_loc = fresh_loc () in
+  let shadow : mrw_loc Tdrutil.Vec.t = Tdrutil.Vec.create () in
+  let cap = ref 0 in
+  let grow addr =
+    let n = max (addr + 1) (2 * !cap) in
+    Tdrutil.Vec.ensure shadow n ~fill:null_loc;
+    cap := n
   in
-  det_ref := Some det;
+  let scan entries ~sid ~addr ~kind =
+    Bags.scan_report bags entries ~out:det.r_buf ~sink:sid
+      ~meta:((addr lsl 2) lor kind)
+  in
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
+    det.n_accesses <- det.n_accesses + 1;
+    if addr >= !cap then grow addr;
+    let s = Tdrutil.Vec.unsafe_get shadow addr in
+    let s =
+      if s != null_loc then s
+      else begin
+        let s = fresh_loc () in
+        Tdrutil.Vec.unsafe_set shadow addr s;
+        det.n_locations <- det.n_locations + 1;
+        s
+      end
+    in
+    let sid = step.Sdpst.Node.id in
+    register_step det ~dummy step sid;
+    match kind with
+    | Rt.Monitor.Read ->
+        if s.rscan_epoch = sid then
+          Tdrutil.Ivec.append_slice det.r_buf s.rscan_lo s.rscan_hi
+        else begin
+          s.rscan_epoch <- sid;
+          s.rscan_lo <- Tdrutil.Ivec.length det.r_buf;
+          scan s.w_list ~sid ~addr ~kind:wr;
+          s.rscan_hi <- Tdrutil.Ivec.length det.r_buf
+        end;
+        (* epoch dedup: the depth-first execution never resumes a step
+           node, so one compare fully dedups the list per step *)
+        if s.r_epoch <> sid then begin
+          check_sid sid;
+          s.r_epoch <- sid;
+          Tdrutil.Ivec.push s.r_list
+            ((Bags.current_task bags lsl 31) lor sid)
+        end
+    | Rt.Monitor.Write ->
+        if s.wscan_epoch = sid then
+          Tdrutil.Ivec.append_slice det.r_buf s.wscan_lo s.wscan_hi
+        else begin
+          s.wscan_epoch <- sid;
+          s.wscan_lo <- Tdrutil.Ivec.length det.r_buf;
+          scan s.w_list ~sid ~addr ~kind:ww;
+          scan s.r_list ~sid ~addr ~kind:rw;
+          s.wscan_hi <- Tdrutil.Ivec.length det.r_buf
+        end;
+        if s.w_epoch <> sid then begin
+          check_sid sid;
+          s.w_epoch <- sid;
+          Tdrutil.Ivec.push s.w_list
+            ((Bags.current_task bags lsl 31) lor sid)
+        end
+  in
+  det.monitor <-
+    structural bags ~on_init:(fun intern -> det.intern <- intern) ~on_access;
   det
 
 let make = function Srw -> make_srw () | Mrw -> make_mrw ()
@@ -202,7 +344,7 @@ let make = function Srw -> make_srw () | Mrw -> make_mrw ()
     recorded races) and the execution result.
 
     [keep] is a per-statement monitoring predicate (a static MHP pre-pass:
-    {!Static.Prune.keep}); accesses of statements it rejects are skipped
+    {!Static.Prune.keep_fn}); accesses of statements it rejects are skipped
     and counted in [n_skipped].  With MRW, skipping statements proven
     race-free leaves the reported race set unchanged. *)
 let detect ?fuel ?keep mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =

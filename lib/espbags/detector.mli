@@ -5,7 +5,13 @@
     and one reader tracked per location, reporting a subset of the races
     (none iff the input is race-free).  {b MRW} (Multiple Reader-Writer)
     is the paper's §4.1 modification: all readers and writers are kept, so
-    every potential race for the input is reported in a single run. *)
+    every potential race for the input is reported in a single run.
+
+    The per-access hot path is allocation- and hash-free: shadow memory is
+    a flat table indexed by interned address id, access lists are
+    struct-of-arrays, and per-step dedup is an epoch compare (see
+    detector.ml; {!Reference} keeps the seed representation the
+    differential suite compares against). *)
 
 type mode = Srw | Mrw
 
@@ -13,8 +19,16 @@ val pp_mode : mode Fmt.t
 
 type t = private {
   mode : mode;
-  monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
-  races : Race.t Tdrutil.Vec.t;
+  mutable monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
+  steps : Sdpst.Node.t Tdrutil.Vec.t;
+      (** step id -> step node, filled on each step's first access *)
+  r_buf : Tdrutil.Ivec.t;
+      (** deferred race records in report order, stride 2, packed:
+          [(src lsl 31) lor sink] step ids, then [(addr lsl 2) lor kind]
+          (see [races], which materializes them) *)
+  mutable intern : Rt.Addr.Intern.t;
+      (** the monitored run's address interner (delivered via the
+          monitor's [on_init]) *)
   mutable n_accesses : int;  (** monitored accesses checked *)
   mutable n_locations : int;  (** distinct locations touched *)
   mutable n_skipped : int;  (** accesses skipped by a static pre-pass *)

@@ -40,11 +40,19 @@ type result = {
       (** final global-variable state, sorted by name — the reference the
           parallel backend's schedule-fuzzing differential checks compare
           against (digest with {!Value.digest_globals}) *)
+  intern : Addr.Intern.t;
+      (** the run's address interner: resolves the interned ids reported
+          to the monitor back to boxed {!Addr.t}s *)
 }
+
+(* A global's slot caches its interned address so the monitored read/write
+   path reports it without re-resolving the name. *)
+type gslot = { gval : Value.t ref; gaddr : int }
 
 type state = {
   funcs : (string, Ast.func) Hashtbl.t;
-  globals : (string, Value.t ref) Hashtbl.t;
+  globals : (string, gslot) Hashtbl.t;
+  intern : Addr.Intern.t;
   mutable locals : frame list;
   tree : Sdpst.Node.tree;
   mutable parent : Sdpst.Node.t;
@@ -89,10 +97,15 @@ let charge st n =
     if st.idx > s.last_idx then s.last_idx <- st.idx
   end
 
+(* [addr] is an interned id (see Addr.Intern): a global's cached id or a
+   registered array's base plus the cell index — no boxed address is built
+   on the access path. *)
 let access st addr kind =
   if not st.quiet then
     let s = ensure_step st in
     st.monitor.Monitor.on_access ~step:s ~bid:st.bid ~idx:st.idx addr kind
+
+let cell_addr st aid idx = Addr.Intern.cell_id st.intern ~aid ~idx
 
 (* Enter a structural (async/finish/scope) node: the current step ends, the
    body runs under the new node with its own block cursor, and the step
@@ -195,12 +208,14 @@ let rec alloc_array st loc base dims : Value.t =
       if n < 0 then error loc "negative array dimension %d" n;
       charge st (n * Cost.array_cell_alloc);
       st.aid <- st.aid + 1;
+      Addr.Intern.register_array st.intern ~aid:st.aid ~len:n;
       Value.VArr { aid = st.aid; cells = Array.make n (Value.zero base) }
   | n :: rest ->
       if n < 0 then error loc "negative array dimension %d" n;
       charge st (n * Cost.array_cell_alloc);
       st.aid <- st.aid + 1;
       let aid = st.aid in
+      Addr.Intern.register_array st.intern ~aid ~len:n;
       let cells = Array.init n (fun _ -> alloc_array st loc base rest) in
       Value.VArr { aid; cells }
 
@@ -216,9 +231,9 @@ let rec eval st (e : Ast.expr) : Value.t =
       | Some r -> !r
       | None -> (
           match Hashtbl.find_opt st.globals x with
-          | Some r ->
-              access st (Addr.Global x) Monitor.Read;
-              !r
+          | Some g ->
+              access st g.gaddr Monitor.Read;
+              !(g.gval)
           | None -> error e.eloc "unbound variable '%s'" x))
   | Bin (And, a, b) ->
       if as_bool a.eloc (eval st a) then eval st b else VBool false
@@ -239,7 +254,7 @@ let rec eval st (e : Ast.expr) : Value.t =
       let i = as_int i.eloc (eval st i) in
       if i < 0 || i >= Array.length arr.cells then
         error e.eloc "index %d out of bounds [0..%d)" i (Array.length arr.cells);
-      access st (Addr.Cell (arr.aid, i)) Monitor.Read;
+      access st (cell_addr st arr.aid i) Monitor.Read;
       arr.cells.(i)
   | NewArr (base, dims) ->
       let dims = List.map (fun d -> as_int d.Ast.eloc (eval st d)) dims in
@@ -341,9 +356,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
       | Some r -> r := v
       | None -> (
           match Hashtbl.find_opt st.globals x with
-          | Some r ->
-              access st (Addr.Global x) Monitor.Write;
-              r := v
+          | Some g ->
+              access st g.gaddr Monitor.Write;
+              g.gval := v
           | None -> error stmt.sloc "unbound variable '%s'" x))
   | Assign (x, path, rhs) ->
       let base =
@@ -351,9 +366,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
         | Some r -> !r
         | None -> (
             match Hashtbl.find_opt st.globals x with
-            | Some r ->
-                access st (Addr.Global x) Monitor.Read;
-                !r
+            | Some g ->
+                access st g.gaddr Monitor.Read;
+                !(g.gval)
             | None -> error stmt.sloc "unbound variable '%s'" x)
       in
       let rec walk v = function
@@ -365,7 +380,7 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
               error stmt.sloc "index %d out of bounds [0..%d)" i
                 (Array.length arr.cells);
             let rhs_v = eval st rhs in
-            access st (Addr.Cell (arr.aid, i)) Monitor.Write;
+            access st (cell_addr st arr.aid i) Monitor.Write;
             arr.cells.(i) <- rhs_v
         | idx :: rest ->
             let arr = as_arr stmt.sloc v in
@@ -373,7 +388,7 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
             if i < 0 || i >= Array.length arr.cells then
               error stmt.sloc "index %d out of bounds [0..%d)" i
                 (Array.length arr.cells);
-            access st (Addr.Cell (arr.aid, i)) Monitor.Read;
+            access st (cell_addr st arr.aid i) Monitor.Read;
             walk arr.cells.(i) rest
       in
       walk base path
@@ -485,10 +500,12 @@ let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
     | None -> error Loc.dummy "program has no 'main' function"
   in
   let tree = Sdpst.Node.create_tree ~main_bid:main.body.bid in
+  let intern = Addr.Intern.create () in
   let st =
     {
       funcs = Hashtbl.create 16;
       globals = Hashtbl.create 16;
+      intern;
       locals = [ Hashtbl.create 8 ];
       tree;
       parent = tree.root;
@@ -505,15 +522,24 @@ let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
     }
   in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.fname f) prog.funcs;
+  (* Globals are interned up front (ids 0.. in declaration order); arrays
+     claim id blocks as they are allocated, starting with any allocated by
+     the global initializers themselves. *)
+  let gaddrs =
+    List.map
+      (fun (g : Ast.global) -> (g, Addr.Intern.add_global intern g.gname))
+      prog.globals
+  in
+  monitor.Monitor.on_init intern;
   (* Global initializers run before main, outside any step: they are
      sequenced before every task, so they can never participate in a race
      and are kept out of the S-DPST (see DESIGN.md). *)
   st.quiet <- true;
   List.iter
-    (fun (g : Ast.global) ->
+    (fun ((g : Ast.global), gaddr) ->
       let v = eval st g.ginit in
-      Hashtbl.replace st.globals g.gname (ref v))
-    prog.globals;
+      Hashtbl.replace st.globals g.gname { gval = ref v; gaddr })
+    gaddrs;
   st.quiet <- false;
   monitor.Monitor.on_task_begin tree.root;
   monitor.Monitor.on_finish_begin tree.root;
@@ -523,10 +549,10 @@ let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
   monitor.Monitor.on_finish_end tree.root;
   monitor.Monitor.on_task_end tree.root;
   let globals =
-    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) st.globals []
+    Hashtbl.fold (fun name g acc -> (name, !(g.gval)) :: acc) st.globals []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
-  { output = Buffer.contents st.buf; tree; work = st.work; globals }
+  { output = Buffer.contents st.buf; tree; work = st.work; globals; intern }
 
 (** Run the serial elision of [prog] (all parallel constructs erased) and
     return its result — the reference semantics for repair correctness. *)

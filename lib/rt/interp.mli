@@ -16,6 +16,9 @@ type result = {
       (** final global-variable state, sorted by name — the reference the
           parallel backend's schedule-fuzzing differential checks compare
           against (digest with {!Value.digest_globals}) *)
+  intern : Addr.Intern.t;
+      (** the run's address interner: resolves the interned ids reported
+          to the monitor back to boxed {!Addr.t}s *)
 }
 
 val default_fuel : int

@@ -8,6 +8,13 @@
     task (async or root) or finish region, and accesses carry the current
     step node so races can be recorded as step pairs.
 
+    Accesses identify their location by {e interned id} — the dense [int]
+    the interpreter resolves every {!Addr.t} to at load/allocation time
+    (see {!Addr.Intern}) — so the per-access path never hashes or
+    allocates a boxed address.  [on_init] delivers the run's interner
+    before execution starts; a monitor that needs to render an address
+    (e.g. in a race report) keeps it and calls {!Addr.Intern.of_id}.
+
     Accesses also carry their static position — the block id and statement
     index of the statement whose expression evaluation performs the access —
     so monitors can make per-statement decisions.  {!filter} uses it to
@@ -20,19 +27,23 @@ let pp_access ppf = function
   | Write -> Fmt.string ppf "write"
 
 type t = {
+  on_init : Addr.Intern.t -> unit;
+      (** the run's address interner, delivered once before execution *)
   on_task_begin : Sdpst.Node.t -> unit;
       (** an async task (or the root task) starts *)
   on_task_end : Sdpst.Node.t -> unit;
   on_finish_begin : Sdpst.Node.t -> unit;
       (** a finish region (or the implicit root finish) starts *)
   on_finish_end : Sdpst.Node.t -> unit;
-  on_access : step:Sdpst.Node.t -> bid:int -> idx:int -> Addr.t -> access -> unit;
-      (** a monitored access by the statement at index [idx] of block
-          [bid], while [step] is the current step node *)
+  on_access : step:Sdpst.Node.t -> bid:int -> idx:int -> int -> access -> unit;
+      (** a monitored access to the location with the given interned id,
+          by the statement at index [idx] of block [bid], while [step] is
+          the current step node *)
 }
 
 let nop =
   {
+    on_init = ignore;
     on_task_begin = ignore;
     on_task_end = ignore;
     on_finish_begin = ignore;
@@ -43,6 +54,10 @@ let nop =
 (** Compose two monitors (events delivered left first). *)
 let both a b =
   {
+    on_init =
+      (fun intern ->
+        a.on_init intern;
+        b.on_init intern);
     on_task_begin =
       (fun n ->
         a.on_task_begin n;
@@ -68,7 +83,7 @@ let both a b =
 (** [filter ~keep ?on_skip m] delivers only the accesses [keep] accepts to
     [m]; skipped accesses invoke [on_skip].  Structural events pass
     through untouched, so detector bag state stays consistent. *)
-let filter ~(keep : bid:int -> idx:int -> Addr.t -> access -> bool)
+let filter ~(keep : bid:int -> idx:int -> int -> access -> bool)
     ?(on_skip = fun () -> ()) m =
   {
     m with

@@ -22,6 +22,29 @@ let keep t ~bid ~idx =
   | Some sid -> IntSet.mem sid t.keep_sids
   | None -> true
 
+(* [keep] runs once per monitored access, so the hashtable probe and set
+   membership are hot.  [keep_fn] bakes the same predicate into a dense
+   (block id x statement index) bitmap built in one pass over the
+   summary's position map: the per-access cost drops to two bounds checks
+   and a byte load.  Out-of-range positions are unknown, hence kept. *)
+let keep_fn t =
+  let n_rows = ref 0 in
+  Summary.iter_positions t.summary (fun ~bid ~idx:_ ~sid:_ ->
+      if bid + 1 > !n_rows then n_rows := bid + 1);
+  let widths = Array.make !n_rows 0 in
+  Summary.iter_positions t.summary (fun ~bid ~idx ~sid:_ ->
+      if idx + 1 > widths.(bid) then widths.(bid) <- idx + 1);
+  let rows = Array.map (fun w -> Bytes.make w '\001') widths in
+  Summary.iter_positions t.summary (fun ~bid ~idx ~sid ->
+      Bytes.set rows.(bid) idx
+        (if IntSet.mem sid t.keep_sids then '\001' else '\000'));
+  fun ~bid ~idx ->
+    if bid < 0 || bid >= Array.length rows then true
+    else
+      let row = Array.unsafe_get rows bid in
+      if idx < 0 || idx >= Bytes.length row then true
+      else Bytes.unsafe_get row idx <> '\000'
+
 let n_kept t = IntSet.cardinal t.keep_sids
 
 let n_stmts t = Summary.n_stmts t.summary

@@ -20,6 +20,12 @@ val make : Mhj.Ast.program -> t
     Unknown positions are conservatively kept. *)
 val keep : t -> bid:int -> idx:int -> bool
 
+(** [keep_fn t] is {!keep} precompiled into a dense per-position bitmap:
+    the returned predicate agrees with [keep t] on every position and
+    costs two bounds checks and a byte load per call.  Build it once per
+    run and pass it to {!Espbags.Detector.detect}'s [?keep]. *)
+val keep_fn : t -> bid:int -> idx:int -> bool
+
 (** Statements that must stay monitored. *)
 val n_kept : t -> int
 

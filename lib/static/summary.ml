@@ -62,6 +62,9 @@ let loc_of t sid =
 
 let stmt_at t ~bid ~idx = Hashtbl.find_opt t.stmt_at (bid, idx)
 
+let iter_positions t f =
+  Hashtbl.iter (fun (bid, idx) sid -> f ~bid ~idx ~sid) t.stmt_at
+
 let n_sites t = t.n_sites
 
 let n_stmts t = t.n_stmts

@@ -49,6 +49,10 @@ val loc_of : t -> int -> Mhj.Loc.t
     coordinates the interpreter reports at each monitored access. *)
 val stmt_at : t -> bid:int -> idx:int -> int option
 
+(** Enumerate every known (block id, statement index) -> statement id
+    mapping, in no particular order. *)
+val iter_positions : t -> (bid:int -> idx:int -> sid:int -> unit) -> unit
+
 val n_sites : t -> int
 
 val n_stmts : t -> int

@@ -5,16 +5,19 @@
     dummy element is required: the backing array starts empty and uses the
     first pushed element as filler when growing. *)
 
-type 'a t = { mutable data : 'a array; mutable len : int }
+type 'a t = { mutable data : 'a array; mutable len : int; hint : int }
 
-let create () = { data = [||]; len = 0 }
+(* [capacity] is a hint, not an allocation: without a dummy element the
+   backing array cannot be pre-filled, so the hint is applied on the first
+   push (which supplies the filler). *)
+let create ?(capacity = 0) () = { data = [||]; len = 0; hint = capacity }
 
 let length t = t.len
 
 let is_empty t = t.len = 0
 
 let grow t filler =
-  let cap = max 8 (2 * Array.length t.data) in
+  let cap = max t.hint (max 8 (2 * Array.length t.data)) in
   let data = Array.make cap filler in
   Array.blit t.data 0 data 0 t.len;
   t.data <- data
@@ -31,6 +34,10 @@ let get t i =
 let set t i x =
   if i < 0 || i >= t.len then invalid_arg "Vec.set";
   t.data.(i) <- x
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let unsafe_set t i x = Array.unsafe_set t.data i x
 
 let last t = if t.len = 0 then None else Some t.data.(t.len - 1)
 
@@ -77,5 +84,20 @@ let replace_range t ~lo ~hi x =
   let tail = t.len - (hi + 1) in
   Array.blit t.data (hi + 1) t.data (lo + 1) tail;
   t.len <- lo + 1 + tail
+
+(** [ensure t n ~fill] grows [t] to length at least [n], filling new
+    slots with [fill] — the primitive behind flat tables indexed by dense
+    ids. *)
+let ensure t n ~fill =
+  if n > t.len then begin
+    if n > Array.length t.data then begin
+      let cap = max n (max t.hint (max 8 (2 * Array.length t.data))) in
+      let data = Array.make cap fill in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end
+    else Array.fill t.data t.len (n - t.len) fill;
+    t.len <- n
+  end
 
 let clear t = t.len <- 0

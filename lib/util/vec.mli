@@ -3,7 +3,10 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity ()] is an empty vector; [capacity] hints the size of
+    the first backing allocation (applied on the first push, which supplies
+    the filler element). *)
+val create : ?capacity:int -> unit -> 'a t
 
 val length : 'a t -> int
 
@@ -16,6 +19,11 @@ val get : 'a t -> int -> 'a
 
 (** @raise Invalid_argument out of bounds *)
 val set : 'a t -> int -> 'a -> unit
+
+(** Unchecked access — the caller must guarantee [0 <= i < length]. *)
+val unsafe_get : 'a t -> int -> 'a
+
+val unsafe_set : 'a t -> int -> 'a -> unit
 
 val last : 'a t -> 'a option
 
@@ -37,5 +45,9 @@ val find_index : ('a -> bool) -> 'a t -> int option
     the single element [x], shifting the suffix left.
     @raise Invalid_argument on an invalid range *)
 val replace_range : 'a t -> lo:int -> hi:int -> 'a -> unit
+
+(** [ensure t n ~fill] grows [t] to length at least [n], filling new
+    slots with [fill]; no-op if already long enough. *)
+val ensure : 'a t -> int -> fill:'a -> unit
 
 val clear : 'a t -> unit

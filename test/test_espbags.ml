@@ -220,16 +220,18 @@ let mrw_equals_mhp_oracle seed =
     for j = i + 1 to n - 1 do
       let s1, a1, k1 = accs.(i) and s2, a2, k2 = accs.(j) in
       if
-        Rt.Addr.equal a1 a2
+        a1 = a2
         && (k1 = Rt.Monitor.Write || k2 = Rt.Monitor.Write)
         && s1.Sdpst.Node.id <> s2.Sdpst.Node.id
         && Sdpst.Lca.may_happen_in_parallel s1 s2
-      then
+      then begin
+        let addr = Rt.Addr.Intern.of_id det.intern a1 in
         oracle :=
           S.add
-            (if s1.Sdpst.Node.id < s2.Sdpst.Node.id then key s1 s2 a1
-             else key s2 s1 a1)
+            (if s1.Sdpst.Node.id < s2.Sdpst.Node.id then key s1 s2 addr
+             else key s2 s1 addr)
             !oracle
+      end
     done
   done;
   if not (S.equal reported !oracle) then begin

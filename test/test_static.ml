@@ -257,7 +257,11 @@ let test_prune_counts () =
     (Static.Prune.n_conflicts p > 0);
   (* unknown coordinates are conservatively kept *)
   Alcotest.(check bool) "unknown position kept" true
-    (Static.Prune.keep p ~bid:999_999 ~idx:0)
+    (Static.Prune.keep p ~bid:999_999 ~idx:0);
+  Alcotest.(check bool) "unknown position kept (keep_fn)" true
+    (Static.Prune.keep_fn p ~bid:999_999 ~idx:0);
+  Alcotest.(check bool) "negative position kept (keep_fn)" true
+    (Static.Prune.keep_fn p ~bid:(-1) ~idx:(-1))
 
 (* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
@@ -318,6 +322,32 @@ let race_signature (r : Espbags.Race.t) =
     r.sink.Sdpst.Node.origin_idx,
     Fmt.str "%a" Rt.Addr.pp r.addr,
     Fmt.str "%a" Espbags.Race.pp_kind r.kind )
+
+(* The dense-bitmap fast path must be the same predicate as the
+   hashtable-backed [keep], on known and unknown positions alike. *)
+let keep_fn_agrees_with_keep =
+  QCheck.Test.make ~name:"Prune.keep_fn agrees with Prune.keep" ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let pr = Static.Prune.make prog in
+      let fast = Static.Prune.keep_fn pr in
+      let summary = Static.Summary.build prog in
+      let ok = ref true in
+      let check ~bid ~idx =
+        if fast ~bid ~idx <> Static.Prune.keep pr ~bid ~idx then ok := false
+      in
+      Static.Summary.iter_positions summary (fun ~bid ~idx ~sid:_ ->
+          check ~bid ~idx;
+          (* just past a known position: likely unmapped, must agree too *)
+          check ~bid ~idx:(idx + 1);
+          check ~bid:(bid + 1) ~idx);
+      check ~bid:0 ~idx:0;
+      check ~bid:999_999 ~idx:3;
+      if not !ok then
+        QCheck.Test.fail_reportf "seed %d: keep_fn diverges from keep" seed;
+      true)
 
 (* Race-set identity under pruning: running MRW with the static keep
    predicate reports exactly the same races as the unpruned run. *)
@@ -383,5 +413,9 @@ let () =
         [ Alcotest.test_case "counts" `Quick test_prune_counts ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ static_mhp_covers_dynamic_races; prune_preserves_race_set ] );
+          [
+            static_mhp_covers_dynamic_races;
+            keep_fn_agrees_with_keep;
+            prune_preserves_race_set;
+          ] );
     ]

@@ -1,0 +1,162 @@
+(* Direct unit tests for the growable-vector primitives the detection hot
+   path is built on: the polymorphic Tdrutil.Vec and the unboxed
+   Tdrutil.Ivec.  Both back the struct-of-arrays shadow memory, so their
+   growth, bounds and stack behaviour are pinned down here rather than
+   only exercised indirectly through the detector. *)
+
+module Vec = Tdrutil.Vec
+module Ivec = Tdrutil.Ivec
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec_empty () =
+  let v : int Vec.t = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  Alcotest.(check int) "length" 0 (Vec.length v);
+  Alcotest.(check (option int)) "last" None (Vec.last v);
+  Alcotest.(check (list int)) "to_list" [] (Vec.to_list v)
+
+let test_vec_capacity_hint () =
+  (* The hint must not change observable behaviour, only the allocation
+     pattern: push through several growth cycles and compare. *)
+  let plain = Vec.create () and hinted = Vec.create ~capacity:1000 () in
+  for i = 0 to 999 do
+    Vec.push plain i;
+    Vec.push hinted i
+  done;
+  Alcotest.(check int) "same length" (Vec.length plain) (Vec.length hinted);
+  Alcotest.(check (list int)) "same contents" (Vec.to_list plain)
+    (Vec.to_list hinted);
+  (* a hint smaller than the default growth is also fine *)
+  let tiny = Vec.create ~capacity:1 () in
+  for i = 0 to 99 do
+    Vec.push tiny i
+  done;
+  Alcotest.(check int) "tiny hint grows" 100 (Vec.length tiny)
+
+let test_vec_get_set_bounds () =
+  let v = Vec.of_list [ 10; 20; 30 ] in
+  Vec.set v 2 33;
+  Alcotest.(check int) "set/get" 33 (Vec.get v 2);
+  Alcotest.check_raises "get -1" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v (-1)));
+  Alcotest.check_raises "get len" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 3));
+  Alcotest.check_raises "set len" (Invalid_argument "Vec.set") (fun () ->
+      Vec.set v 3 0)
+
+let test_vec_unsafe_get_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.unsafe_set v 1 22;
+  Alcotest.(check int) "unsafe roundtrip" 22 (Vec.unsafe_get v 1);
+  Alcotest.(check (list int)) "others untouched" [ 1; 22; 3 ] (Vec.to_list v)
+
+let test_vec_fold_order () =
+  let v = Vec.of_list [ "a"; "b"; "c" ] in
+  Alcotest.(check string) "fold is left-to-right" "abc"
+    (Vec.fold ( ^ ) "" v);
+  Alcotest.(check int) "fold sum" 6 (Vec.fold ( + ) 0 (Vec.of_list [ 1; 2; 3 ]))
+
+let test_vec_clear_reuse () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.clear v;
+  Alcotest.(check bool) "cleared" true (Vec.is_empty v);
+  Vec.push v 7;
+  Alcotest.(check (list int)) "reusable after clear" [ 7 ] (Vec.to_list v)
+
+(* ------------------------------------------------------------------ *)
+(* Ivec                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ivec_push_get () =
+  let v = Ivec.create () in
+  Alcotest.(check bool) "fresh is empty" true (Ivec.is_empty v);
+  for i = 0 to 99 do
+    Ivec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 100 (Ivec.length v);
+  Alcotest.(check int) "get 0" 0 (Ivec.get v 0);
+  Alcotest.(check int) "get 99" 297 (Ivec.get v 99);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Ivec.get")
+    (fun () -> ignore (Ivec.get v 100));
+  Alcotest.check_raises "set out of bounds" (Invalid_argument "Ivec.set")
+    (fun () -> Ivec.set v 100 0)
+
+let test_ivec_capacity_and_make () =
+  let v = Ivec.create ~capacity:64 () in
+  Alcotest.(check int) "capacity does not set length" 0 (Ivec.length v);
+  for i = 0 to 63 do
+    Ivec.push v i
+  done;
+  Alcotest.(check int) "filled to capacity" 64 (Ivec.length v);
+  Ivec.push v 64;
+  Alcotest.(check int) "grows past capacity" 65 (Ivec.length v);
+  let m = Ivec.make ~len:5 (-1) in
+  Alcotest.(check (list int)) "make fills" [ -1; -1; -1; -1; -1 ]
+    (Ivec.to_list m)
+
+let test_ivec_ensure () =
+  let v = Ivec.of_list [ 1; 2 ] in
+  Ivec.ensure v 5 ~fill:(-1);
+  Alcotest.(check (list int)) "grown with fill" [ 1; 2; -1; -1; -1 ]
+    (Ivec.to_list v);
+  Ivec.ensure v 3 ~fill:99;
+  Alcotest.(check int) "ensure never shrinks" 5 (Ivec.length v);
+  Ivec.set v 4 7;
+  Alcotest.(check int) "slots writable" 7 (Ivec.get v 4);
+  (* ensure across a growth boundary keeps the prefix *)
+  let w = Ivec.create () in
+  Ivec.push w 42;
+  Ivec.ensure w 1000 ~fill:0;
+  Alcotest.(check int) "prefix preserved" 42 (Ivec.get w 0);
+  Alcotest.(check int) "fill applied" 0 (Ivec.get w 999)
+
+let test_ivec_stack () =
+  let v = Ivec.create () in
+  Ivec.push v 1;
+  Ivec.push v 2;
+  Ivec.push v 3;
+  Alcotest.(check int) "top" 3 (Ivec.top v);
+  Alcotest.(check int) "pop" 3 (Ivec.pop v);
+  Alcotest.(check int) "pop again" 2 (Ivec.pop v);
+  Alcotest.(check int) "top after pops" 1 (Ivec.top v);
+  Alcotest.(check int) "length" 1 (Ivec.length v);
+  ignore (Ivec.pop v);
+  Alcotest.check_raises "pop empty" (Invalid_argument "Ivec.pop") (fun () ->
+      ignore (Ivec.pop v));
+  Alcotest.check_raises "top empty" (Invalid_argument "Ivec.top") (fun () ->
+      ignore (Ivec.top v))
+
+let test_ivec_fold_iter () =
+  let v = Ivec.of_list [ 4; 5; 6 ] in
+  Alcotest.(check int) "fold sum" 15 (Ivec.fold ( + ) 0 v);
+  let seen = ref [] in
+  Ivec.iter (fun x -> seen := x :: !seen) v;
+  Alcotest.(check (list int)) "iter order" [ 6; 5; 4 ] !seen;
+  Ivec.clear v;
+  Alcotest.(check bool) "clear" true (Ivec.is_empty v)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "empty" `Quick test_vec_empty;
+          Alcotest.test_case "capacity hint" `Quick test_vec_capacity_hint;
+          Alcotest.test_case "get/set bounds" `Quick test_vec_get_set_bounds;
+          Alcotest.test_case "unsafe get/set" `Quick test_vec_unsafe_get_set;
+          Alcotest.test_case "fold order" `Quick test_vec_fold_order;
+          Alcotest.test_case "clear and reuse" `Quick test_vec_clear_reuse;
+        ] );
+      ( "ivec",
+        [
+          Alcotest.test_case "push/get" `Quick test_ivec_push_get;
+          Alcotest.test_case "capacity and make" `Quick
+            test_ivec_capacity_and_make;
+          Alcotest.test_case "ensure" `Quick test_ivec_ensure;
+          Alcotest.test_case "stack ops" `Quick test_ivec_stack;
+          Alcotest.test_case "fold/iter/clear" `Quick test_ivec_fold_iter;
+        ] );
+    ]

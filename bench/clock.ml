@@ -1,31 +1,12 @@
 (* Shared timing policy for the benchmark harness.
 
-   All wall-clock measurements go through the monotonic clock (bechamel's
-   clock_gettime(CLOCK_MONOTONIC) stub) rather than gettimeofday, which
-   can jump under NTP.  [time] is a one-shot measurement; [time_run] is
-   the warmup/repeat policy for numbers that get printed in tables:
-   [warmup] discarded runs to fill caches and reach a steady allocator
-   state, then the minimum of [repeat] timed runs (minimum, not mean:
-   external preemption only ever adds time). *)
+   Since PR 5 the actual clock and the warmup/repeat policy live in
+   [Obs.Clock] (lib/obs), which carries its own CLOCK_MONOTONIC stub so
+   the runtime libraries do not depend on bechamel (a test-only dep).
+   This module stays as the bench-local name so call sites keep reading
+   [Clock.time_run]. *)
 
-let now_ns () : int64 = Monotonic_clock.now ()
-
-let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
-
-let time f =
-  let t0 = now_ns () in
-  let r = f () in
-  (r, elapsed_s t0)
-
-let time_run ?(warmup = 1) ?(repeat = 3) f =
-  for _ = 1 to warmup do
-    ignore (f ())
-  done;
-  let best = ref infinity in
-  let res = ref None in
-  for _ = 1 to max 1 repeat do
-    let r, s = time f in
-    res := Some r;
-    if s < !best then best := s
-  done;
-  (Option.get !res, !best)
+let now_ns = Obs.Clock.now_ns
+let elapsed_s = Obs.Clock.elapsed_s
+let time = Obs.Clock.time
+let time_run = Obs.Clock.time_run

@@ -37,6 +37,12 @@ let env_int name default =
   | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
   | None -> default
 
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
 type row = {
   name : string;
   accesses : int;
@@ -275,6 +281,22 @@ let sweep ~quick () =
      speedup vs seed over the %d with measurable detection time: %.2fx \
      aggregate (suite accesses per detection second), %.2fx geomean@."
     (List.length rows) (List.length mrows) agg geomean;
+  (* Guard against the observability hooks (PR 5) creeping into the MRW
+     hot loop: with tracing disabled the instrumented detector must stay
+     faster than the seed implementation.  The floor is deliberately loose
+     (1.0x by default, i.e. "at least as fast as the seed", far below the
+     steady-state speedup) because CI machines are noisy and quick mode
+     times a single run; TDR_BENCH_MIN_SPEEDUP overrides it.  Skipped
+     entirely when no row's detection time is above the noise floor. *)
+  (if mrows <> [] then
+     let floor = env_float "TDR_BENCH_MIN_SPEEDUP" 1.0 in
+     if agg < floor then
+       failwith
+         (Fmt.str
+            "detector bench: aggregate MRW speedup vs seed %.2fx is below \
+             the %.2fx floor (TDR_BENCH_MIN_SPEEDUP) — instrumentation \
+             overhead regression?"
+            agg floor));
   if quick then ()
   else
     match Sys.getenv_opt "TDR_BENCH_DETECTOR_JSON" with

@@ -70,6 +70,11 @@ let measure ~domains ~repeat (b : Benchsuite.Bench.t) : row =
     let w = float_of_int seq.work and c = float_of_int (max 1 cpl) in
     w /. Float.max c (w /. float_of_int domains)
   in
+  let n_steals =
+    match rp.stats.Par.Engine.sched with
+    | Par.Engine.Domains_stats { n_steals; _ } -> n_steals
+    | Par.Engine.Fuzz_stats _ -> assert false (* run is Domains-mode only *)
+  in
   {
     name = b.name;
     work = seq.work;
@@ -79,8 +84,8 @@ let measure ~domains ~repeat (b : Benchsuite.Bench.t) : row =
     seq_s;
     par_s;
     speedup = seq_s /. par_s;
-    n_tasks = rp.n_tasks;
-    n_steals = rp.n_steals;
+    n_tasks = rp.stats.Par.Engine.n_tasks;
+    n_steals;
   }
 
 let json_of_rows ~domains ~repeat rows =

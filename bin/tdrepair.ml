@@ -176,14 +176,27 @@ let run_cmd =
             in
             let res = Par.Engine.run ~pace_ns ~mode prog in
             print_string res.output;
+            (* The scheduler line is mode-tagged: a Fuzz run has a single
+               worker, so printing "steals = 0" would be misleading. *)
+            let sched_line =
+              match res.stats.Par.Engine.sched with
+              | Par.Engine.Fuzz_stats { n_inlined; n_pooled; n_yields } ->
+                  Fmt.str
+                    "tasks spawned = %d (inlined %d, pooled %d, yields %d; \
+                     single worker, no steals)"
+                    res.stats.Par.Engine.n_tasks n_inlined n_pooled n_yields
+              | Par.Engine.Domains_stats { n_steals; n_deque_grows } ->
+                  Fmt.str "tasks spawned = %d, steals = %d, deque grows = %d"
+                    res.stats.Par.Engine.n_tasks n_steals n_deque_grows
+            in
             Fmt.pr
               "parallel run: %d domain(s)%s, seed %d@\n\
                work (T1) = %d cost units@\n\
-               tasks spawned = %d, steals = %d@\n\
+               %s@\n\
                wall-clock = %.3f s@."
               res.n_domains
               (if n = 1 then " (deterministic fuzz schedule)" else "")
-              seed res.work res.n_tasks res.n_steals res.wall_s)
+              seed res.work sched_line res.wall_s)
   in
   let procs =
     Arg.(
@@ -372,7 +385,11 @@ let static_verify_arg =
 
 let repair_cmd =
   let run file mode strategy sets budgets output report_flag quiet
-      static_prune static_verify validate_par validate_seed budget_validate =
+      static_prune static_verify validate_par validate_seed budget_validate
+      trace_file metrics_file =
+    (* Enable tracing before the compile so the parse/typecheck/normalize
+       spans land in the file too. *)
+    if trace_file <> None then Obs.Trace.enable ();
     or_die (fun () ->
         let prog = apply_sets (compile file) sets in
         let validate_par =
@@ -389,6 +406,16 @@ let repair_cmd =
           Repair.Driver.repair ~mode ~strategy ~budgets ~static_prune
             ~static_verify ?validate_par prog
         in
+        (* Write telemetry before anything below can [exit]. *)
+        Option.iter (fun path -> Obs.Trace.save path) trace_file;
+        Option.iter
+          (fun path ->
+            Obs.Json.save path
+              (Obs.Json.Obj
+                 (List.map
+                    (fun (k, v) -> (k, Obs.Json.Int v))
+                    report.Repair.Driver.metrics)))
+          metrics_file;
         if report_flag then Fmt.pr "%a" Repair.Report.pp (prog, report)
         else begin
           Fmt.pr "%s after %d iteration(s); %d finish statement(s) inserted@."
@@ -487,6 +514,27 @@ let repair_cmd =
              remaining schedules are skipped once it is exceeded (exit \
              code 4).")
   in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome-trace-format JSON timeline of the pipeline to \
+             $(docv): one span per stage (parse, detect, placement, \
+             rewrite, ...) per repair iteration.  Open it with \
+             chrome://tracing or ui.perfetto.dev.")
+  in
+  let metrics_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the run's counters (detector, static pruner, parallel \
+             engine, driver) to $(docv) as one JSON object with sorted \
+             keys.")
+  in
   Cmd.v
     (Cmd.info "repair"
        ~doc:
@@ -499,7 +547,8 @@ let repair_cmd =
     Term.(
       const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
       $ output_arg $ report_flag $ quiet $ static_prune_arg
-      $ static_verify_arg $ validate_par $ validate_seed $ budget_validate)
+      $ static_verify_arg $ validate_par $ validate_seed $ budget_validate
+      $ trace_file $ metrics_file)
 
 let strip_cmd =
   let run file output =

@@ -66,7 +66,45 @@ type report = {
           program re-run under fuzzed parallel schedules and compared
           against the sequential semantics ([None] when not requested or
           not converged) *)
+  metrics : (string * int) list;
+      (** sorted snapshot of the run's {!Obs.Metrics} registry: detector,
+          pruner, engine and driver counters (the full key schema is
+          always present, zeros for subsystems that did not run) *)
 }
+
+(* The full metrics key schema, pinned at 0 up front so every report and
+   [--metrics] dump carries the same keys regardless of which subsystems
+   ran.  "detector."/"engine."/"driver." keys are counters (cumulative
+   across iterations); "prune." keys are gauges (latest pre-pass wins). *)
+let declare_metrics m =
+  List.iter (Obs.Metrics.declare m)
+    [
+      "detector.accesses";
+      "detector.locations";
+      "detector.races";
+      "detector.skipped";
+      "detector.uf_finds";
+      "detector.uf_unions";
+      "detector.scan_entries";
+      "prune.stmts";
+      "prune.kept";
+      "prune.discharged";
+      "prune.conflicts";
+      "engine.runs";
+      "engine.tasks";
+      "engine.fuel_batches";
+      "engine.inlined";
+      "engine.pooled";
+      "engine.yields";
+      "engine.steals";
+      "engine.deque_grows";
+      "driver.iterations";
+      "driver.races";
+      "driver.race_pairs";
+      "driver.groups";
+      "driver.finishes_inserted";
+      "driver.degradations";
+    ]
 
 exception Unrepairable of string
 
@@ -152,7 +190,9 @@ let solve_group ~guard ~wrap_ok ~span (lca : Sdpst.Node.t)
       (Unrepairable
          (Fmt.str "injected fault: unsatisfiable placement at NS-LCA %a"
             Sdpst.Node.pp lca));
-  let g = Depgraph.build ~span lca group in
+  let g =
+    Obs.Trace.with_span "depgraph" (fun () -> Depgraph.build ~span lca group)
+  in
   let valid, insertion = Valid.make_checker ~wrap_ok g in
   let cover_with g' insertion' =
     match per_edge_fallback g' insertion' with
@@ -172,6 +212,9 @@ let solve_group ~guard ~wrap_ok ~span (lca : Sdpst.Node.t)
   in
   let n = Depgraph.n_vertices g in
   let g_used, insertion_used, finishes, dp_cost, fell_back =
+    Obs.Trace.with_span "dp-place"
+      ~args:[ ("lca", lca.Sdpst.Node.id); ("vertices", n) ]
+    @@ fun () ->
     if
       Faultinject.enabled Faultinject.Dp_timeout
       || not (Guard.dp_affordable guard (dp_work_of n))
@@ -231,9 +274,13 @@ let place_for_tree ?(guard = Guard.make Guard.unlimited)
     group_result list * Static_place.merged =
   let races = Espbags.Race.dedupe_by_steps races in
   let span, _drag = Sdpst.Analysis.span_memo () in
-  let scopes = Mhj.Scopecheck.build program in
+  let scopes =
+    Obs.Trace.with_span "scopecheck" (fun () -> Mhj.Scopecheck.build program)
+  in
   let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
-  let groups = group_races races in
+  let groups =
+    Obs.Trace.with_span "nslca-group" (fun () -> group_races races)
+  in
   let results =
     List.map
       (fun (lca, group) -> solve_group ~guard ~wrap_ok ~span lca group)
@@ -258,7 +305,9 @@ let place_incremental ?(guard = Guard.make Guard.unlimited)
     ~(program : Mhj.Ast.program) (tree : Sdpst.Node.tree)
     (races : Espbags.Race.t list) : group_result list * Static_place.merged
     =
-  let scopes = Mhj.Scopecheck.build program in
+  let scopes =
+    Obs.Trace.with_span "scopecheck" (fun () -> Mhj.Scopecheck.build program)
+  in
   let wrap_ok = Mhj.Scopecheck.wrap_ok scopes in
   let results = ref [] in
   let demands = ref [] in
@@ -270,7 +319,10 @@ let place_incremental ?(guard = Guard.make Guard.unlimited)
       raise (Unrepairable "incremental placement did not converge");
     (* spans change as finish nodes are spliced in: fresh memo per round *)
     let span, _ = Sdpst.Analysis.span_memo () in
-    let lca, group = List.hd (group_races !remaining) in
+    let lca, group =
+      Obs.Trace.with_span "nslca-group" (fun () ->
+          List.hd (group_races !remaining))
+    in
     let r = solve_group ~guard ~wrap_ok ~span lca group in
     (match r.insertions with
     | [] ->
@@ -362,12 +414,15 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
     ?(static_verify = false) ?validate_par (prog : Mhj.Ast.program) : report =
   let guard = Guard.make budgets in
   let fuel = Guard.effective_fuel guard fuel in
+  let metrics = Obs.Metrics.create () in
+  declare_metrics metrics;
   let finish program iterations ~converged ~final_races =
     let verified_static, static_residual =
       if static_verify && converged then
         let summary, _mhp, cs =
           Guard.at_stage Diag.Lint (fun () ->
-              Static.Racecheck.check program)
+              Obs.Trace.with_span "static-verify" (fun () ->
+                  Static.Racecheck.check program))
         in
         (Some (cs = []), Static.Racecheck.to_findings summary cs)
       else (None, [])
@@ -377,15 +432,24 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
       | Some req when converged ->
           let v =
             Guard.at_stage Diag.Interp (fun () ->
-                Par.Validate.of_request ?fuel req program)
+                Obs.Trace.with_span "validate-par" (fun () ->
+                    Par.Validate.of_request ?fuel req program))
           in
           if v.Par.Validate.skipped > 0 then
             Guard.note guard
               (Guard.Validate_par_skipped
                  { ran = v.Par.Validate.ran; requested = v.Par.Validate.requested });
+          Obs.Metrics.set metrics "engine.runs" v.Par.Validate.ran;
+          Option.iter
+            (fun s ->
+              Obs.Metrics.add_all metrics (Par.Engine.stats_counters s))
+            v.Par.Validate.engine;
           Some v
       | _ -> None
     in
+    Obs.Metrics.set metrics "driver.iterations" (List.length iterations);
+    Obs.Metrics.set metrics "driver.degradations"
+      (List.length (Guard.degradations guard));
     {
       program;
       mode;
@@ -396,69 +460,95 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
       verified_static;
       static_residual;
       validated_par;
+      metrics = Obs.Metrics.snapshot metrics;
     }
   in
+  (* One detection(+placement) round, wrapped in an "iteration" span; the
+     recursion and the final report assembly stay outside the span. *)
   let rec loop program iterations remaining =
-    let t0 = Unix.gettimeofday () in
-    Faultinject.fire Faultinject.Detector_abort;
-    (* the pre-pass is recomputed per iteration: inserted finishes shrink
-       the MHP relation, so later runs may skip more *)
-    let keep =
-      if static_prune then begin
-        let pr =
-          Guard.at_stage Diag.Lint (fun () -> Static.Prune.make program)
+    let outcome =
+      Obs.Trace.with_span "iteration"
+        ~args:[ ("n", List.length iterations) ]
+      @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      Faultinject.fire Faultinject.Detector_abort;
+      (* the pre-pass is recomputed per iteration: inserted finishes shrink
+         the MHP relation, so later runs may skip more *)
+      let keep =
+        if static_prune then begin
+          let pr =
+            Guard.at_stage Diag.Lint (fun () ->
+                Obs.Trace.with_span "static-prune" (fun () ->
+                    Static.Prune.make program))
+          in
+          (* gauges: the latest pre-pass describes the current program *)
+          List.iter
+            (fun (k, v) -> Obs.Metrics.set metrics k v)
+            (Static.Prune.stats pr);
+          Some (Static.Prune.keep_fn pr)
+        end
+        else None
+      in
+      let det, res =
+        Guard.at_stage Diag.Detect (fun () ->
+            Obs.Trace.with_span "detect" (fun () ->
+                Espbags.Detector.detect ?fuel ?keep mode program))
+      in
+      let detect_time = Unix.gettimeofday () -. t0 in
+      Obs.Metrics.add_all metrics (Espbags.Detector.stats det);
+      let races = Espbags.Detector.races det in
+      if races = [] then `Converged
+      else if remaining = 0 then `Exhausted (List.length races)
+      else begin
+        let t1 = Unix.gettimeofday () in
+        enforce_sdpst_budget ~guard res.Rt.Interp.tree races;
+        let groups, merged =
+          Guard.at_stage ~passthrough:is_unrepairable Diag.Place (fun () ->
+              match strategy with
+              | `Batch -> place_for_tree ~guard ~program races
+              | `Incremental ->
+                  place_incremental ~guard ~program res.Rt.Interp.tree races)
         in
-        Some (Static.Prune.keep_fn pr)
+        Faultinject.fire Faultinject.Insert_fail;
+        let program' =
+          Guard.at_stage Diag.Insert (fun () ->
+              Obs.Trace.with_span "rewrite" (fun () ->
+                  Static_place.apply program merged))
+        in
+        let place_time = Unix.gettimeofday () -. t1 in
+        let iter =
+          {
+            n_races = List.length races;
+            n_race_pairs =
+              List.length (Espbags.Race.dedupe_by_steps races);
+            n_groups = List.length groups;
+            groups;
+            merged;
+            detect_time;
+            place_time;
+            sdpst_nodes = res.tree.Sdpst.Node.n_nodes;
+            n_accesses = det.Espbags.Detector.n_accesses;
+            n_skipped = det.Espbags.Detector.n_skipped;
+          }
+        in
+        Obs.Metrics.add metrics "driver.races" iter.n_races;
+        Obs.Metrics.add metrics "driver.race_pairs" iter.n_race_pairs;
+        Obs.Metrics.add metrics "driver.groups" iter.n_groups;
+        Obs.Metrics.add metrics "driver.finishes_inserted"
+          (List.length merged.placements);
+        Log.info (fun m ->
+            m "iteration: %d races (%d pairs) at %d NS-LCAs -> %d finish(es)"
+              iter.n_races iter.n_race_pairs iter.n_groups
+              (List.length merged.placements));
+        `Next (program', iter)
       end
-      else None
     in
-    let det, res =
-      Guard.at_stage Diag.Detect (fun () ->
-          Espbags.Detector.detect ?fuel ?keep mode program)
-    in
-    let detect_time = Unix.gettimeofday () -. t0 in
-    let races = Espbags.Detector.races det in
-    if races = [] then finish program iterations ~converged:true ~final_races:0
-    else if remaining = 0 then
-      finish program iterations ~converged:false
-        ~final_races:(List.length races)
-    else begin
-      let t1 = Unix.gettimeofday () in
-      enforce_sdpst_budget ~guard res.Rt.Interp.tree races;
-      let groups, merged =
-        Guard.at_stage ~passthrough:is_unrepairable Diag.Place (fun () ->
-            match strategy with
-            | `Batch -> place_for_tree ~guard ~program races
-            | `Incremental ->
-                place_incremental ~guard ~program res.Rt.Interp.tree races)
-      in
-      Faultinject.fire Faultinject.Insert_fail;
-      let program' =
-        Guard.at_stage Diag.Insert (fun () ->
-            Static_place.apply program merged)
-      in
-      let place_time = Unix.gettimeofday () -. t1 in
-      let iter =
-        {
-          n_races = List.length races;
-          n_race_pairs =
-            List.length (Espbags.Race.dedupe_by_steps races);
-          n_groups = List.length groups;
-          groups;
-          merged;
-          detect_time;
-          place_time;
-          sdpst_nodes = res.tree.Sdpst.Node.n_nodes;
-          n_accesses = det.Espbags.Detector.n_accesses;
-          n_skipped = det.Espbags.Detector.n_skipped;
-        }
-      in
-      Log.info (fun m ->
-          m "iteration: %d races (%d pairs) at %d NS-LCAs -> %d finish(es)"
-            iter.n_races iter.n_race_pairs iter.n_groups
-            (List.length merged.placements));
-      loop program' (iter :: iterations) (remaining - 1)
-    end
+    match outcome with
+    | `Converged -> finish program iterations ~converged:true ~final_races:0
+    | `Exhausted n ->
+        finish program iterations ~converged:false ~final_races:n
+    | `Next (program', iter) ->
+        loop program' (iter :: iterations) (remaining - 1)
   in
   loop prog [] max_iterations
 

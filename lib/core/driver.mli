@@ -59,6 +59,12 @@ type report = {
           repair did not converge.  Skipped schedules (wall-clock budget)
           are also recorded as a {!Guard.Validate_par_skipped}
           degradation. *)
+  metrics : (string * int) list;
+      (** sorted snapshot of the run's {!Obs.Metrics} registry —
+          detector, pruner, engine and driver counters.  The full key
+          schema is always present (zeros for subsystems that did not
+          run); [tdrepair repair --metrics=FILE] dumps it as one JSON
+          object. *)
 }
 
 exception Unrepairable of string

@@ -55,6 +55,13 @@ type t = {
           [in_pbag] query; -1 never queried.  Detector scans re-test the
           same tasks many times between transitions, so most tests are
           one array read instead of a union-find walk. *)
+  (* Observability counters.  Placement is chosen so nothing is added to
+     the per-entry scan fast path: [find]/[union] only run on memo
+     misses and structural transitions, and [scan_report] counts once
+     per call, not per entry. *)
+  mutable n_finds : int;
+  mutable n_unions : int;  (** class merges (no-op unions not counted) *)
+  mutable n_scan_entries : int;  (** shadow entries tested by scans *)
 }
 
 let create () =
@@ -69,7 +76,14 @@ let create () =
     finish_stack = Tdrutil.Ivec.create ~capacity:32 ();
     version = 0;
     pbag_cache = Tdrutil.Ivec.create ~capacity:256 ();
+    n_finds = 0;
+    n_unions = 0;
+    n_scan_entries = 0;
   }
+
+let n_finds t = t.n_finds
+let n_unions t = t.n_unions
+let n_scan_entries t = t.n_scan_entries
 
 let find t x =
   if
@@ -77,6 +91,7 @@ let find t x =
     || x >= Tdrutil.Ivec.length t.parent
     || Tdrutil.Ivec.unsafe_get t.parent x < 0
   then invalid_arg (Fmt.str "Bags.find: unknown task %d" x);
+  t.n_finds <- t.n_finds + 1;
   (* path halving: every node on the walk is re-pointed at its
      grandparent, so repeated finds flatten the class *)
   let x = ref x in
@@ -93,6 +108,7 @@ let union t a b =
   let ra = find t a and rb = find t b in
   if ra = rb then ra
   else begin
+    t.n_unions <- t.n_unions + 1;
     let ka = Tdrutil.Ivec.unsafe_get t.rank ra
     and kb = Tdrutil.Ivec.unsafe_get t.rank rb in
     let root, child = if ka >= kb then (ra, rb) else (rb, ra) in
@@ -137,6 +153,7 @@ let in_pbag t x =
     guard). *)
 let scan_report t entries ~out ~sink ~meta =
   let n = Tdrutil.Ivec.length entries in
+  t.n_scan_entries <- t.n_scan_entries + n;
   let ver = t.version in
   (* raw backing arrays, hoisted: neither [entries] nor the memo grows
      during the scan ([out] is a different vector), so the arrays stay

@@ -14,6 +14,20 @@ type t
 
 val create : unit -> t
 
+(** Observability counters since [create].  Counting is kept off the
+    per-entry scan fast path: finds/unions only happen on memo misses
+    and structural transitions, and scan entries are counted once per
+    {!scan_report} call. *)
+
+val n_finds : t -> int
+(** Union-find root lookups (each may walk and halve a path). *)
+
+val n_unions : t -> int
+(** Class merges; unions of an already-shared class are not counted. *)
+
+val n_scan_entries : t -> int
+(** Shadow-location entries tested across all {!scan_report} calls. *)
+
 (** The innermost executing task, as its dense index (the value to store
     in shadow state and later pass to {!in_pbag}).
     @raise Invalid_argument if no task has begun. *)

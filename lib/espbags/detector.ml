@@ -52,6 +52,7 @@ let pp_mode ppf = function
    per step, not per report — and is what materialization reads. *)
 type t = {
   mode : mode;
+  bags : Bags.t;
   mutable monitor : Rt.Monitor.t;
   steps : Sdpst.Node.t Tdrutil.Vec.t;
       (** step id -> step node, filled on each step's first access *)
@@ -102,6 +103,17 @@ let races t =
   in
   go (Tdrutil.Ivec.length t.r_buf - 2) []
 
+let stats t =
+  [
+    ("detector.accesses", t.n_accesses);
+    ("detector.locations", t.n_locations);
+    ("detector.races", race_count t);
+    ("detector.skipped", t.n_skipped);
+    ("detector.uf_finds", Bags.n_finds t.bags);
+    ("detector.uf_unions", Bags.n_unions t.bags);
+    ("detector.scan_entries", Bags.n_scan_entries t.bags);
+  ]
+
 let report det ~src_id ~sink_id ~addr ~kind =
   if src_id <> sink_id then
     Tdrutil.Ivec.push2 det.r_buf
@@ -150,6 +162,7 @@ let make_srw () : t =
   let det =
     {
       mode = Srw;
+      bags;
       monitor = Rt.Monitor.nop;
       steps = Tdrutil.Vec.create ();
       r_buf = Tdrutil.Ivec.create ();
@@ -260,6 +273,7 @@ let make_mrw () : t =
   let det =
     {
       mode = Mrw;
+      bags;
       monitor = Rt.Monitor.nop;
       steps = Tdrutil.Vec.create ();
       r_buf = Tdrutil.Ivec.create ();

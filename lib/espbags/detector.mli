@@ -19,6 +19,7 @@ val pp_mode : mode Fmt.t
 
 type t = private {
   mode : mode;
+  bags : Bags.t;  (** the run's union-find bag state (for {!stats}) *)
   mutable monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
   steps : Sdpst.Node.t Tdrutil.Vec.t;
       (** step id -> step node, filled on each step's first access *)
@@ -36,6 +37,12 @@ type t = private {
 
 (** Races recorded so far, in report order. *)
 val races : t -> Race.t list
+
+(** The run's counters as ["detector."]-prefixed keys for an
+    {!Obs.Metrics} registry: accesses monitored, distinct shadow
+    locations, races recorded, accesses skipped by a static pre-pass,
+    union-find finds/unions, and shadow entries scanned. *)
+val stats : t -> (string * int) list
 
 val race_count : t -> int
 

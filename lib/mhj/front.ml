@@ -4,9 +4,10 @@
     @raise Lexer.Error | Parser.Error | Typecheck.Error with a located
     message on ill-formed input. *)
 let compile ?(require_main = true) (src : string) : Ast.program =
-  let p = Parser.parse_program src in
-  Typecheck.check_program ~require_main p;
-  Normalize.normalize p
+  let p = Obs.Trace.with_span "parse" (fun () -> Parser.parse_program src) in
+  Obs.Trace.with_span "typecheck" (fun () ->
+      Typecheck.check_program ~require_main p);
+  Obs.Trace.with_span "normalize" (fun () -> Normalize.normalize p)
 
 (** Render a located front-end error to a human-readable string. *)
 let explain_error = function

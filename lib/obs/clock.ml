@@ -1,0 +1,25 @@
+(* See clock.mli.  The C stub lives in clock_stubs.c; it returns a boxed
+   int64, so [now_ns] allocates one small block per call — fine for span
+   boundaries, and the disabled tracing path never calls it. *)
+
+external now_ns : unit -> int64 = "tdr_obs_monotonic_now_ns"
+
+let elapsed_s t0 = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
+
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_s t0)
+
+let time_run ?(warmup = 1) ?(repeat = 3) f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let best = ref infinity in
+  let res = ref None in
+  for _ = 1 to max 1 repeat do
+    let r, s = time f in
+    res := Some r;
+    if s < !best then best := s
+  done;
+  (Option.get !res, !best)

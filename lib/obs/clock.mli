@@ -1,0 +1,23 @@
+(** Monotonic wall-clock, promoted from the benchmark harness so the
+    tracing layer (and anything else in the production pipeline) can
+    timestamp without depending on bechamel.
+
+    All measurements go through [clock_gettime(CLOCK_MONOTONIC)] rather
+    than [gettimeofday], which can jump under NTP. *)
+
+(** Nanoseconds since an arbitrary (boot-relative) epoch. *)
+val now_ns : unit -> int64
+
+(** Seconds elapsed since a [now_ns] sample. *)
+val elapsed_s : int64 -> float
+
+(** [time f] runs [f ()] once and returns its result with the elapsed
+    seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** [time_run ?warmup ?repeat f] is the table-number policy: [warmup]
+    discarded runs to fill caches and reach a steady allocator state,
+    then the minimum of [repeat] timed runs (minimum, not mean: external
+    preemption only ever adds time).  Returns the last result and the
+    best time. *)
+val time_run : ?warmup:int -> ?repeat:int -> (unit -> 'a) -> 'a * float

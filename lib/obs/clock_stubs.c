@@ -1,0 +1,20 @@
+/* Monotonic clock for Obs.Clock.
+
+   A single stub around clock_gettime(CLOCK_MONOTONIC), returning
+   nanoseconds since an arbitrary epoch as a boxed int64.  Keeping the
+   stub local (instead of borrowing bechamel's) lets the library stay
+   zero-dependency: bechamel is a test-only dependency of this project
+   and must not leak into the production binaries. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+CAMLprim value tdr_obs_monotonic_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,261 @@
+(* See json.mli. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* JSON has no inf/nan literals; clamp to null rather than emit an
+   unparseable token.  Append ".0" when %.12g produced a bare integer so
+   the value round-trips as a float. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then None
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then Some s
+    else Some (s ^ ".0")
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int n -> Buffer.add_string b (string_of_int n)
+  | Float f -> (
+      match float_repr f with
+      | Some s -> Buffer.add_string b s
+      | None -> Buffer.add_string b "null")
+  | Str s -> escape b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ", ";
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      let kvs = List.sort (fun (a, _) (c, _) -> compare a c) kvs in
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          escape b k;
+          Buffer.add_string b ": ";
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string j =
+  let b = Buffer.create 256 in
+  emit b j;
+  Buffer.contents b
+
+let pp fmt j = Format.pp_print_string fmt (to_string j)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type st = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.s && String.sub st.s st.pos n = word then (
+    st.pos <- st.pos + n;
+    v)
+  else fail st (Printf.sprintf "expected '%s'" word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if st.pos >= String.length st.s then fail st "unterminated escape";
+        let e = st.s.[st.pos] in
+        st.pos <- st.pos + 1;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char b e;
+            go ()
+        | 'n' ->
+            Buffer.add_char b '\n';
+            go ()
+        | 't' ->
+            Buffer.add_char b '\t';
+            go ()
+        | 'r' ->
+            Buffer.add_char b '\r';
+            go ()
+        | 'b' ->
+            Buffer.add_char b '\b';
+            go ()
+        | 'f' ->
+            Buffer.add_char b '\012';
+            go ()
+        | 'u' ->
+            if st.pos + 4 > String.length st.s then fail st "short \\u escape";
+            let hex = String.sub st.s st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            (* Encode the code point as UTF-8; surrogate pairs are not
+               recombined (we never emit them). *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then (
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))))
+            else (
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F))));
+            go ()
+        | _ -> fail st "bad escape")
+    | c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while st.pos < String.length st.s && is_num st.s.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+    match float_of_string_opt tok with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt tok with
+    | Some n -> Int n
+    | None -> fail st "bad number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then (
+        st.pos <- st.pos + 1;
+        Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              members ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then (
+        st.pos <- st.pos + 1;
+        List [])
+      else
+        let rec elems acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              elems (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elems []
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some _ -> parse_number st
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let save file j =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string j);
+      output_char oc '\n')

@@ -1,0 +1,37 @@
+(** A deliberately tiny JSON value type: enough to emit the trace and
+    metrics files and to re-parse them for schema validation in tests.
+    Not a general-purpose JSON library — no streaming, no numbers beyond
+    OCaml [int]/[float], UTF-8 passed through verbatim.
+
+    Emission is canonical: object keys are always printed in ascending
+    byte order regardless of the order in the [Obj] list, so emitted
+    files are stable across runs and trivially diffable.  Parsing
+    preserves the key order found in the input (tests use this to check
+    that emitted files really are sorted). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Canonical rendering: object keys sorted, no insignificant
+    whitespace except a single space after ':' and ','. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** @raise Parse_error on malformed input or trailing garbage. *)
+val of_string : string -> t
+
+(** [member k j] is the value bound to key [k] when [j] is an object
+    containing it. *)
+val member : string -> t -> t option
+
+(** Write [to_string] plus a trailing newline to [file]. *)
+val save : string -> t -> unit

@@ -1,0 +1,32 @@
+(* See metrics.mli. *)
+
+type t = (string, int ref) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t name =
+  match Hashtbl.find_opt t name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t name r;
+      r
+
+let declare t name = ignore (cell t name)
+let set t name v = cell t name := v
+
+let add t name v =
+  let r = cell t name in
+  r := !r + v
+
+let incr t name = add t name 1
+let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let snapshot t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let add_all t kvs = List.iter (fun (k, v) -> add t k v) kvs
+let reset t = Hashtbl.reset t
+let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (snapshot t))
+let save file t = Json.save file (to_json t)

@@ -1,0 +1,41 @@
+(** Counters-and-gauges registry.
+
+    A registry is a flat name → int map.  Dotted names group related
+    counters ("detector.accesses", "engine.steals", ...); the registry
+    itself imposes no hierarchy.  Counters use {!add}/{!incr}
+    (cumulative across repair iterations); gauges use {!set} (latest
+    value wins).  [declare] pins a key at 0 so snapshots always contain
+    the full schema even when the producing subsystem never ran.
+
+    Registries are plain single-domain mutable state: create one per
+    pipeline run (the driver does) rather than sharing across domains.
+    Hot loops must not call into a registry per event — producers keep
+    local native counters and publish once per phase (see DESIGN.md
+    §11). *)
+
+type t
+
+val create : unit -> t
+
+(** Pin [name] at 0 unless it already has a value. *)
+val declare : t -> string -> unit
+
+val set : t -> string -> int -> unit
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+
+(** 0 when the key was never declared or written. *)
+val get : t -> string -> int
+
+(** All key/value pairs in ascending key order. *)
+val snapshot : t -> (string * int) list
+
+(** Fold a [(name, count)] list in with {!add}. *)
+val add_all : t -> (string * int) list -> unit
+
+val reset : t -> unit
+val to_json : t -> Json.t
+
+(** [save file t] writes {!to_json} to [file] (one JSON object, keys
+    sorted). *)
+val save : string -> t -> unit

@@ -1,0 +1,70 @@
+(* See trace.mli. *)
+
+type event = {
+  name : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  args : (string * int) list;
+}
+
+(* Plain refs, not Atomics: spans come from the driver domain only. *)
+let on = ref false
+let depth_now = ref 0
+let buf : event list ref = ref []
+
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let reset () =
+  buf := [];
+  depth_now := 0
+
+let record ev = buf := ev :: !buf
+
+let with_span ?(args = []) name f =
+  if not !on then f ()
+  else begin
+    let d = !depth_now in
+    depth_now := d + 1;
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        depth_now := d;
+        record { name; ts_ns = t0; dur_ns = Int64.sub t1 t0; depth = d; args })
+      f
+  end
+
+let events () =
+  List.sort
+    (fun a b ->
+      match Int64.compare a.ts_ns b.ts_ns with
+      | 0 -> Int64.compare b.dur_ns a.dur_ns
+      | c -> c)
+    !buf
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let json_of_event e =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("cat", Json.Str "tdrepair");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us_of_ns e.ts_ns));
+      ("dur", Json.Float (us_of_ns e.dur_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.args));
+    ]
+
+let to_json () =
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.Str "ms");
+      ("traceEvents", Json.List (List.map json_of_event (events ())));
+    ]
+
+let save file = Json.save file (to_json ())

@@ -1,0 +1,46 @@
+(** Low-overhead span tracing with Chrome-trace-format output.
+
+    Disabled by default: {!with_span} on the disabled path is one
+    mutable-bool load and a branch — no clock read, no allocation beyond
+    the caller's closure — cheap enough to leave in the detector and
+    interpreter call paths permanently (the `bench detector` harness
+    asserts this stays in the noise, see DESIGN.md §11).
+
+    The span buffer is global, single-domain mutable state.  Spans are
+    recorded from the main (driver) domain only; engine workers on other
+    domains must not call {!with_span} while enabled.  A span is
+    recorded when it {e completes} (children before parents);
+    {!events} and {!to_json} re-sort by start time so timestamps come
+    out monotone. *)
+
+type event = {
+  name : string;
+  ts_ns : int64;  (** span start, monotonic ns *)
+  dur_ns : int64;
+  depth : int;  (** nesting depth at entry; 0 = top level *)
+  args : (string * int) list;
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** Drop all recorded events and reset nesting depth; the enabled flag
+    is unchanged. *)
+val reset : unit -> unit
+
+(** [with_span name f] runs [f ()]; when tracing is enabled it records a
+    complete-event span around the call (also on exception). *)
+val with_span : ?args:(string * int) list -> string -> (unit -> 'a) -> 'a
+
+(** Recorded events, sorted by start time (ties by decreasing
+    duration, so parents sort before the children they enclose). *)
+val events : unit -> event list
+
+(** The full Chrome trace object: [{"displayTimeUnit": ..,
+    "traceEvents": [..]}] with one phase-["X"] complete event per span,
+    timestamps in microseconds, sorted ascending. *)
+val to_json : unit -> Json.t
+
+(** Write {!to_json} to [file]. *)
+val save : string -> unit

@@ -17,6 +17,7 @@ type 'a t = {
   top : int Atomic.t;  (** next index thieves take from *)
   bottom : int Atomic.t;  (** next index the owner pushes at *)
   buf : 'a option array Atomic.t;  (** circular, power-of-two capacity *)
+  mutable n_grows : int;  (** buffer doublings; owner-written only *)
 }
 
 let create ?(capacity = 64) () =
@@ -30,9 +31,14 @@ let create ?(capacity = 64) () =
     top = Atomic.make 0;
     bottom = Atomic.make 0;
     buf = Atomic.make (Array.make cap None);
+    n_grows = 0;
   }
 
 let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner-written plain field; read it after the owning worker has joined
+   (or from the owner) for an exact count. *)
+let grows t = t.n_grows
 
 let slot a i = i land (Array.length a - 1)
 
@@ -43,6 +49,7 @@ let push t v =
   let a = Atomic.get t.buf in
   let a =
     if b - top >= Array.length a - 1 then begin
+      t.n_grows <- t.n_grows + 1;
       let bigger = Array.make (2 * Array.length a) None in
       for i = top to b - 1 do
         bigger.(slot bigger i) <- a.(slot a i)

@@ -26,3 +26,8 @@ val steal : 'a t -> 'a option
 
 (** Snapshot size (racy; only a hint for victim selection). *)
 val size : 'a t -> int
+
+(** How many times the buffer has doubled.  Written by the owner only;
+    read it from the owner, or after the owner's domain has joined, for
+    an exact count (the engine's stats do the latter). *)
+val grows : 'a t -> int

@@ -45,6 +45,52 @@ let fuzz_policy = { inline_pct = 45; yield_pct = 10 }
 
 let domains_policy = { inline_pct = 0; yield_pct = 0 }
 
+type sched_stats =
+  | Fuzz_stats of { n_inlined : int; n_pooled : int; n_yields : int }
+  | Domains_stats of { n_steals : int; n_deque_grows : int }
+
+type stats = {
+  n_tasks : int;
+  n_fuel_batches : int;
+  sched : sched_stats;
+}
+
+let add_stats a b =
+  let sched =
+    match (a.sched, b.sched) with
+    | ( Fuzz_stats { n_inlined = i1; n_pooled = p1; n_yields = y1 },
+        Fuzz_stats { n_inlined = i2; n_pooled = p2; n_yields = y2 } ) ->
+        Fuzz_stats
+          { n_inlined = i1 + i2; n_pooled = p1 + p2; n_yields = y1 + y2 }
+    | ( Domains_stats { n_steals = s1; n_deque_grows = g1 },
+        Domains_stats { n_steals = s2; n_deque_grows = g2 } ) ->
+        Domains_stats { n_steals = s1 + s2; n_deque_grows = g1 + g2 }
+    | _ -> invalid_arg "Par.Engine.add_stats: mixed modes"
+  in
+  {
+    n_tasks = a.n_tasks + b.n_tasks;
+    n_fuel_batches = a.n_fuel_batches + b.n_fuel_batches;
+    sched;
+  }
+
+let stats_counters s =
+  let common =
+    [ ("engine.tasks", s.n_tasks); ("engine.fuel_batches", s.n_fuel_batches) ]
+  in
+  match s.sched with
+  | Fuzz_stats { n_inlined; n_pooled; n_yields } ->
+      common
+      @ [
+          ("engine.inlined", n_inlined);
+          ("engine.pooled", n_pooled);
+          ("engine.yields", n_yields);
+        ]
+  | Domains_stats { n_steals; n_deque_grows } ->
+      common
+      @ [
+          ("engine.steals", n_steals); ("engine.deque_grows", n_deque_grows);
+        ]
+
 type result = {
   output : string;
   globals : (string * Rt.Value.t) list;
@@ -52,8 +98,7 @@ type result = {
   work : int;
   wall_s : float;
   n_domains : int;
-  n_tasks : int;
-  n_steals : int;
+  stats : stats;
 }
 
 let error loc fmt =
@@ -101,6 +146,12 @@ type worker = {
   mutable work : int;  (** cost units charged by this worker *)
   mutable batch : int;  (** units since the last slow-path flush *)
   mutable pace_debt_ns : float;  (** pacing debt not yet slept off *)
+  (* Stats below are owner-written plain fields, summed after the joins;
+     the Fuzz trio is only meaningful on the single Fuzz worker. *)
+  mutable n_batches : int;  (** slow-path fuel flushes *)
+  mutable n_inlined : int;
+  mutable n_pooled : int;
+  mutable n_yields : int;
 }
 
 type engine = {
@@ -149,6 +200,7 @@ let slow_path st =
   let eng = st.eng and w = st.w in
   let b = w.batch in
   w.batch <- 0;
+  w.n_batches <- w.n_batches + 1;
   let before = Atomic.fetch_and_add eng.fuel (-b) in
   if before - b < 0 then begin
     poison_with eng Rt.Interp.Out_of_fuel;
@@ -535,9 +587,14 @@ and spawn st (body : Ast.stmt) : unit =
   Atomic.incr fin.pending;
   let t = { t_body = body; t_env = snapshot_env st; t_fin = fin } in
   if eng.is_fuzz then begin
-    if Tdrutil.Prng.int st.w.rng 100 < eng.policy.inline_pct then
+    if Tdrutil.Prng.int st.w.rng 100 < eng.policy.inline_pct then begin
+      st.w.n_inlined <- st.w.n_inlined + 1;
       run_task eng st.w t
-    else Pool.push eng.pool t
+    end
+    else begin
+      st.w.n_pooled <- st.w.n_pooled + 1;
+      Pool.push eng.pool t
+    end
   end
   else Deque.push st.w.deque t
 
@@ -550,7 +607,10 @@ and maybe_yield st =
   if
     eng.is_fuzz && (not st.quiet) && eng.pool.len > 0
     && Tdrutil.Prng.int st.w.rng 100 < eng.policy.yield_pct
-  then run_task eng st.w (Pool.take eng.pool (Tdrutil.Prng.int st.w.rng eng.pool.len))
+  then begin
+    st.w.n_yields <- st.w.n_yields + 1;
+    run_task eng st.w (Pool.take eng.pool (Tdrutil.Prng.int st.w.rng eng.pool.len))
+  end
 
 and wait_fin st (fin : finish) : unit =
   let eng = st.eng in
@@ -638,6 +698,10 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
           work = 0;
           batch = 0;
           pace_debt_ns = 0.;
+          n_batches = 0;
+          n_inlined = 0;
+          n_pooled = 0;
+          n_yields = 0;
         })
   in
   let eng =
@@ -698,13 +762,33 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
     Hashtbl.fold (fun name r acc -> (name, !r) :: acc) eng.globals []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
+  let sched =
+    if is_fuzz then
+      Fuzz_stats
+        {
+          n_inlined = sum (fun w -> w.n_inlined);
+          n_pooled = sum (fun w -> w.n_pooled);
+          n_yields = sum (fun w -> w.n_yields);
+        }
+    else
+      Domains_stats
+        {
+          n_steals = Atomic.get eng.n_steals;
+          n_deque_grows = sum (fun w -> Deque.grows w.deque);
+        }
+  in
   {
     output = Buffer.contents eng.buf;
     globals;
     digest = Rt.Value.digest_globals globals;
-    work = Array.fold_left (fun acc w -> acc + w.work) 0 workers;
+    work = sum (fun w -> w.work);
     wall_s;
     n_domains;
-    n_tasks = Atomic.get eng.n_tasks;
-    n_steals = Atomic.get eng.n_steals;
+    stats =
+      {
+        n_tasks = Atomic.get eng.n_tasks;
+        n_fuel_batches = sum (fun w -> w.n_batches);
+        sched;
+      };
   }

@@ -35,6 +35,37 @@ val domains_policy : policy
 (** Default for {!Domains}: always defer (maximize available parallelism),
     never yield. *)
 
+(** Scheduler counters that only exist in one mode.  The old flat record
+    exposed [n_steals] unconditionally, which read as a plausible zero on
+    Fuzz runs (a single worker never steals); tagging by mode makes
+    "no steal counter" unrepresentable instead of silently zero. *)
+type sched_stats =
+  | Fuzz_stats of {
+      n_inlined : int;  (** asyncs the PRNG chose to run at the spawn point *)
+      n_pooled : int;  (** asyncs deferred to the task pool *)
+      n_yields : int;  (** pooled tasks run at statement boundaries *)
+    }
+  | Domains_stats of {
+      n_steals : int;  (** successful steals across all workers *)
+      n_deque_grows : int;  (** Chase-Lev buffer doublings *)
+    }
+
+type stats = {
+  n_tasks : int;  (** asyncs spawned *)
+  n_fuel_batches : int;  (** per-worker batch flushes against global fuel *)
+  sched : sched_stats;
+}
+
+(** Pointwise sum, for aggregating across runs (e.g. a
+    {!Validate} sweep).
+    @raise Invalid_argument when the operands' modes differ. *)
+val add_stats : stats -> stats -> stats
+
+(** The stats as ["engine."]-prefixed counters for an {!Obs.Metrics}
+    registry.  Only the keys of the run's own mode are present; callers
+    wanting a stable schema should [declare] the full key set first. *)
+val stats_counters : stats -> (string * int) list
+
 type result = {
   output : string;  (** everything [print]ed; line order is schedule-dependent *)
   globals : (string * Rt.Value.t) list;  (** final global state, sorted *)
@@ -42,8 +73,7 @@ type result = {
   work : int;  (** total cost units charged across all workers *)
   wall_s : float;  (** wall-clock seconds of the parallel phase *)
   n_domains : int;
-  n_tasks : int;  (** asyncs spawned *)
-  n_steals : int;  (** successful steals (Domains mode) *)
+  stats : stats;  (** scheduler counters, tagged by [mode] *)
 }
 
 (** Execute [prog] from [main].

@@ -23,6 +23,7 @@ type t = {
   ran : int;
   skipped : int;
   divergences : divergence list;
+  engine : Engine.stats option;
 }
 
 let ok t = t.divergences = [] && t.skipped = 0
@@ -32,21 +33,27 @@ let sorted_lines s =
   |> List.filter (fun l -> l <> "")
   |> List.sort String.compare
 
-(* One fuzzed schedule against the reference observation; [None] = match. *)
+(* One fuzzed schedule against the reference observation.  Returns the
+   divergence (if any) plus the engine's scheduler stats (absent when
+   the schedule raised before producing a result). *)
 let check_schedule ?fuel prog ~schedule_seed ~ref_lines ~ref_digest =
   match Engine.run ?fuel ~mode:(Engine.Fuzz { seed = schedule_seed }) prog with
   | r ->
-      if sorted_lines r.output <> ref_lines then
-        Some { schedule_seed; detail = "printed output differs" }
-      else if r.digest <> ref_digest then
-        Some { schedule_seed; detail = "final global state differs" }
-      else None
+      let d =
+        if sorted_lines r.output <> ref_lines then
+          Some { schedule_seed; detail = "printed output differs" }
+        else if r.digest <> ref_digest then
+          Some { schedule_seed; detail = "final global state differs" }
+        else None
+      in
+      (d, Some r.Engine.stats)
   | exception e ->
-      Some
-        {
-          schedule_seed;
-          detail = Fmt.str "schedule raised: %s" (Printexc.to_string e);
-        }
+      ( Some
+          {
+            schedule_seed;
+            detail = Fmt.str "schedule raised: %s" (Printexc.to_string e);
+          },
+        None )
 
 let check ?fuel ?budget_ms ?(schedules = 10) ?(seed = 1)
     (prog : Mhj.Ast.program) : t =
@@ -61,15 +68,23 @@ let check ?fuel ?budget_ms ?(schedules = 10) ?(seed = 1)
   in
   let ran = ref 0 in
   let divergences = ref [] in
+  let engine = ref None in
   (try
      for k = 0 to schedules - 1 do
        if over_budget () then raise Exit;
-       (match
-          check_schedule ?fuel prog ~schedule_seed:(seed + k) ~ref_lines
-            ~ref_digest
-        with
-       | Some d -> divergences := d :: !divergences
-       | None -> ());
+       let d, stats =
+         check_schedule ?fuel prog ~schedule_seed:(seed + k) ~ref_lines
+           ~ref_digest
+       in
+       Option.iter (fun d -> divergences := d :: !divergences) d;
+       Option.iter
+         (fun s ->
+           engine :=
+             Some
+               (match !engine with
+               | None -> s
+               | Some acc -> Engine.add_stats acc s))
+         stats;
        incr ran
      done
    with Exit -> ());
@@ -78,6 +93,7 @@ let check ?fuel ?budget_ms ?(schedules = 10) ?(seed = 1)
     ran = !ran;
     skipped = schedules - !ran;
     divergences = List.rev !divergences;
+    engine = !engine;
   }
 
 let of_request ?fuel (r : request) prog =

@@ -26,6 +26,10 @@ type t = {
   ran : int;
   skipped : int;  (** schedules not run because the budget ran out *)
   divergences : divergence list;
+  engine : Engine.stats option;
+      (** scheduler counters summed over the schedules that ran
+          ({!Engine.add_stats}); [None] when every schedule raised or
+          none ran *)
 }
 
 val ok : t -> bool

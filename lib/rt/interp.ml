@@ -541,13 +541,17 @@ let run ?(monitor = Monitor.nop) ?(fuel = default_fuel) (prog : Ast.program) :
       Hashtbl.replace st.globals g.gname { gval = ref v; gaddr })
     gaddrs;
   st.quiet <- false;
-  monitor.Monitor.on_task_begin tree.root;
-  monitor.Monitor.on_finish_begin tree.root;
-  (try in_frame st (fun () -> exec_stmts st main.body.stmts)
-   with Return_v _ -> ());
-  close_step st;
-  monitor.Monitor.on_finish_end tree.root;
-  monitor.Monitor.on_task_end tree.root;
+  (* The monitored depth-first execution is also what grows the S-DPST,
+     so one span covers both; nested under "detect" when the driver runs
+     this behind a detector monitor. *)
+  Obs.Trace.with_span "sdpst-build" (fun () ->
+      monitor.Monitor.on_task_begin tree.root;
+      monitor.Monitor.on_finish_begin tree.root;
+      (try in_frame st (fun () -> exec_stmts st main.body.stmts)
+       with Return_v _ -> ());
+      close_step st;
+      monitor.Monitor.on_finish_end tree.root;
+      monitor.Monitor.on_task_end tree.root);
   let globals =
     Hashtbl.fold (fun name g acc -> (name, !(g.gval)) :: acc) st.globals []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -50,3 +50,12 @@ let n_kept t = IntSet.cardinal t.keep_sids
 let n_stmts t = Summary.n_stmts t.summary
 
 let n_conflicts t = t.n_conflicts
+
+let stats t =
+  let stmts = n_stmts t and kept = n_kept t in
+  [
+    ("prune.stmts", stmts);
+    ("prune.kept", kept);
+    ("prune.discharged", stmts - kept);
+    ("prune.conflicts", t.n_conflicts);
+  ]

@@ -33,3 +33,8 @@ val n_stmts : t -> int
 
 (** Unproven MHP/access conflicts behind the kept set. *)
 val n_conflicts : t -> int
+
+(** The pre-pass counters as ["prune."]-prefixed keys for an
+    {!Obs.Metrics} registry: total statements, statements kept
+    monitored, statements discharged, and unproven conflicts. *)
+val stats : t -> (string * int) list

@@ -19,12 +19,19 @@ let next_int64 t =
       0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0]. *)
-let int t bound =
+(** Uniform int in [0, bound). @raise Invalid_argument if [bound <= 0].
+
+    Rejection sampling: a plain [r mod bound] over the 62-bit draw
+    favours the low residues whenever [bound] does not divide 2^62.
+    Redraw when [r] lands in the short tail above the largest multiple
+    of [bound]; the rejection probability is below [bound / 2^62], so
+    explicit-seed draw sequences are unchanged in practice. *)
+let rec int t bound =
   if bound <= 0 then invalid_arg "Prng.int";
-  (* mask to a non-negative native int before reducing *)
+  (* mask to a non-negative 62-bit native int before reducing *)
   let r = Int64.to_int (next_int64 t) land max_int in
-  r mod bound
+  let v = r mod bound in
+  if r - v > max_int - bound + 1 then int t bound else v
 
 (** Uniform float in [0, 1). *)
 let float t =
@@ -33,8 +40,22 @@ let float t =
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
 
-(** Pick a uniformly random element of a non-empty list. *)
+(** Pick a uniformly random element of a non-empty list.
+
+    Always consumes exactly one {!int} draw (even for a singleton), so
+    the draw sequence matches the historical [List.nth]-based version;
+    the indexing is O(1)-per-pick for small lists and one array build —
+    instead of [List.nth]'s O(n) walk — for longer ones (progen calls
+    this inside generator loops). *)
 let choose t xs =
   match xs with
   | [] -> invalid_arg "Prng.choose: empty list"
-  | _ -> List.nth xs (int t (List.length xs))
+  | [ x ] ->
+      ignore (int t 1);
+      x
+  | [ x0; x1 ] -> if int t 2 = 0 then x0 else x1
+  | [ x0; x1; x2 ] -> (
+      match int t 3 with 0 -> x0 | 1 -> x1 | _ -> x2)
+  | _ ->
+      let a = Array.of_list xs in
+      Array.unsafe_get a (int t (Array.length a))

@@ -467,6 +467,100 @@ let test_repair_validate_par () =
       check_contains "degradation recorded" out3 "degraded:";
       check_contains "skip reported" out3 "skipped under budget")
 
+(* --trace/--metrics: schema-validate the emitted JSON with the same
+   Obs.Json parser the files were written with.  The parser preserves
+   input key order, so sortedness of the file is directly checkable. *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec keys_sorted = function
+  | Obs.Json.Obj kvs ->
+      let ks = List.map fst kvs in
+      ks = List.sort compare ks && List.for_all keys_sorted (List.map snd kvs)
+  | Obs.Json.List js -> List.for_all keys_sorted js
+  | _ -> true
+
+let test_repair_obs_files () =
+  let trace = Filename.temp_file "tdrepair_cli" ".trace.json" in
+  let metrics = Filename.temp_file "tdrepair_cli" ".metrics.json" in
+  let code, _ =
+    run_cli
+      [
+        "repair"; sample "figure5.mhj"; "-q"; "--trace"; trace; "--metrics";
+        metrics;
+      ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  (* trace file: Chrome trace format, keys sorted, timestamps monotone,
+     one span per pipeline stage *)
+  let tj = Obs.Json.of_string (read_file trace) in
+  Alcotest.(check bool) "trace keys sorted" true (keys_sorted tj);
+  (match Obs.Json.member "displayTimeUnit" tj with
+  | Some (Obs.Json.Str "ms") -> ()
+  | _ -> Alcotest.fail "displayTimeUnit missing");
+  let events =
+    match Obs.Json.member "traceEvents" tj with
+    | Some (Obs.Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let ts_of ev =
+    match Obs.Json.member "ts" ev with
+    | Some (Obs.Json.Float f) -> f
+    | Some (Obs.Json.Int i) -> float_of_int i
+    | _ -> Alcotest.fail "event missing ts"
+  in
+  let name_of ev =
+    match Obs.Json.member "name" ev with
+    | Some (Obs.Json.Str s) -> s
+    | _ -> Alcotest.fail "event missing name"
+  in
+  let rec monotone = function
+    | a :: b :: tl -> ts_of a <= ts_of b && monotone (b :: tl)
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps monotone" true (monotone events);
+  let names = List.map name_of events in
+  List.iter
+    (fun stage ->
+      if not (List.mem stage names) then
+        Alcotest.failf "trace missing pipeline stage span %S" stage)
+    [
+      "parse"; "typecheck"; "normalize"; "iteration"; "detect"; "sdpst-build";
+      "scopecheck"; "nslca-group"; "depgraph"; "dp-place"; "rewrite";
+    ];
+  (* metrics file: one flat object of int counters, keys sorted, all
+     four subsystems represented *)
+  let mj = Obs.Json.of_string (read_file metrics) in
+  Alcotest.(check bool) "metrics keys sorted" true (keys_sorted mj);
+  (match mj with
+  | Obs.Json.Obj kvs ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Obs.Json.Int _ -> ()
+          | _ -> Alcotest.failf "metrics value for %s is not an int" k)
+        kvs
+  | _ -> Alcotest.fail "metrics file is not an object");
+  let get k =
+    match Obs.Json.member k mj with
+    | Some (Obs.Json.Int i) -> i
+    | _ -> Alcotest.failf "metrics missing key %s" k
+  in
+  Alcotest.(check bool) "detector counted accesses" true
+    (get "detector.accesses" > 0);
+  Alcotest.(check int) "two races found" 2 (get "detector.races");
+  Alcotest.(check int) "one iteration" 1 (get "driver.iterations");
+  Alcotest.(check int) "two finishes" 2 (get "driver.finishes_inserted");
+  (* subsystems that did not run are still in the schema, at 0 *)
+  Alcotest.(check int) "engine idle" 0 (get "engine.runs");
+  Alcotest.(check int) "pruner idle" 0 (get "prune.stmts");
+  Sys.remove trace;
+  Sys.remove metrics
+
 let () =
   Alcotest.run "cli"
     [
@@ -504,5 +598,7 @@ let () =
           Alcotest.test_case "run --par replay" `Quick test_run_par_replay;
           Alcotest.test_case "repair --validate-par" `Quick
             test_repair_validate_par;
+          Alcotest.test_case "repair --trace/--metrics" `Quick
+            test_repair_obs_files;
         ] );
     ]

@@ -1,0 +1,223 @@
+(* Tests for lib/obs: span tracing (nesting, ordering, disabled fast
+   path, exception safety), the metrics registry, and the tiny JSON
+   emitter/parser behind the --trace/--metrics files.
+
+   Trace state is global single-domain mutable state, so every trace
+   test runs under [with_tracing], which resets the buffer, enables
+   tracing and guarantees disable+reset on exit — tests stay independent
+   even when one of them fails mid-span. *)
+
+let with_tracing f =
+  Obs.Trace.reset ();
+  Obs.Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.disable ();
+      Obs.Trace.reset ())
+    f
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      let r =
+        Obs.Trace.with_span "outer" (fun () ->
+            Obs.Trace.with_span "inner-a" (fun () -> ());
+            Obs.Trace.with_span "inner-b" (fun () -> ());
+            42)
+      in
+      Alcotest.(check int) "with_span returns f's result" 42 r;
+      let evs = Obs.Trace.events () in
+      Alcotest.(check (list string))
+        "sorted by start: parent first" [ "outer"; "inner-a"; "inner-b" ]
+        (List.map (fun (e : Obs.Trace.event) -> e.name) evs);
+      let depth n =
+        (List.find (fun (e : Obs.Trace.event) -> e.name = n) evs)
+          .Obs.Trace.depth
+      in
+      Alcotest.(check int) "outer depth" 0 (depth "outer");
+      Alcotest.(check int) "inner-a depth" 1 (depth "inner-a");
+      Alcotest.(check int) "inner-b depth" 1 (depth "inner-b");
+      (* parent spans [t0, t0+dur] must contain the children *)
+      let outer = List.hd evs in
+      List.iter
+        (fun (e : Obs.Trace.event) ->
+          if e.depth = 1 then begin
+            Alcotest.(check bool)
+              "child starts after parent" true
+              (e.ts_ns >= outer.ts_ns);
+            Alcotest.(check bool)
+              "child ends before parent" true
+              (Int64.add e.ts_ns e.dur_ns
+              <= Int64.add outer.ts_ns outer.dur_ns)
+          end)
+        evs)
+
+let test_span_ordering_monotone () =
+  with_tracing (fun () ->
+      for i = 1 to 5 do
+        Obs.Trace.with_span "step" ~args:[ ("i", i) ] (fun () ->
+            Obs.Trace.with_span "sub" (fun () -> ()))
+      done;
+      let evs = Obs.Trace.events () in
+      Alcotest.(check int) "5 iterations x 2 spans" 10 (List.length evs);
+      let rec monotone = function
+        | (a : Obs.Trace.event) :: (b : Obs.Trace.event) :: tl ->
+            a.ts_ns <= b.ts_ns && monotone (b :: tl)
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps non-decreasing" true (monotone evs);
+      let args_of_steps =
+        List.filter_map
+          (fun (e : Obs.Trace.event) ->
+            if e.name = "step" then Some e.args else None)
+          evs
+      in
+      Alcotest.(check (list (list (pair string int))))
+        "args carried through in order"
+        [ [ ("i", 1) ]; [ ("i", 2) ]; [ ("i", 3) ]; [ ("i", 4) ]; [ ("i", 5) ] ]
+        args_of_steps)
+
+let test_span_disabled_noop () =
+  Obs.Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.Trace.enabled ());
+  let r = Obs.Trace.with_span "ghost" (fun () -> "ran") in
+  Alcotest.(check string) "f still runs" "ran" r;
+  Alcotest.(check int) "nothing recorded" 0
+    (List.length (Obs.Trace.events ()))
+
+exception Boom
+
+let test_span_exception_safety () =
+  with_tracing (fun () ->
+      (try
+         Obs.Trace.with_span "outer" (fun () ->
+             Obs.Trace.with_span "thrower" (fun () -> raise Boom))
+       with Boom -> ());
+      let evs = Obs.Trace.events () in
+      Alcotest.(check (list string))
+        "both spans recorded despite the raise" [ "outer"; "thrower" ]
+        (List.map (fun (e : Obs.Trace.event) -> e.name) evs);
+      (* depth must have unwound: a fresh span is top-level again *)
+      Obs.Trace.with_span "after" (fun () -> ());
+      let after =
+        List.find
+          (fun (e : Obs.Trace.event) -> e.name = "after")
+          (Obs.Trace.events ())
+      in
+      Alcotest.(check int) "depth restored after raise" 0 after.depth)
+
+let test_trace_json_schema () =
+  with_tracing (fun () ->
+      Obs.Trace.with_span "a" ~args:[ ("k", 3) ] (fun () ->
+          Obs.Trace.with_span "b" (fun () -> ()));
+      let j = Obs.Trace.to_json () in
+      (match Obs.Json.member "displayTimeUnit" j with
+      | Some (Obs.Json.Str "ms") -> ()
+      | _ -> Alcotest.fail "displayTimeUnit missing");
+      match Obs.Json.member "traceEvents" j with
+      | Some (Obs.Json.List evs) ->
+          Alcotest.(check int) "two events" 2 (List.length evs);
+          List.iter
+            (fun ev ->
+              List.iter
+                (fun k ->
+                  if Obs.Json.member k ev = None then
+                    Alcotest.fail ("event missing key " ^ k))
+                [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ];
+              match Obs.Json.member "ph" ev with
+              | Some (Obs.Json.Str "X") -> ()
+              | _ -> Alcotest.fail "phase must be X")
+            evs
+      | _ -> Alcotest.fail "traceEvents missing")
+
+(* --- metrics registry --- *)
+
+let test_metrics_counters () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "absent key reads 0" 0 (Obs.Metrics.get m "nope");
+  Obs.Metrics.incr m "a";
+  Obs.Metrics.add m "a" 4;
+  Obs.Metrics.set m "b" 7;
+  Obs.Metrics.set m "b" 3;
+  (* gauge: latest wins *)
+  Alcotest.(check int) "incr+add accumulate" 5 (Obs.Metrics.get m "a");
+  Alcotest.(check int) "set overwrites" 3 (Obs.Metrics.get m "b");
+  Obs.Metrics.add_all m [ ("a", 10); ("c", 2) ];
+  Alcotest.(check (list (pair string int)))
+    "snapshot sorted by key"
+    [ ("a", 15); ("b", 3); ("c", 2) ]
+    (Obs.Metrics.snapshot m);
+  Obs.Metrics.reset m;
+  Alcotest.(check (list (pair string int)))
+    "reset empties" [] (Obs.Metrics.snapshot m)
+
+let test_metrics_declare () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.declare m "x.ran";
+  Obs.Metrics.declare m "x.skipped";
+  Obs.Metrics.incr m "x.ran";
+  (* declaring an already-written key must not zero it *)
+  Obs.Metrics.declare m "x.ran";
+  Alcotest.(check (list (pair string int)))
+    "declared keys present at 0"
+    [ ("x.ran", 1); ("x.skipped", 0) ]
+    (Obs.Metrics.snapshot m)
+
+(* --- JSON --- *)
+
+let test_json_sorted_round_trip () =
+  let j =
+    Obs.Json.Obj
+      [
+        ("zeta", Obs.Json.Int 1);
+        ("alpha", Obs.Json.List [ Obs.Json.Bool true; Obs.Json.Null ]);
+        ("mid", Obs.Json.Obj [ ("b", Obs.Json.Float 1.5); ("a", Obs.Json.Str "s\"x") ]);
+      ]
+  in
+  let s = Obs.Json.to_string j in
+  Alcotest.(check string)
+    "keys sorted, canonical spacing"
+    "{\"alpha\": [true, null], \"mid\": {\"a\": \"s\\\"x\", \"b\": 1.5}, \
+     \"zeta\": 1}"
+    s;
+  (* the parser preserves input order, so re-parsing the canonical form
+     yields already-sorted Obj lists and re-emission is a fixpoint *)
+  Alcotest.(check string)
+    "emit/parse/emit fixpoint" s
+    (Obs.Json.to_string (Obs.Json.of_string s))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Obs.Json.of_string bad with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail ("accepted malformed input: " ^ bad))
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "ordering monotone" `Quick
+            test_span_ordering_monotone;
+          Alcotest.test_case "disabled no-op" `Quick test_span_disabled_noop;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "chrome json schema" `Quick
+            test_trace_json_schema;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "declare" `Quick test_metrics_declare;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "sorted round trip" `Quick
+            test_json_sorted_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        ] );
+    ]

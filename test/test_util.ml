@@ -93,6 +93,37 @@ let test_prng_choose () =
     if not (List.mem x [ "a"; "b"; "c" ]) then Alcotest.fail "choose"
   done
 
+(* Every [choose] consumes exactly one draw regardless of list length, so
+   interleaving chooses of different lengths keeps two same-seeded
+   generators in lock-step.  Pins the draw-sequence invariant the O(1)
+   rewrite relies on. *)
+let test_prng_choose_one_draw () =
+  let a = Tdrutil.Prng.create ~seed:11 in
+  let b = Tdrutil.Prng.create ~seed:11 in
+  List.iter
+    (fun n -> ignore (Tdrutil.Prng.choose a (List.init n string_of_int)))
+    [ 1; 2; 3; 7; 1; 40; 2 ];
+  for _ = 1 to 7 do
+    ignore (Tdrutil.Prng.int b 1_000_000)
+  done;
+  Alcotest.(check int) "streams aligned" (Tdrutil.Prng.int b 997)
+    (Tdrutil.Prng.int a 997);
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (Tdrutil.Prng.choose a [] : string))
+
+(* Rejection sampling: with bound = 2^61 + 1 roughly half of all 62-bit
+   draws land in the tail above the largest multiple of the bound and
+   must be redrawn, so this bound exercises the rejection loop on nearly
+   every call; every returned value must still be in range. *)
+let test_prng_rejection_in_range () =
+  let r = Tdrutil.Prng.create ~seed:5 in
+  let huge = (max_int / 2) + 2 in
+  for _ = 1 to 200 do
+    let x = Tdrutil.Prng.int r huge in
+    if x < 0 || x >= huge then Alcotest.fail "huge bound out of range"
+  done
+
 let () =
   Alcotest.run "util"
     [
@@ -110,5 +141,9 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "choose" `Quick test_prng_choose;
+          Alcotest.test_case "choose one draw" `Quick
+            test_prng_choose_one_draw;
+          Alcotest.test_case "rejection in range" `Quick
+            test_prng_rejection_in_range;
         ] );
     ]

@@ -135,6 +135,16 @@ let budgets_term =
   in
   Term.(const mk $ fuel $ sdpst $ dp)
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock watchdog for the whole job: abort once $(docv) \
+           milliseconds have elapsed (exit code 4).  The same cooperative \
+           watchdog guards every job in $(b,tdrepair serve).")
+
 (* ---------------------------- commands ----------------------------- *)
 
 let parse_cmd =
@@ -250,8 +260,9 @@ let static_prune_arg =
            reported race set is unchanged; detection only gets cheaper.")
 
 let detect_cmd =
-  let run file mode sets trace dump_tree dump_sdpst static_prune =
+  let run file mode sets trace dump_tree dump_sdpst static_prune timeout_ms =
     or_die (fun () ->
+      Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
         let keep =
           if static_prune then begin
@@ -319,7 +330,7 @@ let detect_cmd =
           races.")
     Term.(
       const run $ file_arg $ mode_arg $ set_arg $ trace $ dump_tree $ dump
-      $ static_prune_arg)
+      $ static_prune_arg $ timeout_arg)
 
 let analyze_cmd =
   let run file tree_path trace_path output quiet =
@@ -386,11 +397,12 @@ let static_verify_arg =
 let repair_cmd =
   let run file mode strategy sets budgets output report_flag quiet
       static_prune static_verify validate_par validate_seed budget_validate
-      trace_file metrics_file =
+      trace_file metrics_file timeout_ms =
     (* Enable tracing before the compile so the parse/typecheck/normalize
        spans land in the file too. *)
     if trace_file <> None then Obs.Trace.enable ();
     or_die (fun () ->
+      Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
         let validate_par =
           Option.map
@@ -548,7 +560,7 @@ let repair_cmd =
       const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
       $ output_arg $ report_flag $ quiet $ static_prune_arg
       $ static_verify_arg $ validate_par $ validate_seed $ budget_validate
-      $ trace_file $ metrics_file)
+      $ trace_file $ metrics_file $ timeout_arg)
 
 let strip_cmd =
   let run file output =
@@ -835,6 +847,212 @@ let lint_cmd =
           findings reported (0 with $(b,--exit-zero)).")
     Term.(const run $ files $ exit_zero $ suite)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/tdrepair.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let run socket workers queue max_frame cache retries backoff_ms timeout_ms
+      hard_ms verbose =
+    or_die (fun () ->
+        Serve.Daemon.run
+          {
+            Serve.Daemon.socket;
+            workers;
+            queue_capacity = queue;
+            max_frame;
+            cache_capacity = cache;
+            retries;
+            backoff_ms;
+            default_timeout_ms = timeout_ms;
+            hard_watchdog_ms = hard_ms;
+            verbose;
+          })
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing jobs in parallel.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 16
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded job-queue capacity.  A job arriving at a full queue \
+             is refused with an $(b,overloaded) reply (load shedding), \
+             never buffered without bound.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Per-connection frame limit: a request line longer than \
+             $(docv) bytes gets an $(b,oversized-frame) error and the \
+             connection is closed.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 64
+      & info [ "cache" ] ~docv:"N"
+          ~doc:
+            "Result-cache capacity (identical program + flags returns the \
+             cached report byte-for-byte).  0 disables caching.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Transient-fault retries per job (injected faults, budget \
+             exhaustion) before the job is declared $(b,failed).")
+  in
+  let backoff =
+    Arg.(
+      value & opt int 10
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:
+            "First retry delay; doubles per retry, capped.")
+  in
+  let hard =
+    Arg.(
+      value & opt int 5000
+      & info [ "hard-watchdog-ms" ] ~docv:"MS"
+          ~doc:
+            "Hard watchdog: a worker busy on one job beyond $(docv) is \
+             declared wedged — the job is answered $(b,degraded), the \
+             domain abandoned, and a replacement worker spawned.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log lifecycle events.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-only repair daemon: newline-delimited JSON jobs \
+          ($(b,detect)/$(b,repair)/$(b,lint)) over a Unix-domain socket, \
+          executed on supervised worker domains with per-job watchdogs, \
+          capped-backoff retries, bounded-queue load shedding and a \
+          content-hash result cache.  SIGTERM drains in-flight jobs and \
+          exits cleanly.  See DESIGN.md §12 for the protocol.")
+    Term.(
+      const run $ socket_arg $ workers $ queue $ max_frame $ cache $ retries
+      $ backoff $ timeout_arg $ hard $ verbose)
+
+let call_cmd =
+  let module J = Obs.Json in
+  let run socket health shutdown op id file sets timeout_ms trace =
+    or_die (fun () ->
+        let req =
+          if health then J.Obj [ ("op", J.Str "health") ]
+          else if shutdown then J.Obj [ ("op", J.Str "shutdown") ]
+          else begin
+            let file =
+              match file with
+              | Some f -> f
+              | None ->
+                  Fmt.epr "error: FILE is required unless --health or \
+                           --shutdown is given@.";
+                  exit Ec.input_error
+            in
+            let sets =
+              List.filter_map
+                (fun spec ->
+                  match String.index_opt spec '=' with
+                  | Some i ->
+                      Option.map
+                        (fun v -> (String.sub spec 0 i, J.Int v))
+                        (int_of_string_opt
+                           (String.sub spec (i + 1)
+                              (String.length spec - i - 1)))
+                  | None -> None)
+                sets
+            in
+            let flags =
+              (if sets = [] then [] else [ ("set", J.Obj sets) ])
+              @ (match timeout_ms with
+                | Some t -> [ ("timeout_ms", J.Int t) ]
+                | None -> [])
+              @ if trace then [ ("trace", J.Bool true) ] else []
+            in
+            J.Obj
+              ([
+                 ("op", J.Str op);
+                 ("id", J.Str id);
+                 ("src", J.Str (read_file file));
+               ]
+              @ if flags = [] then [] else [ ("flags", J.Obj flags) ])
+          end
+        in
+        let c = Serve.Client.connect socket in
+        Serve.Client.send_json c req;
+        match Serve.Client.recv c with
+        | None ->
+            Fmt.epr "error: daemon closed the connection without replying@.";
+            exit Ec.internal_error
+        | Some reply ->
+            print_endline reply;
+            Serve.Client.close c;
+            let status =
+              Option.bind
+                (try J.member "status" (J.of_string reply)
+                 with J.Parse_error _ -> None)
+                (function J.Str s -> Some s | _ -> None)
+            in
+            (match status with
+            | Some ("ok" | "draining") | None -> ()
+            | Some "degraded" -> exit Ec.degraded
+            | Some _ -> exit Ec.internal_error))
+  in
+  let health =
+    Arg.(
+      value & flag
+      & info [ "health" ] ~doc:"Request the daemon's health report.")
+  in
+  let shutdown =
+    Arg.(
+      value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain.")
+  in
+  let op =
+    Arg.(
+      value
+      & opt (enum [ ("detect", "detect"); ("repair", "repair");
+                    ("lint", "lint") ]) "repair"
+      & info [ "op" ] ~docv:"OP" ~doc:"Job kind to submit.")
+  in
+  let id =
+    Arg.(
+      value & opt string "cli"
+      & info [ "id" ] ~docv:"ID" ~doc:"Client job id echoed on the reply.")
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE" ~doc:"Mini-HJ source file to submit.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:"Ask for the job's pipeline span names in the reply.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Submit one job (or a health/shutdown request) to a running \
+          $(b,tdrepair serve) daemon and print the raw JSON reply.  Exit \
+          codes: 0 ok, 4 degraded, 1 failed/overloaded.")
+    Term.(
+      const run $ socket_arg $ health $ shutdown $ op $ id $ file $ set_arg
+      $ timeout_arg $ trace)
+
 let main_cmd =
   let doc =
     "test-driven repair of data races in structured parallel programs \
@@ -845,7 +1063,7 @@ let main_cmd =
     [
       parse_cmd; run_cmd; detect_cmd; analyze_cmd; repair_cmd; lint_cmd;
       strip_cmd; elide_cmd; coverage_cmd; grade_cmd; grade_file_cmd;
-      explain_cmd; bench_list_cmd; emit_cmd;
+      explain_cmd; bench_list_cmd; emit_cmd; serve_cmd; call_cmd;
     ]
 
 let () =

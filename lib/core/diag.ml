@@ -55,6 +55,13 @@ let of_exn = function
   | Mhj.Parser.Error (m, l) -> Some (make ~loc:l ~stage:Parse m)
   | Mhj.Typecheck.Error (m, l) -> Some (make ~loc:l ~stage:Typecheck m)
   | Rt.Interp.Runtime_error (m, l) -> Some (make ~loc:l ~stage:Interp m)
+  | Rt.Watchdog.Timeout ms ->
+      Some
+        (make ~stage:Budget
+           (Fmt.str
+              "wall-clock watchdog: job exceeded its %d ms timeout (raise \
+               --timeout-ms, or check the program for non-termination)"
+              ms))
   | Rt.Interp.Out_of_fuel ->
       Some
         (make ~stage:Budget

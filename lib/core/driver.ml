@@ -472,6 +472,7 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
       @@ fun () ->
       let t0 = Unix.gettimeofday () in
       Faultinject.fire Faultinject.Detector_abort;
+      Faultinject.fire_slow ();
       (* the pre-pass is recomputed per iteration: inserted finishes shrink
          the MHP relation, so later runs may skip more *)
       let keep =

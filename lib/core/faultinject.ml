@@ -6,17 +6,24 @@ type fault =
   | Dp_timeout
   | Place_unsat
   | Insert_fail
+  | Worker_crash
+  | Slow_stage of int
 
 exception Injected of fault * string
 
-let plan : fault list ref = ref []
+(* The plan is domain-local: daemon worker domains install per-job
+   plans concurrently, and a process-global ref would let one job's
+   faults fire inside another's pipeline. *)
+let plan_key : fault list Domain.DLS.key = Domain.DLS.new_key (fun () -> [])
+
+let plan () = Domain.DLS.get plan_key
 
 let with_faults faults f =
-  let saved = !plan in
-  plan := faults;
-  Fun.protect ~finally:(fun () -> plan := saved) f
+  let saved = plan () in
+  Domain.DLS.set plan_key faults;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set plan_key saved) f
 
-let enabled fault = List.mem fault !plan
+let enabled fault = List.mem fault (plan ())
 
 let fuel_cap () =
   List.fold_left
@@ -25,7 +32,15 @@ let fuel_cap () =
       | Interp_trap k, None -> Some k
       | Interp_trap k, Some k' -> Some (min k k')
       | _ -> acc)
-    None !plan
+    None (plan ())
+
+let slow_stage_ms () =
+  List.fold_left
+    (fun acc f ->
+      match f with
+      | Slow_stage ms -> Some (ms + Option.value acc ~default:0)
+      | _ -> acc)
+    None (plan ())
 
 let pp_fault ppf = function
   | Interp_trap k -> Fmt.pf ppf "interpreter trap at %d cost units" k
@@ -33,6 +48,8 @@ let pp_fault ppf = function
   | Dp_timeout -> Fmt.string ppf "DP placement timeout"
   | Place_unsat -> Fmt.string ppf "unsatisfiable placement"
   | Insert_fail -> Fmt.string ppf "static insertion failure"
+  | Worker_crash -> Fmt.string ppf "worker crash"
+  | Slow_stage ms -> Fmt.pf ppf "stage stall of %d ms" ms
 
 let stage_of = function
   | Interp_trap _ -> Diag.Budget
@@ -40,7 +57,24 @@ let stage_of = function
   | Dp_timeout -> Diag.Budget
   | Place_unsat -> Diag.Place
   | Insert_fail -> Diag.Insert
+  | Worker_crash -> Diag.Detect
+  | Slow_stage _ -> Diag.Budget
 
 let fire fault =
   if enabled fault then
     raise (Injected (fault, Fmt.str "injected fault: %a" pp_fault fault))
+
+(* [Slow_stage] does not raise: it stalls the stage, sleeping in short
+   chunks so an armed cooperative watchdog observes the stall and can
+   time the job out mid-fault. *)
+let fire_slow () =
+  match slow_stage_ms () with
+  | None -> ()
+  | Some total ->
+      let remaining = ref total in
+      while !remaining > 0 do
+        let chunk = min 5 !remaining in
+        Unix.sleepf (float_of_int chunk /. 1000.);
+        remaining := !remaining - chunk;
+        Rt.Watchdog.check ()
+      done

@@ -6,9 +6,10 @@
     driver never leaks an uncaught exception: every fault below maps to a
     typed {!Diag.t} at the boundary where it fires.
 
-    The plan is a process-global (the test executables are sequential);
-    {!with_faults} restores the previous plan on exit, including on
-    exceptions. *)
+    The plan is {e domain-local} ([Domain.DLS]): each daemon worker
+    domain installs its job's plan without affecting jobs running
+    concurrently on other domains.  {!with_faults} restores the calling
+    domain's previous plan on exit, including on exceptions. *)
 
 type fault =
   | Interp_trap of int
@@ -22,22 +23,40 @@ type fault =
       (** every placement group behaves as if no scope-valid finish
           placement existed *)
   | Insert_fail  (** abort at the static-insertion boundary *)
+  | Worker_crash
+      (** daemon-level: the worker domain that picks the job up dies
+          before executing it, exercising the supervisor's detect +
+          respawn + re-enqueue path (no fire site in the pipeline
+          itself) *)
+  | Slow_stage of int
+      (** daemon-level: stall the first pipeline stage for this many
+          milliseconds (without failing it), exercising the per-job
+          wall-clock watchdog *)
 
 exception Injected of fault * string
 (** Raised by {!fire} when its fault is enabled.  {!Guard.capture}
     converts it into a {!Diag.t} at the owning stage. *)
 
-(** Run [f] with [faults] enabled, restoring the previous plan after. *)
+(** Run [f] with [faults] enabled, restoring the calling domain's
+    previous plan after. *)
 val with_faults : fault list -> (unit -> 'a) -> 'a
 
-(** Is this exact fault in the active plan? *)
+(** Is this exact fault in the calling domain's active plan? *)
 val enabled : fault -> bool
 
 (** The fuel cap demanded by an active [Interp_trap], if any. *)
 val fuel_cap : unit -> int option
 
+(** Total stall demanded by active [Slow_stage] faults, if any. *)
+val slow_stage_ms : unit -> int option
+
 (** Raise {!Injected} if [fault] is enabled; a no-op otherwise. *)
 val fire : fault -> unit
+
+(** Honour an active [Slow_stage]: sleep its duration in short chunks,
+    calling {!Rt.Watchdog.check} between chunks so an armed watchdog
+    can expire mid-stall.  A no-op without the fault. *)
+val fire_slow : unit -> unit
 
 (** The pipeline stage a fault belongs to, for diagnostic conversion. *)
 val stage_of : fault -> Diag.stage

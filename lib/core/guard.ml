@@ -13,6 +13,7 @@ type degradation =
   | Dp_interval_cover of { lca_id : int }
   | Dp_unsat_fallback of { lca_id : int }
   | Validate_par_skipped of { ran : int; requested : int }
+  | Job_timeout of { ms : int }
 
 let pp_degradation ppf = function
   | Sdpst_pruned { nodes_before; nodes_removed } ->
@@ -35,6 +36,11 @@ let pp_degradation ppf = function
         "parallel validation budget exhausted: only %d of %d fuzzed \
          schedule(s) ran (the repair is unvalidated beyond those)"
         ran requested
+  | Job_timeout { ms } ->
+      Fmt.pf ppf
+        "wall-clock watchdog: the job was killed after exceeding its %d ms \
+         timeout"
+        ms
 
 type t = {
   budgets : budgets;

@@ -42,6 +42,10 @@ type degradation =
   | Validate_par_skipped of { ran : int; requested : int }
       (** [--validate-par]'s wall-clock budget ran out before all
           requested fuzzed schedules executed *)
+  | Job_timeout of { ms : int }
+      (** the per-job wall-clock watchdog expired: the job was killed
+          mid-pipeline and its result is a best-effort partial ([tdrepair
+          serve] jobs and [--timeout-ms] one-shot runs) *)
 
 val pp_degradation : degradation Fmt.t
 

@@ -1,32 +1,52 @@
 (* See metrics.mli. *)
 
-type t = (string, int ref) Hashtbl.t
+(* Every operation holds [mu]: registries are shared between daemon
+   worker domains, and an unguarded Hashtbl resize under concurrent
+   [add]s corrupts the table.  The per-op cost is one uncontended lock —
+   producers batch through [add_all] once per phase, never per event. *)
+type t = { tbl : (string, int ref) Hashtbl.t; mu : Mutex.t }
 
-let create () : t = Hashtbl.create 32
+let create () : t = { tbl = Hashtbl.create 32; mu = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let cell t name =
-  match Hashtbl.find_opt t name with
+  match Hashtbl.find_opt t.tbl name with
   | Some r -> r
   | None ->
       let r = ref 0 in
-      Hashtbl.add t name r;
+      Hashtbl.add t.tbl name r;
       r
 
-let declare t name = ignore (cell t name)
-let set t name v = cell t name := v
+let declare t name = locked t (fun () -> ignore (cell t name))
+let set t name v = locked t (fun () -> cell t name := v)
 
 let add t name v =
-  let r = cell t name in
-  r := !r + v
+  locked t (fun () ->
+      let r = cell t name in
+      r := !r + v)
 
 let incr t name = add t name 1
-let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+let get t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with Some r -> !r | None -> 0)
 
 let snapshot t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  locked t (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
 
-let add_all t kvs = List.iter (fun (k, v) -> add t k v) kvs
-let reset t = Hashtbl.reset t
+let add_all t kvs =
+  locked t (fun () ->
+      List.iter
+        (fun (k, v) ->
+          let r = cell t k in
+          r := !r + v)
+        kvs)
+
+let reset t = locked t (fun () -> Hashtbl.reset t.tbl)
 let to_json t = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (snapshot t))
 let save file t = Json.save file (to_json t)

@@ -7,11 +7,12 @@
     value wins).  [declare] pins a key at 0 so snapshots always contain
     the full schema even when the producing subsystem never ran.
 
-    Registries are plain single-domain mutable state: create one per
-    pipeline run (the driver does) rather than sharing across domains.
-    Hot loops must not call into a registry per event — producers keep
-    local native counters and publish once per phase (see DESIGN.md
-    §11). *)
+    Registries are domain-safe: every operation takes the registry's
+    internal mutex, so one registry may be shared by the daemon's
+    worker domains (each lock is uncontended in the common case).  Hot
+    loops must still not call into a registry per event — producers
+    keep local native counters and publish once per phase (see
+    DESIGN.md §11). *)
 
 type t
 

@@ -8,32 +8,46 @@ type event = {
   args : (string * int) list;
 }
 
-(* Plain refs, not Atomics: spans come from the driver domain only. *)
-let on = ref false
-let depth_now = ref 0
-let buf : event list ref = ref []
+(* Domain-local state: each domain owns an independent enabled flag,
+   nesting depth and span buffer, so concurrent jobs on daemon worker
+   domains can trace without interleaving (or even observing) each
+   other.  Within one domain the fields are plain mutables — no atomics
+   needed, and the disabled fast path stays a DLS lookup plus one bool
+   load. *)
+type state = {
+  mutable on : bool;
+  mutable depth_now : int;
+  mutable buf : event list;
+}
 
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+let key =
+  Domain.DLS.new_key (fun () -> { on = false; depth_now = 0; buf = [] })
+
+let st () = Domain.DLS.get key
+
+let enabled () = (st ()).on
+let enable () = (st ()).on <- true
+let disable () = (st ()).on <- false
 
 let reset () =
-  buf := [];
-  depth_now := 0
+  let s = st () in
+  s.buf <- [];
+  s.depth_now <- 0
 
-let record ev = buf := ev :: !buf
+let record s ev = s.buf <- ev :: s.buf
 
 let with_span ?(args = []) name f =
-  if not !on then f ()
+  let s = st () in
+  if not s.on then f ()
   else begin
-    let d = !depth_now in
-    depth_now := d + 1;
+    let d = s.depth_now in
+    s.depth_now <- d + 1;
     let t0 = Clock.now_ns () in
     Fun.protect
       ~finally:(fun () ->
         let t1 = Clock.now_ns () in
-        depth_now := d;
-        record { name; ts_ns = t0; dur_ns = Int64.sub t1 t0; depth = d; args })
+        s.depth_now <- d;
+        record s { name; ts_ns = t0; dur_ns = Int64.sub t1 t0; depth = d; args })
       f
   end
 
@@ -43,7 +57,7 @@ let events () =
       match Int64.compare a.ts_ns b.ts_ns with
       | 0 -> Int64.compare b.dur_ns a.dur_ns
       | c -> c)
-    !buf
+    (st ()).buf
 
 let us_of_ns ns = Int64.to_float ns /. 1e3
 

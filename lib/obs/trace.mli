@@ -6,12 +6,14 @@
     interpreter call paths permanently (the `bench detector` harness
     asserts this stays in the noise, see DESIGN.md §11).
 
-    The span buffer is global, single-domain mutable state.  Spans are
-    recorded from the main (driver) domain only; engine workers on other
-    domains must not call {!with_span} while enabled.  A span is
-    recorded when it {e completes} (children before parents);
-    {!events} and {!to_json} re-sort by start time so timestamps come
-    out monotone. *)
+    The span buffer is {e domain-local}: every domain owns an
+    independent enabled flag, nesting depth and buffer, so concurrent
+    jobs on different domains (the [tdrepair serve] worker pool) can
+    each trace their own pipeline without interleaving.  {!enable},
+    {!reset}, {!events} and {!to_json} all act on the calling domain's
+    buffer only.  A span is recorded when it {e completes} (children
+    before parents); {!events} and {!to_json} re-sort by start time so
+    timestamps come out monotone. *)
 
 type event = {
   name : string;

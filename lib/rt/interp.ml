@@ -88,6 +88,7 @@ let close_step st = st.step <- None
 let charge st n =
   st.fuel <- st.fuel - n;
   if st.fuel < 0 then raise Out_of_fuel;
+  Watchdog.tick ();
   if not st.quiet then begin
     (* global-initializer (quiet) cost consumes fuel but is program setup,
        not measured execution time: [work] equals the sum of step costs *)

@@ -1,0 +1,63 @@
+(* See watchdog.mli. *)
+
+exception Timeout of int
+
+type state = {
+  mutable armed : bool;
+  mutable deadline_ns : int64;
+  mutable ms : int;  (* the originally requested timeout, for Timeout *)
+  mutable ticks : int;
+}
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      { armed = false; deadline_ns = 0L; ms = 0; ticks = 0 })
+
+let st () = Domain.DLS.get key
+
+let arm ~ms =
+  let s = st () in
+  s.armed <- true;
+  s.ms <- ms;
+  s.ticks <- 0;
+  s.deadline_ns <-
+    Int64.add (Obs.Clock.now_ns ()) (Int64.mul (Int64.of_int ms) 1_000_000L)
+
+let disarm () = (st ()).armed <- false
+
+let remaining_ms () =
+  let s = st () in
+  if not s.armed then None
+  else
+    let left = Int64.sub s.deadline_ns (Obs.Clock.now_ns ()) in
+    Some (Int64.to_int (Int64.div left 1_000_000L))
+
+let check () =
+  let s = st () in
+  if s.armed && Obs.Clock.now_ns () >= s.deadline_ns then begin
+    (* fire once: the unwind must not re-trip in every Fun.protect
+       finalizer between here and the job boundary *)
+    s.armed <- false;
+    raise (Timeout s.ms)
+  end
+
+let tick_mask = 1023
+
+let tick () =
+  let s = st () in
+  if s.armed then begin
+    s.ticks <- s.ticks + 1;
+    if s.ticks land tick_mask = 0 then check ()
+  end
+
+let with_timeout ~ms f =
+  match ms with
+  | None -> f ()
+  | Some ms ->
+      arm ~ms;
+      Fun.protect ~finally:disarm f
+
+let () =
+  Printexc.register_printer (function
+    | Timeout ms -> Some (Printf.sprintf "Rt.Watchdog.Timeout(%dms)" ms)
+    | _ -> None)

@@ -1,0 +1,41 @@
+(** Cooperative per-job wall-clock watchdog.
+
+    The deadline is {e domain-local}: each daemon worker domain (and the
+    one-shot CLI) arms its own deadline around one job, and the
+    interpreter's charge path calls {!tick} so any execution-bound stage
+    observes expiry within ~1k cost units.  Expiry raises {!Timeout},
+    which the pipeline maps to a [budget]-stage diagnostic (exit code 4)
+    — the same degradation semantics for [--timeout-ms] on the one-shot
+    commands and for the daemon's per-job watchdog.
+
+    Cooperative means a stage that never ticks cannot be interrupted;
+    the daemon supervisor backs this up with a hard watchdog that
+    declares such a worker wedged and respawns it (see
+    {!Serve.Supervisor}). *)
+
+exception Timeout of int
+(** Raised (once per arming) when the deadline passes; the payload is
+    the originally requested timeout in milliseconds. *)
+
+(** Arm the calling domain's watchdog [ms] milliseconds from now,
+    replacing any previous deadline. *)
+val arm : ms:int -> unit
+
+(** Disarm the calling domain's watchdog. *)
+val disarm : unit -> unit
+
+(** Milliseconds left before expiry; [None] when disarmed. *)
+val remaining_ms : unit -> int option
+
+(** Read the clock and raise {!Timeout} if the armed deadline has
+    passed.  No-op when disarmed. *)
+val check : unit -> unit
+
+(** Cheap hot-path probe: counts calls and runs {!check} every 1024th
+    one, so the common case is one load and an increment. *)
+val tick : unit -> unit
+
+(** [with_timeout ~ms f] runs [f] under an [ms]-millisecond deadline
+    (disarming on exit, also on exceptions); [ms = None] runs [f]
+    unguarded. *)
+val with_timeout : ms:int option -> (unit -> 'a) -> 'a

@@ -1,0 +1,49 @@
+(* See cache.mli. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  tbl : (string, 'a) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, for FIFO eviction *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some _ as v ->
+          t.hits <- t.hits + 1;
+          v
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let store t key v =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.tbl key) then begin
+        while Hashtbl.length t.tbl >= t.capacity && not (Queue.is_empty t.order)
+        do
+          Hashtbl.remove t.tbl (Queue.pop t.order)
+        done;
+        Hashtbl.replace t.tbl key v;
+        Queue.push key t.order
+      end)
+
+let stats t = locked t (fun () -> (t.hits, t.misses))
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)

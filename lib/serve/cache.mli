@@ -1,0 +1,22 @@
+(** Content-addressed result cache for the daemon.
+
+    Keys are {!Protocol.cache_key} digests (op + result-affecting flags
+    + program source); values are opaque to the cache.  Bounded
+    capacity with FIFO eviction; domain-safe (internal mutex).
+
+    Policy (enforced by the caller, {!Worker}): only fault-free [ok]
+    results are stored — degraded, failed, and fault-injected runs are
+    never cached. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val find : 'a t -> string -> 'a option
+
+val store : 'a t -> string -> 'a -> unit
+
+(** (hits, misses) counters, for the health report. *)
+val stats : 'a t -> int * int
+
+val length : 'a t -> int

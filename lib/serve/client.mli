@@ -1,0 +1,28 @@
+(** Minimal blocking client for the daemon's NDJSON socket, used by
+    [tdrepair call] and the integration tests.
+
+    One request frame per {!send}; {!recv} returns the next reply line
+    (without its newline), blocking until one arrives, or [None] on
+    EOF.  Replies to job requests are not necessarily in submission
+    order — match them by ["id"]. *)
+
+type t
+
+(** @raise Unix.Unix_error when the socket does not exist / refuses. *)
+val connect : string -> t
+
+(** Wrap an already-connected stream fd (e.g. a socketpair end). *)
+val of_fd : Unix.file_descr -> t
+
+(** Send one raw frame (the newline is appended). *)
+val send : t -> string -> unit
+
+val send_json : t -> Obs.Json.t -> unit
+
+(** Next reply line; [None] once the daemon closes the connection. *)
+val recv : t -> string option
+
+(** {!send} then one {!recv}. *)
+val request : t -> string -> string option
+
+val close : t -> unit

@@ -1,0 +1,78 @@
+(* See jobq.mli. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  mutable items : 'a list;  (* front = next to pop *)
+  mutable len : int;
+  mutable closed : bool;
+  capacity : int;
+}
+
+let create ~capacity =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = [];
+    len = 0;
+    closed = false;
+    capacity;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let try_push t x =
+  locked t (fun () ->
+      if t.closed || t.len >= t.capacity then false
+      else begin
+        t.items <- t.items @ [ x ];
+        t.len <- t.len + 1;
+        Condition.signal t.nonempty;
+        true
+      end)
+
+let force_push t x =
+  locked t (fun () ->
+      t.items <- x :: t.items;
+      t.len <- t.len + 1;
+      Condition.signal t.nonempty)
+
+let pop t =
+  locked t (fun () ->
+      let rec wait () =
+        match t.items with
+        | x :: rest ->
+            t.items <- rest;
+            t.len <- t.len - 1;
+            Some x
+        | [] ->
+            if t.closed then None
+            else begin
+              Condition.wait t.nonempty t.mu;
+              wait ()
+            end
+      in
+      wait ())
+
+let remove t pred =
+  locked t (fun () ->
+      let rec go acc = function
+        | [] -> None
+        | x :: rest when pred x ->
+            t.items <- List.rev_append acc rest;
+            t.len <- t.len - 1;
+            Some x
+        | x :: rest -> go (x :: acc) rest
+      in
+      go [] t.items)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = locked t (fun () -> t.len)
+
+let capacity t = t.capacity

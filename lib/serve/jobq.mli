@@ -1,0 +1,33 @@
+(** Bounded multi-producer/multi-consumer job queue (mutex +
+    condition), the daemon's admission-control point.
+
+    The queue {e sheds load} instead of buffering without bound:
+    {!try_push} refuses when the queue is full (the daemon replies
+    [overloaded]).  {!force_push} bypasses the capacity check and
+    enqueues at the {e front} — reserved for re-enqueueing a job that
+    was already admitted and then lost to a worker crash, so an
+    admitted job is never shed retroactively.
+
+    {!pop} blocks until an element or {!close}; after [close], pops
+    drain the remaining elements and then return [None] — the worker
+    exit signal for graceful shutdown. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+(** [false] when the queue is full or closed (load shed). *)
+val try_push : 'a t -> 'a -> bool
+
+(** Enqueue at the front, ignoring capacity (crash re-enqueue path). *)
+val force_push : 'a t -> 'a -> unit
+
+(** Block for the next element; [None] once closed and drained. *)
+val pop : 'a t -> 'a option
+
+(** Remove and return the first queued element matching [pred]. *)
+val remove : 'a t -> ('a -> bool) -> 'a option
+
+val close : 'a t -> unit
+val length : 'a t -> int
+val capacity : 'a t -> int

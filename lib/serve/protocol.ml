@@ -1,0 +1,244 @@
+(* See protocol.mli. *)
+
+module J = Obs.Json
+module FI = Repair.Faultinject
+
+type op = Detect | Repair | Lint
+
+let op_to_string = function
+  | Detect -> "detect"
+  | Repair -> "repair"
+  | Lint -> "lint"
+
+type flags = {
+  mode : Espbags.Detector.mode;
+  static_prune : bool;
+  static_verify : bool;
+  budgets : Repair.Guard.budgets;
+  timeout_ms : int option;
+  retries : int option;
+  sets : (string * int) list;
+  faults : FI.fault list;
+  trace : bool;
+}
+
+let default_flags =
+  {
+    mode = Espbags.Detector.Mrw;
+    static_prune = false;
+    static_verify = false;
+    budgets = Repair.Guard.unlimited;
+    timeout_ms = None;
+    retries = None;
+    sets = [];
+    faults = [];
+    trace = false;
+  }
+
+type job_spec = { id : string; op : op; src : string; flags : flags }
+
+type request =
+  | Job of job_spec
+  | Health
+  | Cancel of string
+  | Shutdown
+
+type proto_error =
+  | Malformed of string
+  | Oversized of int
+  | Bad_request of string
+
+exception Bad of string
+
+let bad fmt = Fmt.kstr (fun m -> raise (Bad m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let as_string what = function
+  | J.Str s -> s
+  | _ -> bad "%s must be a string" what
+
+let as_int what = function J.Int n -> n | _ -> bad "%s must be an integer" what
+
+let as_bool what = function
+  | J.Bool b -> b
+  | _ -> bad "%s must be a boolean" what
+
+(* Fault specs are compact strings: "worker_crash", "interp_trap:50",
+   "slow_stage:100", "detector_abort", "dp_timeout", "place_unsat",
+   "insert_fail". *)
+let fault_of_string s =
+  let name, arg =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, None)
+  in
+  match (name, arg) with
+  | "interp_trap", Some k -> FI.Interp_trap k
+  | "slow_stage", Some ms -> FI.Slow_stage ms
+  | "detector_abort", None -> FI.Detector_abort
+  | "dp_timeout", None -> FI.Dp_timeout
+  | "place_unsat", None -> FI.Place_unsat
+  | "insert_fail", None -> FI.Insert_fail
+  | "worker_crash", None -> FI.Worker_crash
+  | _ -> bad "unknown fault spec %S" s
+
+let fault_to_string = function
+  | FI.Interp_trap k -> Printf.sprintf "interp_trap:%d" k
+  | FI.Slow_stage ms -> Printf.sprintf "slow_stage:%d" ms
+  | FI.Detector_abort -> "detector_abort"
+  | FI.Dp_timeout -> "dp_timeout"
+  | FI.Place_unsat -> "place_unsat"
+  | FI.Insert_fail -> "insert_fail"
+  | FI.Worker_crash -> "worker_crash"
+
+let parse_flags j =
+  let get k = J.member k j in
+  let opt_int k = Option.map (as_int k) (get k) in
+  let opt_bool ~default k =
+    match get k with Some v -> as_bool k v | None -> default
+  in
+  let mode =
+    match get "mode" with
+    | None -> default_flags.mode
+    | Some (J.Str "mrw") -> Espbags.Detector.Mrw
+    | Some (J.Str "srw") -> Espbags.Detector.Srw
+    | Some _ -> bad "flags.mode must be \"mrw\" or \"srw\""
+  in
+  let sets =
+    match get "set" with
+    | None -> []
+    | Some (J.Obj kvs) ->
+        List.map (fun (k, v) -> (k, as_int ("set." ^ k) v)) kvs
+    | Some _ -> bad "flags.set must be an object of int overrides"
+  in
+  let faults =
+    match get "faults" with
+    | None -> []
+    | Some (J.List fs) ->
+        List.map (fun f -> fault_of_string (as_string "fault" f)) fs
+    | Some _ -> bad "flags.faults must be a list of fault specs"
+  in
+  {
+    mode;
+    static_prune = opt_bool ~default:false "static_prune";
+    static_verify = opt_bool ~default:false "static_verify";
+    budgets =
+      {
+        Repair.Guard.fuel = opt_int "budget_fuel";
+        sdpst_nodes = opt_int "budget_sdpst";
+        dp_work = opt_int "budget_dp";
+      };
+    timeout_ms = opt_int "timeout_ms";
+    retries = opt_int "retries";
+    sets;
+    faults;
+    trace = opt_bool ~default:false "trace";
+  }
+
+let parse_obj j =
+  let member k = J.member k j in
+  let require k =
+    match member k with Some v -> v | None -> bad "missing %S field" k
+  in
+  let id_of v =
+    match v with
+    | J.Str s -> s
+    | J.Int n -> string_of_int n
+    | _ -> bad "\"id\" must be a string or integer"
+  in
+  match require "op" with
+  | J.Str "health" -> Health
+  | J.Str "shutdown" -> Shutdown
+  | J.Str "cancel" -> Cancel (id_of (require "id"))
+  | J.Str ("detect" | "repair" | "lint" as opname) ->
+      let op =
+        match opname with
+        | "detect" -> Detect
+        | "repair" -> Repair
+        | _ -> Lint
+      in
+      let id = id_of (require "id") in
+      let src = as_string "src" (require "src") in
+      let flags =
+        match member "flags" with
+        | None -> default_flags
+        | Some (J.Obj _ as f) -> parse_flags f
+        | Some _ -> bad "\"flags\" must be an object"
+      in
+      Job { id; op; src; flags }
+  | J.Str other -> bad "unknown op %S" other
+  | _ -> bad "\"op\" must be a string"
+
+let parse line =
+  match J.of_string line with
+  | exception J.Parse_error m -> Error (Malformed m)
+  | J.Obj _ as j -> (
+      try Ok (parse_obj j) with Bad m -> Error (Bad_request m))
+  | _ -> Error (Malformed "frame is not a JSON object")
+
+(* ------------------------------------------------------------------ *)
+(* Replies                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type status = Sok | Sdegraded | Sfailed | Soverloaded | Scancelled
+
+let status_to_string = function
+  | Sok -> "ok"
+  | Sdegraded -> "degraded"
+  | Sfailed -> "failed"
+  | Soverloaded -> "overloaded"
+  | Scancelled -> "cancelled"
+
+let job_reply ~id ~status ?attempts ?cached ?report ?error ?spans () =
+  let base =
+    [ ("id", J.Str id); ("status", J.Str (status_to_string status)) ]
+  in
+  let opt k v f = match v with None -> [] | Some x -> [ (k, f x) ] in
+  J.Obj
+    (base
+    @ opt "attempts" attempts (fun n -> J.Int n)
+    @ opt "cached" cached (fun b -> J.Bool b)
+    @ opt "report" report Fun.id
+    @ opt "error" error (fun e -> J.Str e)
+    @ opt "spans" spans (fun ss -> J.List (List.map (fun s -> J.Str s) ss)))
+
+let error_reply = function
+  | Malformed m ->
+      J.Obj [ ("error", J.Str "malformed-frame"); ("detail", J.Str m) ]
+  | Oversized limit ->
+      J.Obj [ ("error", J.Str "oversized-frame"); ("limit", J.Int limit) ]
+  | Bad_request m ->
+      J.Obj [ ("error", J.Str "bad-request"); ("detail", J.Str m) ]
+
+let frame j = J.to_string j ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Cache keying                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cache_key (spec : job_spec) =
+  let f = spec.flags in
+  let b = f.budgets in
+  let ios = function None -> "_" | Some n -> string_of_int n in
+  let sig_ =
+    String.concat ";"
+      [
+        op_to_string spec.op;
+        (match f.mode with Espbags.Detector.Mrw -> "mrw" | Srw -> "srw");
+        string_of_bool f.static_prune;
+        string_of_bool f.static_verify;
+        ios b.Repair.Guard.fuel;
+        ios b.Repair.Guard.sdpst_nodes;
+        ios b.Repair.Guard.dp_work;
+        String.concat ","
+          (List.map
+             (fun (k, v) -> k ^ "=" ^ string_of_int v)
+             (List.sort compare f.sets));
+      ]
+  in
+  Digest.to_hex (Digest.string (sig_ ^ "\x00" ^ spec.src))

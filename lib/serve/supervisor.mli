@@ -1,0 +1,83 @@
+(** Supervised pool of worker domains for the daemon.
+
+    Crash-only discipline: a worker is a loop that pops jobs from the
+    shared bounded queue ({!Jobq}) and runs them through {!Worker}.  Any
+    exception escaping the loop — in practice the
+    {!Repair.Faultinject.Worker_crash} fault, which {!Worker.execute}
+    deliberately refuses to absorb — is worker {e death}: the slot is
+    marked dead, and the next {!reap} re-enqueues the in-flight job at
+    the {e front} of the queue (admitted jobs are never shed
+    retroactively) and spawns a replacement domain.  Re-enqueues are
+    capped, so a job that keeps killing workers terminates as [failed]
+    instead of crash-looping the pool.
+
+    OCaml domains cannot be killed, so a worker stuck in a stage that
+    never ticks the cooperative watchdog is handled by the {e hard}
+    watchdog: {!check_wedged} declares any worker busy beyond the limit
+    wedged, emits a [degraded] terminal completion for its job, abandons
+    the domain (never joined — it may never return) and spawns a
+    replacement.  An abandoned domain that later un-wedges keeps popping
+    and completing jobs (those replies are still valid); only its late
+    completion for the job it wedged on is a duplicate, and the daemon's
+    exactly-once terminal table drops it.
+
+    All entry points are called from the daemon's single event-loop
+    thread except the worker-loop internals; shared state is behind one
+    mutex.  [notify] is invoked (from worker domains) after every
+    completion or death so the daemon's select loop wakes up — wire it
+    to the self-pipe. *)
+
+type t
+
+(** Per-job handle: [seq] is the daemon-unique admission number (the
+    exactly-once terminal key — client ids may repeat). *)
+type completion = {
+  seq : int;
+  spec : Protocol.job_spec;
+  outcome : Worker.outcome;
+}
+
+val create :
+  workers:int ->
+  queue_capacity:int ->
+  cache_capacity:int (** 0 disables the result cache *) ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?default_timeout_ms:int ->
+  notify:(unit -> unit) ->
+  unit ->
+  t
+
+(** Admit a job; [`Overloaded] when the queue refuses it (load shed). *)
+val submit : t -> Protocol.job_spec -> [ `Accepted of int | `Overloaded ]
+
+(** Remove a not-yet-started job by client id; running jobs cannot be
+    cancelled (cooperative model). Returns its admission seq. *)
+val cancel : t -> string -> int option
+
+(** Drain completions accumulated since the last call, oldest first. *)
+val completions : t -> completion list
+
+(** Re-enqueue jobs lost to dead workers and respawn replacements.
+    Call from the event loop after every wake-up. *)
+val reap : t -> unit
+
+(** Hard watchdog: declare workers busy longer than [limit_ms] wedged —
+    degraded completion, abandoned domain, fresh replacement. *)
+val check_wedged : t -> limit_ms:int -> unit
+
+(** Close the queue, let workers drain, and join every live (non
+    abandoned) domain.  Idempotent. *)
+val shutdown : t -> unit
+
+val queue_length : t -> int
+val queue_capacity : t -> int
+
+(** ["idle"]/["busy"]/["dead"] per current slot, for the health reply. *)
+val worker_states : t -> string list
+
+val respawns : t -> int
+val crashes : t -> int
+
+(** (hits, misses), when the cache is enabled. *)
+val cache_stats : t -> (int * int) option

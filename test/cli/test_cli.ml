@@ -561,6 +561,45 @@ let test_repair_obs_files () =
   Sys.remove trace;
   Sys.remove metrics
 
+let test_serve_help () =
+  let code, out = run_cli [ "serve"; "--help=plain" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "serve help" out "Unix-domain socket";
+  List.iter (check_contains "serve help lists flag" out)
+    [
+      "--workers";
+      "--queue";
+      "--max-frame";
+      "--retries";
+      "--backoff-ms";
+      "--hard-watchdog-ms";
+      "--cache";
+      "--socket";
+    ];
+  check_contains "serve help explains shedding" out "overloaded";
+  (* the client command is documented too *)
+  let code2, out2 = run_cli [ "call"; "--help=plain" ] in
+  Alcotest.(check int) "call help exit 0" 0 code2;
+  List.iter (check_contains "call help lists flag" out2)
+    [ "--health"; "--shutdown"; "--op"; "--id" ]
+
+let test_timeout_flag () =
+  (* a 1 ms wall-clock budget cannot fit a real repair: the cooperative
+     watchdog must fire and the CLI must exit 4 (degraded), same as a
+     budget exhaustion *)
+  let code, out =
+    run_cli [ "repair"; sample "fib_buggy.mhj"; "--timeout-ms"; "1"; "-q" ]
+  in
+  Alcotest.(check int) "exit 4" 4 code;
+  check_contains "timeout diagnosed" out "watchdog";
+  (* a generous budget changes nothing *)
+  let code2, out2 =
+    run_cli
+      [ "repair"; sample "fib_buggy.mhj"; "--timeout-ms"; "60000"; "-q" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code2;
+  check_contains "repair still converges" out2 "race-free"
+
 let () =
   Alcotest.run "cli"
     [
@@ -600,5 +639,7 @@ let () =
             test_repair_validate_par;
           Alcotest.test_case "repair --trace/--metrics" `Quick
             test_repair_obs_files;
+          Alcotest.test_case "serve/call --help" `Quick test_serve_help;
+          Alcotest.test_case "--timeout-ms" `Quick test_timeout_flag;
         ] );
     ]

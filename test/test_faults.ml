@@ -143,6 +143,47 @@ let test_plan_restored () =
   Alcotest.(check bool) "plan restored after exception" false
     (FI.enabled FI.Detector_abort)
 
+(* The two daemon-level faults.  [Worker_crash] has no fire site inside
+   the pipeline — the driver must be entirely unaffected by it (the
+   supervisor handles it; see test_serve.ml).  [Slow_stage] stalls an
+   iteration without failing it, and an armed watchdog must be able to
+   expire mid-stall. *)
+let test_worker_crash_inert_in_pipeline () =
+  let prog = compile racy_src in
+  match checked_under [ FI.Worker_crash ] prog with
+  | Error d -> Alcotest.failf "worker crash leaked into the driver: %a" Diag.pp d
+  | Ok r ->
+      Alcotest.(check bool) "converged" true r.converged;
+      check_race_free "worker crash inert" r.program
+
+let test_slow_stage_stalls_not_fails () =
+  let prog = compile racy_src in
+  let t0 = Obs.Clock.now_ns () in
+  match checked_under [ FI.Slow_stage 60 ] prog with
+  | Error d -> Alcotest.failf "slow stage became fatal: %a" Diag.pp d
+  | Ok r ->
+      let elapsed_ms =
+        Int64.to_int
+          (Int64.div (Int64.sub (Obs.Clock.now_ns ()) t0) 1_000_000L)
+      in
+      Alcotest.(check bool) "converged" true r.converged;
+      Alcotest.(check bool) "no degradation from the stall alone" true
+        (r.degradations = []);
+      Alcotest.(check bool)
+        (Fmt.str "really stalled (%d ms)" elapsed_ms)
+        true (elapsed_ms >= 60)
+
+let test_slow_stage_trips_watchdog () =
+  let prog = compile racy_src in
+  match
+    Rt.Watchdog.with_timeout ~ms:(Some 30) (fun () ->
+        checked_under [ FI.Slow_stage 500 ] prog)
+  with
+  | Error d ->
+      Alcotest.(check bool) "watchdog maps to budget stage" true
+        (d.Diag.stage = Diag.Budget)
+  | Ok _ -> Alcotest.fail "a 30ms watchdog must fire inside a 500ms stall"
+
 (* ------------------------------------------------------------------ *)
 (* The never-crash property                                            *)
 (* ------------------------------------------------------------------ *)
@@ -174,6 +215,69 @@ let scenario_of_seed seed =
     }
   in
   (faults, budgets)
+
+(* Satellite: the daemon's execution path under ANY two-fault combination
+   — including the two supervisor-level faults ([Worker_crash],
+   [Slow_stage]) the pipeline property above cannot cover — always
+   reaches exactly one terminal status, never an uncaught exception and
+   never a hang.  Runs through a real two-domain supervisor so crash +
+   respawn + re-enqueue is part of the property. *)
+let two_fault_pool = lazy
+  (Serve.Supervisor.create ~workers:2 ~queue_capacity:64 ~cache_capacity:0
+     ~backoff_ms:1 ~notify:(fun () -> ()) ())
+
+let worker_two_fault_total =
+  QCheck.Test.make
+    ~name:"daemon worker: any two-fault combo reaches one terminal status"
+    ~count:qcheck_count
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let module SP = Serve.Protocol in
+      let sup = Lazy.force two_fault_pool in
+      let faults_menu =
+        [| FI.Interp_trap (50 + (seed mod 5000)); FI.Detector_abort;
+           FI.Dp_timeout; FI.Place_unsat; FI.Insert_fail; FI.Worker_crash;
+           FI.Slow_stage (seed mod 40) |]
+      in
+      let n = Array.length faults_menu in
+      let f1 = faults_menu.(seed mod n)
+      and f2 = faults_menu.((seed / 11) mod n) in
+      let faults = if f1 = f2 then [ f1 ] else [ f1; f2 ] in
+      let src = Benchsuite.Progen.generate ~seed () in
+      let flags =
+        { SP.default_flags with SP.faults; timeout_ms = Some 2_000 }
+      in
+      let spec =
+        { SP.id = string_of_int seed; op = SP.Repair; src; flags }
+      in
+      match Serve.Supervisor.submit sup spec with
+      | `Overloaded -> QCheck.Test.fail_report "bounded queue unexpectedly full"
+      | `Accepted seq ->
+          let deadline = Int64.add (Obs.Clock.now_ns ()) 30_000_000_000L in
+          let rec wait () =
+            Serve.Supervisor.reap sup;
+            match
+              List.find_opt
+                (fun (c : Serve.Supervisor.completion) -> c.seq = seq)
+                (Serve.Supervisor.completions sup)
+            with
+            | Some c -> c
+            | None when Int64.compare (Obs.Clock.now_ns ()) deadline > 0 ->
+                QCheck.Test.fail_reportf
+                  "no terminal status within 30s under %a"
+                  Fmt.(list ~sep:comma FI.pp_fault)
+                  faults
+            | None ->
+                Unix.sleepf 0.005;
+                wait ()
+          in
+          let c = wait () in
+          (match c.outcome.Serve.Worker.status with
+          | SP.Sok | SP.Sdegraded | SP.Sfailed -> true
+          | SP.Soverloaded | SP.Scancelled ->
+              QCheck.Test.fail_reportf "non-worker terminal status under %a"
+                Fmt.(list ~sep:comma FI.pp_fault)
+                faults))
 
 let driver_total =
   QCheck.Test.make
@@ -218,7 +322,16 @@ let () =
           Alcotest.test_case "dp timeout degrades" `Quick
             test_dp_timeout_degrades;
           Alcotest.test_case "plan restored" `Quick test_plan_restored;
+          Alcotest.test_case "worker crash inert in pipeline" `Quick
+            test_worker_crash_inert_in_pipeline;
+          Alcotest.test_case "slow stage stalls not fails" `Quick
+            test_slow_stage_stalls_not_fails;
+          Alcotest.test_case "slow stage trips watchdog" `Quick
+            test_slow_stage_trips_watchdog;
         ] );
       ( "property",
-        [ QCheck_alcotest.to_alcotest driver_total ] );
+        [
+          QCheck_alcotest.to_alcotest driver_total;
+          QCheck_alcotest.to_alcotest worker_two_fault_total;
+        ] );
     ]

@@ -5,17 +5,17 @@
    single argument selects one piece:
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
-                                  students|ablation|prune|detector|
-                                  detector-quick|speedup|micro|all]
+                                  students|ablation|prune|prune-quick|
+                                  detector|detector-quick|speedup|micro|all]
 
    (table3 and table4 are produced by the same SRW-vs-MRW sweep;
-   detector-quick is the single-run CI variant of the detector-overhead
-   sweep.) *)
+   detector-quick and prune-quick are the CI variants of the
+   detector-overhead and prune-ablation sweeps.) *)
 
 let usage () =
   Fmt.epr
     "usage: main.exe \
-     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|detector|detector-quick|speedup|micro|all]@.";
+     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|prune-quick|detector|detector-quick|speedup|micro|all]@.";
   exit 1
 
 let () =
@@ -30,6 +30,7 @@ let () =
   | "students" -> Tables.students ()
   | "ablation" -> Tables.ablation ()
   | "prune" -> Prune.run ()
+  | "prune-quick" -> Prune.run_quick ()
   | "detector" -> Detector.run ()
   | "detector-quick" -> Detector.run_quick ()
   | "speedup" -> Speedup.run ()

@@ -1,17 +1,41 @@
 (* Static-prune ablation: detection time with and without the static MHP
-   pre-pass (`tdrepair detect --static-prune`), per benchmark.
+   pre-pass (`tdrepair detect --static-prune`), per benchmark, and the
+   coarse-vs-index-sensitive refinement ablation.
 
-   For each benchmark (finish-stripped, repair input sizes) the sweep runs
-   the MRW detector twice — unpruned, and with the Static.Prune keep
-   predicate — and reports both times, the fraction of monitored
-   statements the pre-pass discharges, and the accesses actually skipped
-   at run time.  The race sets of the two runs are asserted identical
-   (the soundness contract of lib/static/prune.mli): a mismatch aborts
-   the sweep rather than print a corrupt table. *)
+   For each benchmark (finish-stripped, repair input sizes) the sweep
+   runs the MRW detector three times — unpruned, pruned by the coarse
+   region analysis (Static.Prune.make ~refine:false, the PR 2 baseline),
+   and pruned with the affine index refinement (the default) — and
+   reports the times, the statements each pre-pass keeps monitored, and
+   the accesses actually skipped at run time.  The race sets of all
+   three runs are asserted identical (the soundness contract of
+   lib/static/prune.mli), and the refined kept set is asserted a subset
+   of the coarse one (refinement is strictly one-sided): a violation
+   aborts the sweep rather than print a corrupt table.
+
+   The finish-stripped programs are the detector's worst case — with the
+   joins gone, most writes genuinely race with the final result reads,
+   so there is little left for index reasoning to discharge.  The sweep
+   therefore also analyzes each benchmark's finish-intact (expert)
+   program, where the refinement's static effect shows directly: the
+   `intact conflicts` column reports coarse -> refined unproven-pair
+   counts (series drops to 0 — statically verified race-free).
+
+   Environment knobs: TDR_PRUNE_MIN_DISCHARGE (minimum additional
+   statements the refinement must discharge across the suite, stripped
+   and intact programs combined; default 1), TDR_BENCH_PRUNE_JSON
+   (output path, default BENCH_prune.json; "-" disables).  The quick
+   variant (`bench prune-quick`, @ci) skips the JSON but keeps every
+   assertion and the discharge floor. *)
 
 let time = Clock.time
 
-let hr () = Fmt.pr "%s@." (String.make 100 '-')
+let hr () = Fmt.pr "%s@." (String.make 112 '-')
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
 
 (* Stable across runs: node ids differ, static coordinates do not. *)
 let race_signature (r : Espbags.Race.t) =
@@ -29,13 +53,21 @@ let signatures det =
 type row = {
   name : string;
   full_ms : float;
-  pruned_ms : float;
-  analysis_ms : float;
+  coarse_ms : float;  (** detection under the coarse keep predicate *)
+  refined_ms : float;  (** detection under the refined keep predicate *)
+  analysis_ms : float;  (** refined [Static.Prune.make], paid once *)
   races : int;
-  stmts_kept : int;
+  coarse_kept : int;
+  refined_kept : int;
   stmts_total : int;
-  skipped : int;
+  skipped : int;  (** accesses skipped under the refined predicate *)
   accesses : int;
+  (* finish-intact (expert) program: the refinement's static effect *)
+  intact_stmts : int;
+  intact_coarse_kept : int;
+  intact_refined_kept : int;
+  intact_coarse_conflicts : int;
+  intact_refined_conflicts : int;
 }
 
 let sweep_row (b : Benchsuite.Bench.t) : row =
@@ -43,56 +75,168 @@ let sweep_row (b : Benchsuite.Bench.t) : row =
   let (full, _), full_s =
     time (fun () -> Espbags.Detector.detect Espbags.Detector.Mrw prog)
   in
+  let coarse_pr = Static.Prune.make ~refine:false prog in
   let pr, analysis_s = time (fun () -> Static.Prune.make prog) in
-  let (pruned, _), pruned_s =
+  let (coarse_pruned, _), coarse_s =
+    time (fun () ->
+        Espbags.Detector.detect
+          ~keep:(Static.Prune.keep_fn coarse_pr)
+          Espbags.Detector.Mrw prog)
+  in
+  let (pruned, _), refined_s =
     time (fun () ->
         Espbags.Detector.detect
           ~keep:(Static.Prune.keep_fn pr)
           Espbags.Detector.Mrw prog)
   in
-  if signatures full <> signatures pruned then
+  let full_sigs = signatures full in
+  if full_sigs <> signatures coarse_pruned then
+    Fmt.failwith "%s: race sets differ under the coarse prune" b.name;
+  if full_sigs <> signatures pruned then
     Fmt.failwith
       "%s: race sets differ under --static-prune (full %d, pruned %d)"
       b.name
       (Espbags.Detector.race_count full)
       (Espbags.Detector.race_count pruned);
+  if Static.Prune.n_kept pr > Static.Prune.n_kept coarse_pr then
+    Fmt.failwith
+      "%s: refinement kept %d statement(s), coarse only %d — refinement \
+       must be one-sided"
+      b.name (Static.Prune.n_kept pr)
+      (Static.Prune.n_kept coarse_pr);
+  let iprog = Benchsuite.Bench.repair_program b in
+  let icoarse = Static.Prune.make ~refine:false iprog in
+  let irefined = Static.Prune.make iprog in
+  if Static.Prune.n_kept irefined > Static.Prune.n_kept icoarse then
+    Fmt.failwith "%s (intact): refinement must be one-sided" b.name;
   {
     name = b.name;
     full_ms = full_s *. 1000.0;
-    pruned_ms = pruned_s *. 1000.0;
+    coarse_ms = coarse_s *. 1000.0;
+    refined_ms = refined_s *. 1000.0;
     analysis_ms = analysis_s *. 1000.0;
     races = Espbags.Detector.race_count full;
-    stmts_kept = Static.Prune.n_kept pr;
+    coarse_kept = Static.Prune.n_kept coarse_pr;
+    refined_kept = Static.Prune.n_kept pr;
     stmts_total = Static.Prune.n_stmts pr;
     skipped = pruned.Espbags.Detector.n_skipped;
     accesses = full.Espbags.Detector.n_accesses;
+    intact_stmts = Static.Prune.n_stmts irefined;
+    intact_coarse_kept = Static.Prune.n_kept icoarse;
+    intact_refined_kept = Static.Prune.n_kept irefined;
+    intact_coarse_conflicts = Static.Prune.n_conflicts icoarse;
+    intact_refined_conflicts = Static.Prune.n_conflicts irefined;
   }
 
-let run () =
-  Fmt.pr "@.Static-prune ablation: MRW detection with/without the MHP \
-          pre-pass@.";
+let json_of_rows rows =
+  let buf = Buffer.create 2048 in
+  let row_json r =
+    Fmt.str
+      "    {\"name\": %S, \"full_ms\": %.3f, \"coarse_pruned_ms\": %.3f, \
+       \"refined_pruned_ms\": %.3f, \"analysis_ms\": %.3f, \"races\": %d, \
+       \"stmts_total\": %d, \"coarse_kept\": %d, \"refined_kept\": %d, \
+       \"accesses\": %d, \"skipped_accesses\": %d, \"intact_stmts\": %d, \
+       \"intact_coarse_kept\": %d, \"intact_refined_kept\": %d, \
+       \"intact_coarse_conflicts\": %d, \"intact_refined_conflicts\": %d}"
+      r.name r.full_ms r.coarse_ms r.refined_ms r.analysis_ms r.races
+      r.stmts_total r.coarse_kept r.refined_kept r.accesses r.skipped
+      r.intact_stmts r.intact_coarse_kept r.intact_refined_kept
+      r.intact_coarse_conflicts r.intact_refined_conflicts
+  in
+  let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Fmt.str "  \"stmts_total\": %d,\n" (total (fun r -> r.stmts_total)));
+  Buffer.add_string buf
+    (Fmt.str "  \"coarse_kept\": %d,\n" (total (fun r -> r.coarse_kept)));
+  Buffer.add_string buf
+    (Fmt.str "  \"refined_kept\": %d,\n" (total (fun r -> r.refined_kept)));
+  Buffer.add_string buf
+    (Fmt.str "  \"intact_coarse_kept\": %d,\n"
+       (total (fun r -> r.intact_coarse_kept)));
+  Buffer.add_string buf
+    (Fmt.str "  \"intact_refined_kept\": %d,\n"
+       (total (fun r -> r.intact_refined_kept)));
+  Buffer.add_string buf
+    (Fmt.str "  \"intact_coarse_conflicts\": %d,\n"
+       (total (fun r -> r.intact_coarse_conflicts)));
+  Buffer.add_string buf
+    (Fmt.str "  \"intact_refined_conflicts\": %d,\n"
+       (total (fun r -> r.intact_refined_conflicts)));
+  Buffer.add_string buf
+    (Fmt.str "  \"refinement_extra_discharged\": %d,\n"
+       (total (fun r ->
+            r.coarse_kept - r.refined_kept
+            + (r.intact_coarse_kept - r.intact_refined_kept))));
+  Buffer.add_string buf "  \"rows\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map row_json rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let sweep ~quick () =
+  Fmt.pr
+    "@.Static-prune ablation: MRW detection unpruned / coarse regions / \
+     affine-refined@.";
   hr ();
-  Fmt.pr "%-14s %10s %10s %10s %7s %12s %14s %10s@." "Benchmark" "full ms"
-    "pruned ms" "static ms" "races" "stmts kept" "accesses" "skipped";
+  Fmt.pr "%-14s %9s %9s %9s %9s %6s %13s %13s %10s %17s@." "Benchmark"
+    "full ms" "coarse ms" "refined" "static" "races" "kept c/r" "accesses"
+    "skipped" "intact conflicts";
   hr ();
   let rows = List.map sweep_row Benchsuite.Suite.all in
   List.iter
     (fun r ->
-      Fmt.pr "%-14s %10.1f %10.1f %10.1f %7d %6d/%-5d %14d %10d@." r.name
-        r.full_ms r.pruned_ms r.analysis_ms r.races r.stmts_kept
-        r.stmts_total r.accesses r.skipped)
+      Fmt.pr "%-14s %9.1f %9.1f %9.1f %9.1f %6d %5d/%-3d of %-3d %13d %10d \
+              %8d -> %-4d@."
+        r.name r.full_ms r.coarse_ms r.refined_ms r.analysis_ms r.races
+        r.coarse_kept r.refined_kept r.stmts_total r.accesses r.skipped
+        r.intact_coarse_conflicts r.intact_refined_conflicts)
     rows;
   hr ();
   let total f = List.fold_left (fun acc r -> acc + f r) 0 rows in
-  let kept = total (fun r -> r.stmts_kept)
+  let coarse_kept = total (fun r -> r.coarse_kept)
+  and refined_kept = total (fun r -> r.refined_kept)
   and stmts = total (fun r -> r.stmts_total)
   and skipped = total (fun r -> r.skipped)
-  and accesses = total (fun r -> r.accesses) in
+  and accesses = total (fun r -> r.accesses)
+  and icoarse_kept = total (fun r -> r.intact_coarse_kept)
+  and irefined_kept = total (fun r -> r.intact_refined_kept)
+  and icoarse_cs = total (fun r -> r.intact_coarse_conflicts)
+  and irefined_cs = total (fun r -> r.intact_refined_conflicts) in
   Fmt.pr
-    "overall: %d of %d monitored statement(s) discharged statically \
-     (%.0f%%); %d of %d access(es) skipped (%.0f%%); race sets identical \
-     on every benchmark@."
-    (stmts - kept) stmts
-    (100.0 *. float_of_int (stmts - kept) /. float_of_int (max 1 stmts))
-    skipped accesses
-    (100.0 *. float_of_int skipped /. float_of_int (max 1 accesses))
+    "overall (stripped): %d of %d statement(s) discharged coarsely, %d \
+     refined (+%d); %d of %d access(es) skipped (%.0f%%); race sets \
+     identical on every benchmark@."
+    (stmts - coarse_kept) stmts (stmts - refined_kept)
+    (coarse_kept - refined_kept) skipped accesses
+    (100.0 *. float_of_int skipped /. float_of_int (max 1 accesses));
+  Fmt.pr
+    "overall (finish-intact): kept statements %d -> %d, unproven conflicts \
+     %d -> %d under the affine refinement@."
+    icoarse_kept irefined_kept icoarse_cs irefined_cs;
+  let extra =
+    coarse_kept - refined_kept + (icoarse_kept - irefined_kept)
+  in
+  let floor = env_int "TDR_PRUNE_MIN_DISCHARGE" 1 in
+  if extra < floor then
+    failwith
+      (Fmt.str
+         "prune bench: the affine refinement discharged only %d additional \
+          statement(s), below the %d floor (TDR_PRUNE_MIN_DISCHARGE) — \
+          refinement regression?"
+         extra floor);
+  if quick then ()
+  else
+    match Sys.getenv_opt "TDR_BENCH_PRUNE_JSON" with
+    | Some "-" -> ()
+    | path_opt ->
+        let path = Option.value ~default:"BENCH_prune.json" path_opt in
+        let oc = open_out path in
+        output_string oc (json_of_rows rows);
+        close_out oc;
+        Fmt.pr "[prune data written to %s]@." path
+
+let run () = sweep ~quick:false ()
+
+(* CI variant: no JSON, but the full race-set identity, one-sidedness and
+   discharge-floor assertions over the whole Table 1 suite. *)
+let run_quick () = sweep ~quick:true ()

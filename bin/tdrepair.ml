@@ -792,11 +792,11 @@ let emit_cmd =
     Term.(const run $ name_arg $ which $ output_arg)
 
 let lint_cmd =
-  let run files exit_zero suite =
+  let run files exit_zero suite explain =
     or_die (fun () ->
         let total = ref 0 in
         let lint_one label prog =
-          let findings = Static.Lint.run prog in
+          let findings = Static.Lint.run ~explain prog in
           List.iter
             (fun f -> Fmt.pr "%s: %a@." label Static.Finding.pp f)
             findings;
@@ -838,14 +838,26 @@ let lint_cmd =
       & info [ "suite" ]
           ~doc:"Also lint every built-in benchmark program (in-process).")
   in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Annotate each static-race finding with the reason the affine \
+             index refinement could not discharge the pair (non-affine \
+             subscript, non-constant loop bounds, global collision, or a \
+             genuine possible overlap).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static MHP race checker and lint rules (static-race, \
-          redundant-finish, dead-async, finish-coarsen) without executing \
-          the program.  Exit codes: 0 no findings, 3 invalid input, 6 \
+          provably-disjoint, redundant-finish, dead-async, \
+          finish-coarsen) without executing the program.  Array conflicts \
+          are refined by an affine subscript analysis; see \
+          $(b,--explain).  Exit codes: 0 no findings, 3 invalid input, 6 \
           findings reported (0 with $(b,--exit-zero)).")
-    Term.(const run $ files $ exit_zero $ suite)
+    Term.(const run $ files $ exit_zero $ suite $ explain)
 
 let socket_arg =
   Arg.(

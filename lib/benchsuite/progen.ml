@@ -64,7 +64,7 @@ let gen_value_expr cfg rng ~loop_vars =
 let rec gen_stmt cfg rng ~depth ~loop_vars ~locals ~in_helper buf indent =
   let pad = String.make (2 * indent) ' ' in
   let choice =
-    Tdrutil.Prng.int rng (if depth >= cfg.max_depth then 5 else 11)
+    Tdrutil.Prng.int rng (if depth >= cfg.max_depth then 5 else 13)
   in
   match choice with
   | 0 | 1 ->
@@ -144,6 +144,65 @@ let rec gen_stmt cfg rng ~depth ~loop_vars ~locals ~in_helper buf indent =
   | 9 when cfg.allow_calls && not in_helper ->
       Buffer.add_string buf
         (Fmt.str "%shelper%d();\n" pad (Tdrutil.Prng.int rng 2))
+  | 11 ->
+      (* affine parallel loop over provably disjoint cells: every
+         iteration writes g[a*i + b] with a != 0 (sometimes strided,
+         sometimes an interleaved even/odd pair), so the index-sensitive
+         refinement can discharge the cross-iteration self-pair; values
+         avoid array reads so the loop's conflicts are all refinable *)
+      let arr = arr_name (Tdrutil.Prng.int rng cfg.n_arrays) in
+      let v = Fmt.str "i%d" (List.length loop_vars) in
+      (match Tdrutil.Prng.int rng 3 with
+      | 0 ->
+          (* g[i] = ... *)
+          Buffer.add_string buf
+            (Fmt.str "%sforasync (%s = 0 to %d) {\n%s  %s[%s] = %s * %d;\n%s}\n"
+               pad v (cfg.arr_len - 1) pad arr v v
+               (1 + Tdrutil.Prng.int rng 5)
+               pad)
+      | 1 ->
+          (* strided: g[a*i + b] = ... *)
+          let a = 2 + Tdrutil.Prng.int rng 2 in
+          let b = Tdrutil.Prng.int rng a in
+          let hi = (cfg.arr_len - 1 - b) / a in
+          Buffer.add_string buf
+            (Fmt.str
+               "%sforasync (%s = 0 to %d) {\n%s  %s[%s * %d + %d] = %d;\n%s}\n"
+               pad v hi pad arr v a b
+               (Tdrutil.Prng.int rng 100)
+               pad)
+      | _ ->
+          (* interleaved even/odd cells within one iteration *)
+          let hi = (cfg.arr_len - 2) / 2 in
+          Buffer.add_string buf
+            (Fmt.str
+               "%sforasync (%s = 0 to %d) {\n\
+                %s  %s[2 * %s] = %s;\n\
+                %s  %s[2 * %s + 1] = %d;\n\
+                %s}\n"
+               pad v hi pad arr v v pad arr v
+               (Tdrutil.Prng.int rng 100)
+               pad))
+  | 12 ->
+      (* affine parallel loop that genuinely races: neighbouring cells
+         overlap across iterations (g[i] vs g[i+1]), or every iteration
+         hits one constant cell — the refinement must keep these *)
+      let arr = arr_name (Tdrutil.Prng.int rng cfg.n_arrays) in
+      let v = Fmt.str "i%d" (List.length loop_vars) in
+      if Tdrutil.Prng.bool rng then
+        Buffer.add_string buf
+          (Fmt.str
+             "%sforasync (%s = 0 to %d) {\n\
+              %s  %s[%s] = %s + 1;\n\
+              %s  %s[%s + 1] = %s;\n\
+              %s}\n"
+             pad v (cfg.arr_len - 2) pad arr v v pad arr v v pad)
+      else
+        Buffer.add_string buf
+          (Fmt.str "%sforasync (%s = 0 to %d) {\n%s  %s[%d] = %s;\n%s}\n"
+             pad v (cfg.arr_len - 1) pad arr
+             (Tdrutil.Prng.int rng cfg.arr_len)
+             v pad)
   | _ ->
       (* nested block *)
       Buffer.add_string buf (pad ^ "{\n");

@@ -2,7 +2,11 @@
     well-typed, terminating, normalized Mini-HJ programs with random
     nested async/finish/if/for/block structure over a small pool of shared
     global arrays, plus a final read of everything so that unsynchronized
-    writes race. *)
+    writes race.  The mix includes affine array-subscript parallel loops —
+    both provably disjoint variants (identity, strided, even/odd
+    interleaved subscripts) and genuinely racy ones (neighbouring-cell
+    overlap, constant cell) — so differential properties exercise the
+    index-sensitive static refinement in both directions. *)
 
 type config = {
   max_depth : int;  (** structural nesting bound *)

@@ -10,6 +10,8 @@ type rule =
   | Redundant_finish  (** a finish whose body spawns no escaping async *)
   | Dead_async  (** an async whose body contains no statements *)
   | Finish_coarsen  (** adjacent finishes that could be coalesced *)
+  | Provably_disjoint
+      (** a parallel array pair discharged by the affine refinement *)
 
 type severity = Warning | Info
 
@@ -20,6 +22,7 @@ let rule_name = function
   | Redundant_finish -> "redundant-finish"
   | Dead_async -> "dead-async"
   | Finish_coarsen -> "finish-coarsen"
+  | Provably_disjoint -> "provably-disjoint"
 
 let make ?(severity = Warning) ~rule ~loc msg = { rule; severity; loc; msg }
 

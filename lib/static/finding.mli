@@ -10,6 +10,8 @@ type rule =
   | Redundant_finish  (** a finish whose body spawns no escaping async *)
   | Dead_async  (** an async whose body contains no statements *)
   | Finish_coarsen  (** adjacent finishes that could be coalesced *)
+  | Provably_disjoint
+      (** a parallel array pair discharged by the affine refinement *)
 
 type severity = Warning | Info
 

@@ -61,9 +61,10 @@ let coarsen_candidates (prog : Ast.program) : Finding.t list =
       pairs blk.Ast.stmts);
   List.rev !acc
 
-let run (prog : Ast.program) : Finding.t list =
-  let summary, mhp, cs = Racecheck.check prog in
-  let races = Racecheck.to_findings summary cs in
+let run ?(explain = false) (prog : Ast.program) : Finding.t list =
+  let summary, mhp, cs, ds = Racecheck.check_full prog in
+  let races = Racecheck.to_findings ~explain summary cs in
+  let disjoint_notes = Racecheck.note_findings summary ds in
   let redundant =
     List.map
       (fun (_sid, loc) ->
@@ -73,4 +74,5 @@ let run (prog : Ast.program) : Finding.t list =
       (Mhp.redundant_finishes mhp)
   in
   List.sort Finding.compare
-    (races @ redundant @ dead_asyncs prog @ coarsen_candidates prog)
+    (races @ disjoint_notes @ redundant @ dead_asyncs prog
+   @ coarsen_candidates prog)

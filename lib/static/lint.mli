@@ -3,7 +3,10 @@
 
     Rules (see {!Finding.rule}):
     - {b static-race} (warning): an unproven MHP statement pair with
-      conflicting may-accesses — a possible race on some input;
+      conflicting may-accesses — a possible race on some input (already
+      sharpened by the affine index refinement);
+    - {b provably-disjoint} (info): a parallel array pair the affine
+      refinement discharged — the indices can never collide;
     - {b redundant-finish} (warning): a finish whose body cannot spawn an
       escaping async (interprocedural: a body whose calls join all their
       asyncs internally counts as async-free);
@@ -12,9 +15,12 @@
       enclosing finish would join with a single synchronization.
 
     The input must be normalized ({!Mhj.Front.compile}).  Findings come
-    back sorted by source position. *)
+    back sorted by source position.  With [~explain:true] each
+    static-race message carries the reason the refinement could not
+    discharge the pair (non-affine subscript, unknown bounds, global
+    collision, or genuine overlap). *)
 
-val run : Mhj.Ast.program -> Finding.t list
+val run : ?explain:bool -> Mhj.Ast.program -> Finding.t list
 
 (** Individual rules (exposed for targeted tests). *)
 val dead_asyncs : Mhj.Ast.program -> Finding.t list

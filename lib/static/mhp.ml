@@ -5,7 +5,8 @@ open Mhj
 module IntSet = Set.Make (Int)
 
 type t = {
-  pairs : (int * int, unit) Hashtbl.t;  (** normalized (min sid, max sid) *)
+  pairs : (int * int, Affine.ctx list) Hashtbl.t;
+      (** normalized (min sid, max sid) -> structural emission contexts *)
   redundant_finishes : (int * Loc.t) list;
   l_of_func : (string, IntSet.t) Hashtbl.t;
   e_of_func : (string, IntSet.t) Hashtbl.t;
@@ -18,7 +19,7 @@ type t = {
 type ctx = {
   summary : Summary.t;
   mutable record : bool;
-  prs : (int * int, unit) Hashtbl.t;
+  prs : (int * int, Affine.ctx list) Hashtbl.t;
   mutable redundant : (int * Loc.t) list;
   lf : (string, IntSet.t) Hashtbl.t;
   ef : (string, IntSet.t) Hashtbl.t;
@@ -27,13 +28,24 @@ type ctx = {
 
 let get tbl k = Option.value ~default:IntSet.empty (Hashtbl.find_opt tbl k)
 
-let add_pairs ctx es ls =
+(* Emit E x L with the context of the structural meet point covering the
+   overlap: [cinfo.shared] holds the For sids whose counters are equal in
+   the two overlapping instances, [cinfo.loop = Some l] that they belong
+   to distinct iterations of one execution of [l] (see affine.mli).  A
+   pair may be emitted at several meet points; refinement must disprove
+   every recorded context. *)
+let add_pairs ctx cinfo es ls =
   if ctx.record && not (IntSet.is_empty es) then
     IntSet.iter
       (fun a ->
         IntSet.iter
           (fun b ->
-            Hashtbl.replace ctx.prs (if a <= b then (a, b) else (b, a)) ())
+            let key = if a <= b then (a, b) else (b, a) in
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt ctx.prs key)
+            in
+            if not (List.exists (Affine.ctx_equal cinfo) cur) then
+              Hashtbl.replace ctx.prs key (cinfo :: cur))
           ls)
       es
 
@@ -43,7 +55,7 @@ let add_pairs ctx es ls =
    are emitted exactly where an escape meets later-or-concurrent work:
    block suffixes, loop re-iterations, and within a statement's own
    evaluation. *)
-let rec stmt_le ctx (st : Ast.stmt) : IntSet.t * IntSet.t =
+let rec stmt_le ctx ~encl (st : Ast.stmt) : IntSet.t * IntSet.t =
   let callees = Summary.calls ctx.summary st.Ast.sid in
   let call_l =
     List.fold_left
@@ -55,59 +67,79 @@ let rec stmt_le ctx (st : Ast.stmt) : IntSet.t * IntSet.t =
       IntSet.empty callees
   in
   let self = IntSet.singleton st.Ast.sid in
+  (* overlaps emitted here happen within one instance of this statement,
+     so the two sides agree on every enclosing For counter *)
+  let here = { Affine.loop = None; shared = encl } in
   match st.Ast.s with
   | Decl _ | Assign _ | Return _ | Expr _ ->
       let l = IntSet.union self call_l in
       (* an async escaping one call runs in parallel with the rest of the
          statement's evaluation (later calls, the statement's accesses) *)
-      add_pairs ctx call_e l;
+      add_pairs ctx here call_e l;
       (l, call_e)
   | If (_, a, b) ->
-      let la, ea = stmt_le ctx a in
+      let la, ea = stmt_le ctx ~encl a in
       let lb, eb =
         match b with
-        | Some b -> stmt_le ctx b
+        | Some b -> stmt_le ctx ~encl b
         | None -> (IntSet.empty, IntSet.empty)
       in
       let branches = IntSet.union la lb in
       (* asyncs escaping the condition's calls overlap whichever branch
          runs (and the If statement's own accesses) *)
-      add_pairs ctx call_e (IntSet.union self branches);
+      add_pairs ctx here call_e (IntSet.union self branches);
       ( IntSet.union self (IntSet.union call_l branches),
         IntSet.union call_e (IntSet.union ea eb) )
-  | While (_, body) | For (_, _, _, _, body) ->
-      let lb, eb = stmt_le ctx body in
+  | While (_, body) ->
+      let lb, eb = stmt_le ctx ~encl body in
       let l = IntSet.union self (IntSet.union call_l lb) in
       let e = IntSet.union call_e eb in
-      (* anything escaping the condition/bounds or one iteration may run
-         in parallel with every later iteration — including another
+      (* anything escaping the condition or one iteration may run in
+         parallel with every later iteration — including another
          instance of itself *)
-      add_pairs ctx e l;
+      add_pairs ctx here e l;
+      (l, e)
+  | For (_, _, _, _, body) ->
+      let encl_body = Affine.IntSet.add st.Ast.sid encl in
+      let lb, eb = stmt_le ctx ~encl:encl_body body in
+      let l = IntSet.union self (IntSet.union call_l lb) in
+      let e = IntSet.union call_e eb in
+      (* asyncs escaping the bounds evaluation overlap the whole loop
+         within one instance of the For statement... *)
+      add_pairs ctx here call_e l;
+      (* ...while body escapes meet later iterations: the two instances
+         come from distinct iterations of one execution of this loop, so
+         their counter values differ by a non-zero multiple of the step *)
+      add_pairs ctx
+        { Affine.loop = Some st.Ast.sid; shared = encl }
+        eb l;
       (l, e)
   | Async body ->
-      let lb, _ = stmt_le ctx body in
+      let lb, _ = stmt_le ctx ~encl body in
       (* the whole body escapes; no self-pairing here — a single async
          instance runs its own body sequentially *)
       let l = IntSet.union self lb in
       (l, l)
   | Finish body ->
-      let lb, eb = stmt_le ctx body in
+      let lb, eb = stmt_le ctx ~encl body in
       if ctx.record && IntSet.is_empty eb then
         ctx.redundant <- (st.Ast.sid, st.Ast.sloc) :: ctx.redundant;
       (* the join: nothing escapes a finish *)
       (IntSet.union self lb, IntSet.empty)
   | Block blk ->
-      let lb, eb = block_le ctx blk in
+      let lb, eb = block_le ctx ~encl blk in
       (IntSet.union self lb, eb)
 
-and block_le ctx (blk : Ast.block) : IntSet.t * IntSet.t =
-  let les = List.map (stmt_le ctx) blk.Ast.stmts in
+and block_le ctx ~encl (blk : Ast.block) : IntSet.t * IntSet.t =
+  let les = List.map (stmt_le ctx ~encl) blk.Ast.stmts in
   (* suffix rule: an async escaping statement i runs in parallel with
-     everything statements i+1.. may execute *)
+     everything statements i+1.. may execute — within one instance of
+     this block, so enclosing counters are shared *)
+  let here = { Affine.loop = None; shared = encl } in
   ignore
     (List.fold_right
        (fun (l, e) suffix ->
-         add_pairs ctx e suffix;
+         add_pairs ctx here e suffix;
          IntSet.union l suffix)
        les IntSet.empty);
   List.fold_left
@@ -133,7 +165,7 @@ let analyze (prog : Ast.program) (summary : Summary.t) : t =
     ctx.changed <- false;
     List.iter
       (fun (fn : Ast.func) ->
-        let l, e = block_le ctx fn.body in
+        let l, e = block_le ctx ~encl:Affine.IntSet.empty fn.body in
         let old_l = get ctx.lf fn.fname and old_e = get ctx.ef fn.fname in
         if not (IntSet.subset l old_l) then begin
           Hashtbl.replace ctx.lf fn.fname (IntSet.union l old_l);
@@ -146,7 +178,10 @@ let analyze (prog : Ast.program) (summary : Summary.t) : t =
       prog.funcs
   done;
   ctx.record <- true;
-  List.iter (fun (fn : Ast.func) -> ignore (block_le ctx fn.body)) prog.funcs;
+  List.iter
+    (fun (fn : Ast.func) ->
+      ignore (block_le ctx ~encl:Affine.IntSet.empty fn.body))
+    prog.funcs;
   {
     pairs = ctx.prs;
     redundant_finishes = List.rev ctx.redundant;
@@ -156,8 +191,12 @@ let analyze (prog : Ast.program) (summary : Summary.t) : t =
 
 let mhp t a b = Hashtbl.mem t.pairs (if a <= b then (a, b) else (b, a))
 
+let contexts t a b =
+  Option.value ~default:[]
+    (Hashtbl.find_opt t.pairs (if a <= b then (a, b) else (b, a)))
+
 let pairs t =
-  Hashtbl.fold (fun k () acc -> k :: acc) t.pairs [] |> List.sort compare
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.pairs [] |> List.sort compare
 
 let n_pairs t = Hashtbl.length t.pairs
 

@@ -21,7 +21,19 @@
     single statement, [E(calls) × L(s)].  The result over-approximates
     the dynamic relation: every pair of steps that may happen in parallel
     in some execution is covered by a pair of their statements (the
-    differential property checked in [test/test_static.ml]). *)
+    differential property checked in [test/test_static.ml]).
+
+    {b Contexts.}  Each emission additionally records the structural meet
+    point it covers as an {!Affine.ctx}: any dynamic overlap of the two
+    statements routes through the lowest common structure containing both
+    instances (a block, an If/expression statement, or a loop
+    re-iteration), and the emission at that meet point is tagged with the
+    [For] counters its two sides necessarily share ([shared] — the loops
+    enclosing the meet point, since both instances live inside one
+    iteration of each) plus, for the loop-rule emission, the loop whose
+    distinct iterations separate them ([loop = Some l]).  The
+    index-sensitive refinement ({!Racecheck}) may discharge a pair only
+    by disproving a collision under {e every} recorded context. *)
 
 module IntSet : Set.S with type elt = int
 
@@ -38,6 +50,10 @@ val mhp : t -> int -> int -> bool
 
 (** All pairs, normalized as (min sid, max sid), sorted. *)
 val pairs : t -> (int * int) list
+
+(** The structural emission contexts recorded for a pair (empty for
+    non-pairs).  Deduplicated, in no particular order. *)
+val contexts : t -> int -> int -> Affine.ctx list
 
 val n_pairs : t -> int
 

@@ -8,8 +8,8 @@ type t = {
   n_conflicts : int;
 }
 
-let make (prog : Mhj.Ast.program) : t =
-  let summary, _mhp, cs = Racecheck.check prog in
+let make ?refine (prog : Mhj.Ast.program) : t =
+  let summary, _mhp, cs = Racecheck.check ?refine prog in
   {
     summary;
     keep_sids = Racecheck.may_race_sids cs;

@@ -14,7 +14,10 @@
 
 type t
 
-val make : Mhj.Ast.program -> t
+(** [refine] (default [true]) enables the index-sensitive affine
+    refinement; [~refine:false] keeps only the coarse region analysis
+    (ablation baseline). *)
+val make : ?refine:bool -> Mhj.Ast.program -> t
 
 (** Must the access at this interpreter position stay monitored?
     Unknown positions are conservatively kept. *)

@@ -1,5 +1,6 @@
 (** Static race reporting: intersect the MHP relation with the may-access
-    summaries (see racecheck.mli). *)
+    summaries, sharpened by the affine subscript refinement (see
+    racecheck.mli). *)
 
 open Mhj
 module IntSet = Set.Make (Int)
@@ -12,13 +13,57 @@ type conflict = {
   loc_b : Loc.t;
   region : Summary.region;
   kind : [ `Write_write | `Read_write ];
+  reason : Affine.reason option;
+      (** why refinement kept the pair; [None] when refinement was off *)
 }
 
-let conflicts (summary : Summary.t) (mhp : Mhp.t) : conflict list =
-  List.filter_map
+type discharged = {
+  d_sid_a : int;
+  d_sid_b : int;
+  d_loc_a : Loc.t;
+  d_loc_b : Loc.t;
+  d_region : Summary.region;
+}
+
+(* Refinement verdict for one colliding region of one pair: [None] when
+   every write-involving occurrence pair is provably disjoint under every
+   recorded context, otherwise the first failure reason.  Strictly
+   one-sided: a missing proof keeps the conflict. *)
+let region_verdict loops ctxs occs_a occs_b region : Affine.reason option =
+  match region with
+  | Summary.RGlobal g -> Some (Affine.Global g)
+  | Summary.RCell _ ->
+      if ctxs = [] then (* no recorded route: keep, defensively *)
+        Some Affine.Non_affine
+      else begin
+        let on = List.filter (fun (x : Summary.access) -> x.region = region) in
+        let oa = on occs_a and ob = on occs_b in
+        let fail = ref None in
+        List.iter
+          (fun (x : Summary.access) ->
+            List.iter
+              (fun (y : Summary.access) ->
+                if (x.rw = `W || y.rw = `W) && !fail = None then
+                  List.iter
+                    (fun c ->
+                      if !fail = None then
+                        match Affine.disjoint loops c x.sub y.sub with
+                        | Ok () -> ()
+                        | Error r -> fail := Some r)
+                    ctxs)
+              ob)
+          oa;
+        !fail
+      end
+
+let conflicts_full ?(refine = true) (summary : Summary.t) (mhp : Mhp.t) :
+    conflict list * discharged list =
+  let loops = Summary.loops summary in
+  let kept = ref [] and notes = ref [] in
+  List.iter
     (fun (a, b) ->
-      let mk region kind =
-        Some
+      let mk region kind reason =
+        kept :=
           {
             sid_a = a;
             sid_b = b;
@@ -26,17 +71,60 @@ let conflicts (summary : Summary.t) (mhp : Mhp.t) : conflict list =
             loc_b = Summary.loc_of summary b;
             region;
             kind;
+            reason;
           }
+          :: !kept
       in
       let wa = Summary.writes summary a and wb = Summary.writes summary b in
+      let ra = Summary.reads summary a and rb = Summary.reads summary b in
       let ww = RS.inter wa wb in
-      if not (RS.is_empty ww) then mk (RS.min_elt ww) `Write_write
-      else
-        let ra = Summary.reads summary a and rb = Summary.reads summary b in
-        let rw = RS.union (RS.inter wa rb) (RS.inter wb ra) in
-        if not (RS.is_empty rw) then mk (RS.min_elt rw) `Read_write
-        else None)
-    (Mhp.pairs mhp)
+      let rw = RS.union (RS.inter wa rb) (RS.inter wb ra) in
+      if RS.is_empty ww && RS.is_empty rw then ()
+      else if not refine then
+        if not (RS.is_empty ww) then mk (RS.min_elt ww) `Write_write None
+        else mk (RS.min_elt rw) `Read_write None
+      else begin
+        let ctxs = Mhp.contexts mhp a b in
+        let oa = Summary.accesses summary a
+        and ob = Summary.accesses summary b in
+        let first_kept regs =
+          (* ascending region order, matching the coarse witness choice *)
+          List.fold_left
+            (fun acc r ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match region_verdict loops ctxs oa ob r with
+                  | Some reason -> Some (r, reason)
+                  | None -> None))
+            None (RS.elements regs)
+        in
+        match first_kept ww with
+        | Some (r, reason) -> mk r `Write_write (Some reason)
+        | None -> (
+            match first_kept rw with
+            | Some (r, reason) -> mk r `Read_write (Some reason)
+            | None ->
+                (* every colliding region proven disjoint *)
+                let witness =
+                  if not (RS.is_empty ww) then RS.min_elt ww
+                  else RS.min_elt rw
+                in
+                notes :=
+                  {
+                    d_sid_a = a;
+                    d_sid_b = b;
+                    d_loc_a = Summary.loc_of summary a;
+                    d_loc_b = Summary.loc_of summary b;
+                    d_region = witness;
+                  }
+                  :: !notes)
+      end)
+    (Mhp.pairs mhp);
+  (List.rev !kept, List.rev !notes)
+
+let conflicts ?refine (summary : Summary.t) (mhp : Mhp.t) : conflict list =
+  fst (conflicts_full ?refine summary mhp)
 
 (** Statements participating in at least one conflict — the accesses the
     dynamic detector must keep monitoring. *)
@@ -45,7 +133,13 @@ let may_race_sids (cs : conflict list) : IntSet.t =
     (fun s c -> IntSet.add c.sid_a (IntSet.add c.sid_b s))
     IntSet.empty cs
 
-let to_findings (summary : Summary.t) (cs : conflict list) : Finding.t list =
+let pp_other ppf (sid_a, sid_b, loc_b) =
+  if sid_a = sid_b then Fmt.string ppf "another instance of itself"
+  else if Loc.is_dummy loc_b then Fmt.pf ppf "statement #%d" sid_b
+  else Fmt.pf ppf "the statement at %a" Loc.pp loc_b
+
+let to_findings ?(explain = false) (summary : Summary.t)
+    (cs : conflict list) : Finding.t list =
   List.map
     (fun c ->
       let kind =
@@ -53,24 +147,48 @@ let to_findings (summary : Summary.t) (cs : conflict list) : Finding.t list =
         | `Write_write -> "write/write"
         | `Read_write -> "read/write"
       in
-      let pp_other ppf (c : conflict) =
-        if c.sid_a = c.sid_b then Fmt.string ppf "another instance of itself"
-        else if Loc.is_dummy c.loc_b then
-          Fmt.pf ppf "statement #%d" c.sid_b
-        else Fmt.pf ppf "the statement at %a" Loc.pp c.loc_b
+      let pp_why ppf c =
+        match c.reason with
+        | Some r when explain ->
+            Fmt.pf ppf " [unrefined: %s]" (Affine.describe r)
+        | _ -> ()
       in
       Finding.make ~rule:Finding.Static_race ~loc:c.loc_a
-        (Fmt.str "possible %s race on %a: may happen in parallel with %a"
+        (Fmt.str "possible %s race on %a: may happen in parallel with %a%a"
            kind
            (Summary.pp_region summary)
-           c.region pp_other c))
+           c.region pp_other
+           (c.sid_a, c.sid_b, c.loc_b)
+           pp_why c))
     cs
+  |> List.sort_uniq Finding.compare
+
+let note_findings (summary : Summary.t) (ds : discharged list) :
+    Finding.t list =
+  List.map
+    (fun d ->
+      Finding.make ~severity:Finding.Info ~rule:Finding.Provably_disjoint
+        ~loc:d.d_loc_a
+        (Fmt.str
+           "provably disjoint: the parallel accesses to %a here and by %a \
+            use affine indices that never collide"
+           (Summary.pp_region summary)
+           d.d_region pp_other
+           (d.d_sid_a, d.d_sid_b, d.d_loc_b)))
+    ds
   |> List.sort_uniq Finding.compare
 
 (** One-call static verifier: analyze [prog] from scratch and report the
     unproven pairs.  An empty result means the program is race-free for
     {e every} input (the analysis over-approximates all executions). *)
-let check (prog : Ast.program) : Summary.t * Mhp.t * conflict list =
+let check ?refine (prog : Ast.program) : Summary.t * Mhp.t * conflict list =
   let summary = Summary.build prog in
   let mhp = Mhp.analyze prog summary in
-  (summary, mhp, conflicts summary mhp)
+  (summary, mhp, conflicts ?refine summary mhp)
+
+let check_full (prog : Ast.program) :
+    Summary.t * Mhp.t * conflict list * discharged list =
+  let summary = Summary.build prog in
+  let mhp = Mhp.analyze prog summary in
+  let cs, ds = conflicts_full summary mhp in
+  (summary, mhp, cs, ds)

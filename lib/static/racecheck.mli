@@ -1,12 +1,23 @@
 (** Static race reporting: the intersection of the {!Mhp} relation with
-    the {!Summary} may-access sets.
+    the {!Summary} may-access sets, sharpened by the index-sensitive
+    affine refinement.
 
     A {e conflict} is a statement pair that may happen in parallel and
     whose region sets collide with at least one write.  No conflicts ⇒
     the program is race-free for every input (both component analyses
     over-approximate); conflicts are "unproven pairs" — possible races or
     precision losses — reported as findings by the lint front end and as
-    the residue of the repair driver's [--static-verify] pass. *)
+    the residue of the repair driver's [--static-verify] pass.
+
+    {b Refinement} (on by default): an array-cell conflict is dropped
+    only when, for {e every} MHP emission context of the pair and every
+    write-involving pair of its subscripted occurrences on every
+    colliding region, {!Affine.disjoint} proves the two indices unequal.
+    The refinement is strictly one-sided — it can only remove conflicts
+    carrying a proof — so the coarse layer's soundness property (every
+    dynamic race is covered by a surviving conflict) is preserved by
+    construction; [test/test_static.ml] re-verifies it differentially
+    against the reference detector. *)
 
 module IntSet : Set.S with type elt = int
 
@@ -17,18 +28,46 @@ type conflict = {
   loc_b : Mhj.Loc.t;
   region : Summary.region;  (** one witness region of the collision *)
   kind : [ `Write_write | `Read_write ];
+  reason : Affine.reason option;
+      (** why refinement kept the pair ([lint --explain]); [None] when
+          refinement was off *)
 }
 
-val conflicts : Summary.t -> Mhp.t -> conflict list
+(** A pair whose every colliding region was proven disjoint — reported
+    by lint as a [provably-disjoint] note. *)
+type discharged = {
+  d_sid_a : int;
+  d_sid_b : int;
+  d_loc_a : Mhj.Loc.t;
+  d_loc_b : Mhj.Loc.t;
+  d_region : Summary.region;
+}
+
+(** [refine] defaults to [true]; [~refine:false] reproduces the coarse
+    PR 2 behaviour (used for ablation and differential testing). *)
+val conflicts : ?refine:bool -> Summary.t -> Mhp.t -> conflict list
+
+(** Like {!conflicts}, also returning the fully discharged pairs. *)
+val conflicts_full :
+  ?refine:bool -> Summary.t -> Mhp.t -> conflict list * discharged list
 
 (** Statements participating in at least one conflict — the accesses the
     dynamic detector must keep monitoring. *)
 val may_race_sids : conflict list -> IntSet.t
 
-(** Render conflicts as source-located, deduplicated findings. *)
-val to_findings : Summary.t -> conflict list -> Finding.t list
+(** Render conflicts as source-located, deduplicated findings; with
+    [~explain:true] each message carries the refinement-failure reason. *)
+val to_findings : ?explain:bool -> Summary.t -> conflict list -> Finding.t list
+
+(** Render discharged pairs as [provably-disjoint] info notes. *)
+val note_findings : Summary.t -> discharged list -> Finding.t list
 
 (** Analyze a (normalized) program from scratch: build the summaries, run
-    the MHP analysis, intersect.  Empty conflicts ⇒ statically verified
-    race-free for all inputs. *)
-val check : Mhj.Ast.program -> Summary.t * Mhp.t * conflict list
+    the MHP analysis, intersect, refine.  Empty conflicts ⇒ statically
+    verified race-free for all inputs. *)
+val check :
+  ?refine:bool -> Mhj.Ast.program -> Summary.t * Mhp.t * conflict list
+
+(** {!check} with refinement on, also returning the discharged pairs. *)
+val check_full :
+  Mhj.Ast.program -> Summary.t * Mhp.t * conflict list * discharged list

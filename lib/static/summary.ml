@@ -29,10 +29,17 @@ type pvar =
    numbering is identical on every walk. *)
 type owner = Ostmt of int | Oglobal of string
 
+type access = {
+  rw : [ `R | `W ];
+  region : region;
+  sub : Affine.form;  (** the subscript's affine form; [Top] for globals *)
+}
+
 type info = {
   mutable reads : RegionSet.t;
   mutable writes : RegionSet.t;
   mutable calls : string list;
+  mutable accs : access list;
 }
 
 type t = {
@@ -40,6 +47,7 @@ type t = {
   stmt_at : (int * int, int) Hashtbl.t;  (** (bid, idx) -> sid *)
   locs : (int, Loc.t) Hashtbl.t;  (** sid -> source location *)
   site_locs : (int, Loc.t) Hashtbl.t;  (** allocation site -> NewArr loc *)
+  loops : Affine.loops;  (** For sid -> constant-folded bounds *)
   n_sites : int;
   n_stmts : int;
 }
@@ -56,6 +64,11 @@ let writes t sid =
 
 let calls t sid =
   match Hashtbl.find_opt t.infos sid with Some i -> i.calls | None -> []
+
+let accesses t sid =
+  match Hashtbl.find_opt t.infos sid with Some i -> i.accs | None -> []
+
+let loops t = t.loops
 
 let loc_of t sid =
   Option.value ~default:Loc.dummy (Hashtbl.find_opt t.locs sid)
@@ -76,6 +89,36 @@ let pp_region t ppf = function
       | Some l when not (Loc.is_dummy l) ->
           Fmt.pf ppf "the array allocated at %a" Loc.pp l
       | _ -> Fmt.pf ppf "an array (allocation site %d)" s)
+
+(* Affine form of an integer expression under an environment binding
+   visible locals to their forms (loop counters to their [For] sid's
+   variable, immutable locals to their folded initializer, mutable
+   locals to [Top]).  Globals and anything else are [Top]; constant
+   division/modulo fold with the interpreter's semantics. *)
+let rec feval ~aenv (e : Ast.expr) : Affine.form =
+  match e.Ast.e with
+  | Ast.Int n -> Affine.const n
+  | Var x -> (
+      match List.assoc_opt x aenv with Some f -> f | None -> Affine.Top)
+  | Bin (Add, a, b) -> Affine.add (feval ~aenv a) (feval ~aenv b)
+  | Bin (Sub, a, b) -> Affine.sub (feval ~aenv a) (feval ~aenv b)
+  | Bin (Mul, a, b) -> Affine.mul (feval ~aenv a) (feval ~aenv b)
+  | Bin (Div, a, b) -> (
+      match (feval ~aenv a, feval ~aenv b) with
+      | Affine.Bot, _ | _, Affine.Bot -> Affine.Bot
+      | Affine.Aff ([], x), Affine.Aff ([], y) when y <> 0 ->
+          Affine.const (x / y)
+      | _ -> Affine.Top)
+  | Bin (Mod, a, b) -> (
+      match (feval ~aenv a, feval ~aenv b) with
+      | Affine.Bot, _ | _, Affine.Bot -> Affine.Bot
+      | Affine.Aff ([], x), Affine.Aff ([], y) when y <> 0 ->
+          Affine.const (x mod y)
+      | _ -> Affine.Top)
+  | Un (Neg, a) -> Affine.neg (feval ~aenv a)
+  | Float _ | Bool _ | Str _ | Bin _ | Un (Not, _) | Idx _ | Call _
+  | NewArr _ ->
+      Affine.Top
 
 let build (prog : Ast.program) : t =
   let globals =
@@ -103,6 +146,30 @@ let build (prog : Ast.program) : t =
   let lookup v =
     Option.value ~default:IntSet.empty (Hashtbl.find_opt pts v)
   in
+  (* Parameter affine forms, joined over all analyzed call sites inside
+     the same fixpoint: each parameter climbs Bot -> one form -> Top, so
+     this converges (recursion included).  [Bot] arguments carry no
+     information yet and are skipped — they are recomputed from scratch
+     on the next pass. *)
+  let pforms : (string * string, Affine.form) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let pform f p =
+    Option.value ~default:Affine.Bot (Hashtbl.find_opt pforms (f, p))
+  in
+  let pjoin f p form =
+    if form <> Affine.Bot then begin
+      let cur = pform f p in
+      let nw = Affine.join cur form in
+      if not (Affine.equal nw cur) then begin
+        Hashtbl.replace pforms (f, p) nw;
+        changed := true
+      end
+    end
+  in
+  (* For sid -> folded bounds; overwritten every pass, so the table holds
+     the converged folding after the final (recording) walk *)
+  let loops : Affine.loops = Hashtbl.create 32 in
   let flow v s =
     if not (IntSet.is_empty s) then begin
       let cur = lookup v in
@@ -115,15 +182,15 @@ let build (prog : Ast.program) : t =
   (* Walk [e] in evaluation order, returning the allocation sites its
      value may denote.  [emit]/[callf] are the record-pass hooks (no-ops
      during the fixpoint); [ctr] numbers NewArr occurrences. *)
-  let rec expr_sites ~fname ~locals ~owner ~ctr ~emit ~callf (e : Ast.expr)
-      : IntSet.t =
-    let recur = expr_sites ~fname ~locals ~owner ~ctr ~emit ~callf in
+  let rec expr_sites ~fname ~locals ~aenv ~owner ~ctr ~emit ~callf
+      (e : Ast.expr) : IntSet.t =
+    let recur = expr_sites ~fname ~locals ~aenv ~owner ~ctr ~emit ~callf in
     match e.Ast.e with
     | Ast.Int _ | Float _ | Bool _ | Str _ -> IntSet.empty
     | Var x ->
         if SS.mem x locals then lookup (PLocal (fname, x))
         else if SS.mem x globals then begin
-          emit `R (RGlobal x);
+          emit `R (RGlobal x) Affine.Top;
           lookup (PGlobal x)
         end
         else IntSet.empty
@@ -137,7 +204,8 @@ let build (prog : Ast.program) : t =
     | Idx (a, i) ->
         let sa = recur a in
         ignore (recur i);
-        IntSet.iter (fun s -> emit `R (RCell s)) sa;
+        let fi = feval ~aenv i in
+        IntSet.iter (fun s -> emit `R (RCell s) fi) sa;
         IntSet.fold
           (fun s acc -> IntSet.union (lookup (PElem s)) acc)
           sa IntSet.empty
@@ -153,7 +221,12 @@ let build (prog : Ast.program) : t =
           | Some fn when List.length fn.params = List.length arg_sites ->
               List.iter2
                 (fun (p, _) s -> flow (PLocal (f, p)) s)
-                fn.params arg_sites
+                fn.params arg_sites;
+              (* propagate the arguments' affine forms into the callee's
+                 parameters (joined over all call sites) *)
+              List.iter2
+                (fun (p, _) a -> pjoin f p (feval ~aenv a))
+                fn.params args
           | _ -> ());
           lookup (PRet f)
         end
@@ -169,10 +242,11 @@ let build (prog : Ast.program) : t =
   in
   (* Direct effects of one statement: only its own expressions — nested
      statements are visited separately by the walker. *)
-  let stmt_flow ~fname ~locals ~emit ~callf (st : Ast.stmt) =
+  let stmt_flow ~fname ~locals ~aenv ~emit ~callf (st : Ast.stmt) =
     let ctr = ref 0 in
     let ex =
-      expr_sites ~fname ~locals ~owner:(Ostmt st.Ast.sid) ~ctr ~emit ~callf
+      expr_sites ~fname ~locals ~aenv ~owner:(Ostmt st.Ast.sid) ~ctr ~emit
+        ~callf
     in
     match st.Ast.s with
     | Decl (_, x, _, init) -> flow (PLocal (fname, x)) (ex init)
@@ -180,14 +254,14 @@ let build (prog : Ast.program) : t =
         let s = ex rhs in
         if SS.mem x locals then flow (PLocal (fname, x)) s
         else if SS.mem x globals then begin
-          emit `W (RGlobal x);
+          emit `W (RGlobal x) Affine.Top;
           flow (PGlobal x) s
         end
     | Assign (x, path, rhs) ->
         let base =
           if SS.mem x locals then lookup (PLocal (fname, x))
           else if SS.mem x globals then begin
-            emit `R (RGlobal x);
+            emit `R (RGlobal x) Affine.Top;
             lookup (PGlobal x)
           end
           else IntSet.empty
@@ -198,15 +272,17 @@ let build (prog : Ast.program) : t =
           | [] -> ()
           | [ last ] ->
               ignore (ex last);
+              let fl = feval ~aenv last in
               let s = ex rhs in
               IntSet.iter
                 (fun c ->
-                  emit `W (RCell c);
+                  emit `W (RCell c) fl;
                   flow (PElem c) s)
                 cur
           | i :: rest ->
               ignore (ex i);
-              IntSet.iter (fun c -> emit `R (RCell c)) cur;
+              let fi = feval ~aenv i in
+              IntSet.iter (fun c -> emit `R (RCell c) fi) cur;
               down
                 (IntSet.fold
                    (fun c acc -> IntSet.union (lookup (PElem c)) acc)
@@ -226,28 +302,61 @@ let build (prog : Ast.program) : t =
   (* Scope-threading walker: [locals] holds the local names visible at
      each statement (parameters, loop variables, and earlier Decls of
      enclosing blocks), so Var resolution matches the interpreter's
-     local-shadows-global rule. *)
-  let rec walk_stmt ~fname ~locals ~emit ~callf (st : Ast.stmt) =
-    stmt_flow ~fname ~locals ~emit:(emit st) ~callf:(callf st) st;
+     local-shadows-global rule; [aenv] mirrors it with each local's
+     affine form (cons-front, so shadowing resolves to the newest
+     binding). *)
+  let rec walk_stmt ~fname ~locals ~aenv ~emit ~callf (st : Ast.stmt) =
+    stmt_flow ~fname ~locals ~aenv ~emit:(emit st) ~callf:(callf st) st;
     match st.Ast.s with
     | If (_, a, b) ->
-        walk_stmt ~fname ~locals ~emit ~callf a;
-        Option.iter (walk_stmt ~fname ~locals ~emit ~callf) b
-    | While (_, b) -> walk_stmt ~fname ~locals ~emit ~callf b
-    | For (i, _, _, _, b) ->
-        walk_stmt ~fname ~locals:(SS.add i locals) ~emit ~callf b
-    | Async b | Finish b -> walk_stmt ~fname ~locals ~emit ~callf b
-    | Block blk -> walk_block ~fname ~locals ~emit ~callf blk
+        walk_stmt ~fname ~locals ~aenv ~emit ~callf a;
+        Option.iter (walk_stmt ~fname ~locals ~aenv ~emit ~callf) b
+    | While (_, b) -> walk_stmt ~fname ~locals ~aenv ~emit ~callf b
+    | For (i, lo, hi, by, b) ->
+        (* fold the bounds in the environment *outside* the loop (the
+           counter is not yet bound); only constant foldings are kept —
+           they hold for every execution of the loop *)
+        let cint e =
+          match feval ~aenv e with
+          | Affine.Aff ([], k) -> Some k
+          | _ -> None
+        in
+        Hashtbl.replace loops st.Ast.sid
+          {
+            Affine.counter = i;
+            lo = cint lo;
+            hi = cint hi;
+            step =
+              (match by with
+              | None -> Some 1
+              | Some e -> (
+                  (* a zero step is a runtime error before any
+                     iteration; treat it as unknown *)
+                  match cint e with Some 0 -> None | s -> s));
+            floc = st.Ast.sloc;
+          };
+        walk_stmt ~fname
+          ~locals:(SS.add i locals)
+          ~aenv:((i, Affine.var st.Ast.sid) :: aenv)
+          ~emit ~callf b
+    | Async b | Finish b -> walk_stmt ~fname ~locals ~aenv ~emit ~callf b
+    | Block blk -> walk_block ~fname ~locals ~aenv ~emit ~callf blk
     | Decl _ | Assign _ | Return _ | Expr _ -> ()
-  and walk_block ~fname ~locals ~emit ~callf (blk : Ast.block) =
+  and walk_block ~fname ~locals ~aenv ~emit ~callf (blk : Ast.block) =
     ignore
       (List.fold_left
-         (fun locals st ->
-           walk_stmt ~fname ~locals ~emit ~callf st;
+         (fun (locals, aenv) st ->
+           walk_stmt ~fname ~locals ~aenv ~emit ~callf st;
            match st.Ast.s with
-           | Ast.Decl (_, x, _, _) -> SS.add x locals
-           | _ -> locals)
-         locals blk.Ast.stmts)
+           | Ast.Decl (m, x, _, init) ->
+               let f =
+                 match m with
+                 | Ast.Immut -> feval ~aenv init
+                 | Ast.Mut -> Affine.Top
+               in
+               (SS.add x locals, (x, f) :: aenv)
+           | _ -> (locals, aenv))
+         (locals, aenv) blk.Ast.stmts)
   in
   let pass ~emit ~callf =
     (* global initializers run unmonitored (program setup), so their
@@ -256,9 +365,9 @@ let build (prog : Ast.program) : t =
       (fun (g : Ast.global) ->
         let ctr = ref 0 in
         flow (PGlobal g.gname)
-          (expr_sites ~fname:"" ~locals:SS.empty ~owner:(Oglobal g.gname)
-             ~ctr
-             ~emit:(fun _ _ -> ())
+          (expr_sites ~fname:"" ~locals:SS.empty ~aenv:[]
+             ~owner:(Oglobal g.gname) ~ctr
+             ~emit:(fun _ _ _ -> ())
              ~callf:(fun _ -> ())
              g.ginit))
       prog.globals;
@@ -267,10 +376,13 @@ let build (prog : Ast.program) : t =
         let locals =
           List.fold_left (fun s (p, _) -> SS.add p s) SS.empty fn.params
         in
-        walk_block ~fname:fn.fname ~locals ~emit ~callf fn.body)
+        let aenv =
+          List.map (fun (p, _) -> (p, pform fn.fname p)) fn.params
+        in
+        walk_block ~fname:fn.fname ~locals ~aenv ~emit ~callf fn.body)
       prog.funcs
   in
-  let quiet_emit _ _ _ = () and quiet_call _ _ = () in
+  let quiet_emit _ _ _ _ = () and quiet_call _ _ = () in
   while !changed do
     changed := false;
     pass ~emit:quiet_emit ~callf:quiet_call
@@ -282,16 +394,23 @@ let build (prog : Ast.program) : t =
     | Some i -> i
     | None ->
         let i =
-          { reads = RegionSet.empty; writes = RegionSet.empty; calls = [] }
+          {
+            reads = RegionSet.empty;
+            writes = RegionSet.empty;
+            calls = [];
+            accs = [];
+          }
         in
         Hashtbl.add infos sid i;
         i
   in
-  let emit (st : Ast.stmt) rw region =
+  let emit (st : Ast.stmt) rw region sub =
     let i = info_of st.Ast.sid in
-    match rw with
+    (match rw with
     | `R -> i.reads <- RegionSet.add region i.reads
-    | `W -> i.writes <- RegionSet.add region i.writes
+    | `W -> i.writes <- RegionSet.add region i.writes);
+    let a = { rw; region; sub } in
+    if not (List.mem a i.accs) then i.accs <- a :: i.accs
   in
   let callf (st : Ast.stmt) f =
     let i = info_of st.Ast.sid in
@@ -323,4 +442,12 @@ let build (prog : Ast.program) : t =
       blk.Ast.stmts
   in
   List.iter (fun (fn : Ast.func) -> index_block fn.body) prog.funcs;
-  { infos; stmt_at; locs; site_locs; n_sites = !n_sites; n_stmts = !n_stmts }
+  {
+    infos;
+    stmt_at;
+    locs;
+    site_locs;
+    loops;
+    n_sites = !n_sites;
+    n_stmts = !n_stmts;
+  }

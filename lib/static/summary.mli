@@ -28,6 +28,17 @@ type region =
 
 module RegionSet : Set.S with type elt = region
 
+(** One occurrence of a may-access inside a statement's expressions,
+    refined with the affine form of its subscript ({!Affine.Top} when
+    non-affine or for globals).  The region sets below are exactly the
+    projection of these occurrences — the refinement layer consults the
+    occurrences, every coarse consumer the sets. *)
+type access = {
+  rw : [ `R | `W ];
+  region : region;
+  sub : Affine.form;
+}
+
 type t
 
 val build : Mhj.Ast.program -> t
@@ -41,6 +52,15 @@ val writes : t -> int -> RegionSet.t
 
 (** User functions called from the statement's own expressions. *)
 val calls : t -> int -> string list
+
+(** The statement's access occurrences with their subscript forms
+    (deduplicated; no particular order). *)
+val accesses : t -> int -> access list
+
+(** Constant-folded [For] metadata for the whole program — counters are
+    identified by the binding [For]'s sid, also the variables of every
+    {!Affine.form} returned by {!accesses}. *)
+val loops : t -> Affine.loops
 
 (** Source location of a statement id ({!Mhj.Loc.dummy} if unknown). *)
 val loc_of : t -> int -> Mhj.Loc.t

@@ -327,6 +327,35 @@ let test_lint () =
   let code5, _ = run_cli [ "lint" ] in
   Alcotest.(check int) "no input exit" 3 code5
 
+(* The affine refinement's user-visible surface: the stencil sample's
+   racy-looking parallel loops are fully discharged (golden output), and
+   --explain annotates every surviving pair with the refinement reason. *)
+let test_lint_stencil () =
+  let code, out = run_cli [ "lint"; sample "stencil.mhj" ] in
+  Alcotest.(check int) "notes-only exit" 6 code;
+  check_contains "disjoint note" out "info[provably-disjoint]";
+  check_contains "note message" out "use affine indices that never collide";
+  check_contains "both loops noted" out "2 finding(s)";
+  if contains ~affix:"static-race" out then
+    Alcotest.fail "stencil must produce no static-race finding";
+  (* --explain: surviving pairs carry their refinement-failure reason *)
+  let code2, out2 = run_cli [ "lint"; "--explain"; sample "quicksort.mhj" ] in
+  Alcotest.(check int) "explain exit" 6 code2;
+  check_contains "explain marker" out2 "[unrefined:";
+  let code3, out3 = run_cli [ "lint"; sample "quicksort.mhj" ] in
+  Alcotest.(check int) "plain exit" 6 code3;
+  if contains ~affix:"[unrefined:" out3 then
+    Alcotest.fail "reasons must only appear under --explain"
+
+let test_static_verify_stencil () =
+  (* the index-sensitive refinement upgrades the stencil to statically
+     verified without any repair *)
+  let code, out =
+    run_cli [ "repair"; "-q"; "--static-verify"; sample "stencil.mhj" ]
+  in
+  Alcotest.(check int) "verified exit" 0 code;
+  check_contains "verdict" out "statically verified: race-free for all inputs"
+
 let test_detect_static_prune () =
   let code, out =
     run_cli [ "detect"; "--static-prune"; sample "figure5.mhj" ]
@@ -629,6 +658,9 @@ let () =
             test_located_interp_diagnostics;
           Alcotest.test_case "budget flags" `Quick test_budget_flags;
           Alcotest.test_case "lint" `Quick test_lint;
+          Alcotest.test_case "lint stencil" `Quick test_lint_stencil;
+          Alcotest.test_case "stencil --static-verify" `Quick
+            test_static_verify_stencil;
           Alcotest.test_case "detect --static-prune" `Quick
             test_detect_static_prune;
           Alcotest.test_case "repair --static-verify" `Quick

@@ -16,6 +16,15 @@ let conflicts src =
   let _, summary, mhp = analyze src in
   Static.Racecheck.conflicts summary mhp
 
+let conflicts_coarse src =
+  let _, summary, mhp = analyze src in
+  Static.Racecheck.conflicts ~refine:false summary mhp
+
+let qcount default =
+  match Option.bind (Sys.getenv_opt "TDR_QCHECK_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> default
+
 (* The statement ids of every async body in source order. *)
 let async_body_sids prog =
   let acc = ref [] in
@@ -264,6 +273,225 @@ let test_prune_counts () =
     (Static.Prune.keep_fn p ~bid:(-1) ~idx:(-1))
 
 (* ------------------------------------------------------------------ *)
+(* Affine disjointness unit tests                                      *)
+(* ------------------------------------------------------------------ *)
+
+let mk_loops specs : Static.Affine.loops =
+  let t = Hashtbl.create 4 in
+  List.iter
+    (fun (sid, counter, lo, hi, step) ->
+      Hashtbl.replace t sid
+        { Static.Affine.counter; lo; hi; step; floc = Mhj.Loc.dummy })
+    specs;
+  t
+
+let no_loop = { Static.Affine.loop = None; shared = Static.Affine.IntSet.empty }
+
+let in_loop l =
+  { Static.Affine.loop = Some l; shared = Static.Affine.IntSet.empty }
+
+let check_ok name r = Alcotest.(check bool) name true (r = Ok ())
+
+let check_err name e r = Alcotest.(check bool) name true (r = Error e)
+
+let test_affine_interval () =
+  let open Static.Affine in
+  let loops =
+    mk_loops
+      [ (1, "i", Some 0, Some 3, Some 1); (2, "j", Some 4, Some 7, Some 1) ]
+  in
+  check_ok "0..3 vs 4..7 never meet" (disjoint loops no_loop (var 1) (var 2));
+  let touching =
+    mk_loops
+      [ (1, "i", Some 0, Some 3, Some 1); (2, "j", Some 3, Some 7, Some 1) ]
+  in
+  check_err "0..3 vs 3..7 may meet at 3" May_overlap
+    (disjoint touching no_loop (var 1) (var 2));
+  let unbounded = mk_loops [ (1, "i", Some 0, None, Some 1) ] in
+  check_err "missing hi bound" Unknown_bounds
+    (disjoint unbounded no_loop (var 1) (const 9))
+
+let test_affine_gcd () =
+  let open Static.Affine in
+  let loops =
+    mk_loops
+      [ (1, "i", Some 0, Some 3, Some 1); (2, "j", Some 0, Some 3, Some 1) ]
+  in
+  let even = mul (const 2) (var 1) in
+  let odd = add (mul (const 2) (var 2)) (const 1) in
+  check_ok "2i vs 2j+1 differ in parity" (disjoint loops no_loop even odd);
+  check_err "2i vs 2j may collide" May_overlap
+    (disjoint loops no_loop even (mul (const 2) (var 2)))
+
+let test_affine_cross_iteration () =
+  let open Static.Affine in
+  (* canonical forasync a[i]: distinct iterations of the same loop write
+     distinct cells, no bounds information needed at all *)
+  let nobounds = mk_loops [ (1, "i", None, None, None) ] in
+  check_ok "a[i] self-pair, unknown bounds"
+    (disjoint nobounds (in_loop 1) (var 1) (var 1));
+  (* stride: i walks multiples of 3, so an offset of 1 never cancels *)
+  let stride3 = mk_loops [ (1, "i", Some 0, Some 9, Some 3) ] in
+  check_ok "offset below the stride"
+    (disjoint stride3 (in_loop 1) (var 1) (add (var 1) (const 1)));
+  check_err "offset on the stride" May_overlap
+    (disjoint stride3 (in_loop 1) (var 1) (add (var 1) (const 3)));
+  (* span: the required delta exceeds the loop's reach *)
+  let small = mk_loops [ (1, "i", Some 0, Some 2, Some 1) ] in
+  check_ok "offset beyond the span"
+    (disjoint small (in_loop 1) (var 1) (add (var 1) (const 5)));
+  check_err "neighbouring cells overlap across iterations" May_overlap
+    (disjoint small (in_loop 1) (var 1) (add (var 1) (const 1)));
+  let nostep = mk_loops [ (1, "i", Some 0, Some 9, None) ] in
+  check_err "missing step blocks the stride test" Unknown_bounds
+    (disjoint nostep (in_loop 1) (var 1) (add (var 1) (const 1)));
+  check_err "non-affine subscript" Non_affine
+    (disjoint nostep (in_loop 1) Top (var 1))
+
+(* ------------------------------------------------------------------ *)
+(* Refinement through the race check                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_forasync_discharged () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish { forasync (i = 0 to 7) { a[i] = i; } }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  Alcotest.(check bool) "coarse analysis keeps the self-pair" true
+    (conflicts_coarse src <> []);
+  Alcotest.(check int) "refinement discharges it" 0
+    (List.length (conflicts src))
+
+let test_sibling_parity_discharged () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish {\n\
+    \    forasync (i = 0 to 3) { a[2 * i] = 1; }\n\
+    \    forasync (j = 0 to 3) { a[2 * j + 1] = 2; }\n\
+    \  }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  Alcotest.(check bool) "coarse analysis keeps the sibling pairs" true
+    (conflicts_coarse src <> []);
+  Alcotest.(check int) "even/odd interleaving discharged" 0
+    (List.length (conflicts src))
+
+let test_range_split_discharged () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish {\n\
+    \    forasync (i = 0 to 3) { a[i] = 1; }\n\
+    \    forasync (j = 4 to 7) { a[j] = 2; }\n\
+    \  }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  Alcotest.(check bool) "coarse analysis keeps the sibling pairs" true
+    (conflicts_coarse src <> []);
+  Alcotest.(check int) "disjoint ranges discharged" 0
+    (List.length (conflicts src))
+
+let test_racy_neighbour_kept () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish { forasync (i = 0 to 6) { a[i] = a[i + 1]; } }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  let cs = conflicts src in
+  Alcotest.(check bool) "cross-iteration a[i]/a[i+1] overlap kept" true
+    (cs <> []);
+  Alcotest.(check bool) "kept with the may-overlap reason" true
+    (List.exists
+       (fun (c : Static.Racecheck.conflict) ->
+         c.reason = Some Static.Affine.May_overlap)
+       cs)
+
+let test_constant_cell_kept () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish { forasync (i = 0 to 7) { a[3] = i; } }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  let cs = conflicts src in
+  Alcotest.(check bool) "every iteration writes a[3]: kept" true (cs <> []);
+  Alcotest.(check bool) "refined conflicts carry a reason" true
+    (List.for_all
+       (fun (c : Static.Racecheck.conflict) -> c.reason <> None)
+       cs);
+  Alcotest.(check bool) "coarse conflicts carry none" true
+    (List.for_all
+       (fun (c : Static.Racecheck.conflict) -> c.reason = None)
+       (conflicts_coarse src))
+
+let test_provably_disjoint_note () =
+  let prog =
+    compile
+      "def main() {\n\
+      \  val a: int[] = new int[8];\n\
+      \  finish { forasync (i = 0 to 7) { a[i] = i; } }\n\
+      \  print(a[0]);\n\
+       }"
+  in
+  let summary, _, cs, notes = Static.Racecheck.check_full prog in
+  Alcotest.(check int) "no surviving conflicts" 0 (List.length cs);
+  Alcotest.(check bool) "the discharged pair is recorded" true (notes <> []);
+  let findings = Static.Racecheck.note_findings summary notes in
+  Alcotest.(check (list string)) "note rule" [ "provably-disjoint" ]
+    (rule_names findings);
+  List.iter
+    (fun (f : Static.Finding.t) ->
+      Alcotest.(check bool) "notes are informational" true
+        (f.severity = Static.Finding.Info))
+    findings
+
+let test_explain_messages () =
+  let src =
+    "def main() {\n\
+    \  val a: int[] = new int[8];\n\
+    \  finish { forasync (i = 0 to 7) { a[3] = i; } }\n\
+    \  print(a[0]);\n\
+     }"
+  in
+  let _, summary, mhp = analyze src in
+  let cs = Static.Racecheck.conflicts summary mhp in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let has_marker fs =
+    List.exists
+      (fun (f : Static.Finding.t) -> contains f.msg "[unrefined:")
+      fs
+  in
+  Alcotest.(check bool) "--explain appends the refinement reason" true
+    (has_marker (Static.Racecheck.to_findings ~explain:true summary cs));
+  Alcotest.(check bool) "plain findings stay unannotated" false
+    (has_marker (Static.Racecheck.to_findings summary cs))
+
+let test_series_refined_verified () =
+  match Benchsuite.Suite.find "series" with
+  | None -> Alcotest.fail "series missing from the benchmark suite"
+  | Some b ->
+      let prog = Benchsuite.Bench.repair_program b in
+      let _, _, coarse = Static.Racecheck.check ~refine:false prog in
+      let _, _, refined = Static.Racecheck.check prog in
+      Alcotest.(check bool) "coarse analysis leaves unproven pairs" true
+        (coarse <> []);
+      Alcotest.(check int) "refinement verifies series race-free" 0
+        (List.length refined)
+
+(* ------------------------------------------------------------------ *)
 (* Properties                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -377,6 +605,73 @@ let prune_preserves_race_set =
           seed (List.length a) (List.length b) pruned.n_skipped;
       true)
 
+(* Strict one-sidedness: the refined conflict set is a subset of the
+   coarse one — refinement can only remove pairs, never add or move
+   them, which is what lets it inherit the coarse layer's soundness. *)
+let refinement_is_one_sided =
+  QCheck.Test.make ~name:"refinement only ever removes conflict pairs"
+    ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let summary = Static.Summary.build prog in
+      let mhp = Static.Mhp.analyze prog summary in
+      let key (c : Static.Racecheck.conflict) =
+        (min c.sid_a c.sid_b, max c.sid_a c.sid_b)
+      in
+      let coarse =
+        List.map key (Static.Racecheck.conflicts ~refine:false summary mhp)
+      in
+      List.for_all
+        (fun c ->
+          let covered = List.mem (key c) coarse in
+          if not covered then
+            QCheck.Test.fail_reportf
+              "seed %d: refined pair (%d, %d) absent from the coarse set"
+              seed (fst (key c)) (snd (key c));
+          covered)
+        (Static.Racecheck.conflicts summary mhp))
+
+(* Differential soundness of the refinement itself: every race the MRW
+   detector reports is covered by a SURVIVING refined conflict — the
+   affine tests never discharge a pair that races on some input.  This
+   is the acceptance property for the index-sensitive refinement; the
+   @ci alias runs it over 300 generated programs. *)
+let refined_conflicts_cover_dynamic_races =
+  QCheck.Test.make ~name:"refined conflicts cover every dynamic race"
+    ~count:(qcount 150)
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let src = Benchsuite.Progen.generate ~seed () in
+      let prog = compile src in
+      let det, _ = Espbags.Detector.detect Espbags.Detector.Mrw prog in
+      let summary = Static.Summary.build prog in
+      let mhp = Static.Mhp.analyze prog summary in
+      let pairs = Hashtbl.create 64 in
+      List.iter
+        (fun (c : Static.Racecheck.conflict) ->
+          Hashtbl.replace pairs (min c.sid_a c.sid_b, max c.sid_a c.sid_b) ())
+        (Static.Racecheck.conflicts summary mhp);
+      List.for_all
+        (fun (r : Espbags.Race.t) ->
+          let srcs = step_sids summary r.src in
+          let sinks = step_sids summary r.sink in
+          let covered =
+            List.exists
+              (fun a ->
+                List.exists
+                  (fun b -> Hashtbl.mem pairs (min a b, max a b))
+                  sinks)
+              srcs
+          in
+          if not covered then
+            QCheck.Test.fail_reportf
+              "seed %d: dynamic race %a was discharged by the refinement"
+              seed Espbags.Race.pp r;
+          covered)
+        (Espbags.Detector.races det))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -411,11 +706,38 @@ let () =
         ] );
       ( "prune",
         [ Alcotest.test_case "counts" `Quick test_prune_counts ] );
+      ( "affine",
+        [
+          Alcotest.test_case "interval separation" `Quick test_affine_interval;
+          Alcotest.test_case "gcd residue" `Quick test_affine_gcd;
+          Alcotest.test_case "cross-iteration" `Quick
+            test_affine_cross_iteration;
+        ] );
+      ( "refine",
+        [
+          Alcotest.test_case "forasync discharged" `Quick
+            test_forasync_discharged;
+          Alcotest.test_case "even/odd siblings discharged" `Quick
+            test_sibling_parity_discharged;
+          Alcotest.test_case "split ranges discharged" `Quick
+            test_range_split_discharged;
+          Alcotest.test_case "racy neighbour kept" `Quick
+            test_racy_neighbour_kept;
+          Alcotest.test_case "constant cell kept" `Quick
+            test_constant_cell_kept;
+          Alcotest.test_case "provably-disjoint note" `Quick
+            test_provably_disjoint_note;
+          Alcotest.test_case "explain messages" `Quick test_explain_messages;
+          Alcotest.test_case "series verified" `Quick
+            test_series_refined_verified;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [
             static_mhp_covers_dynamic_races;
             keep_fn_agrees_with_keep;
             prune_preserves_race_set;
+            refinement_is_one_sided;
+            refined_conflicts_cover_dynamic_races;
           ] );
     ]

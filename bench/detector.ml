@@ -1,36 +1,50 @@
 (* `bench detector`: per-access overhead of the race detectors on the
-   Table 1 suite (finish-stripped, repair input sizes).
+   Table 1 suite (finish-stripped, repair input sizes) — a three-way
+   shootout between the seed implementation, the ESP-bags hot path and
+   the vector-clock backend.
 
-   For each benchmark the sweep times five configurations of the same
-   deterministic execution: uninstrumented (nop), SRW, MRW, MRW with the
-   static prune pre-pass (`--static-prune`, Static.Prune.keep_fn), and
-   the seed MRW implementation kept in Espbags.Reference — hashtable
-   bags, boxed-address shadow, per-access allocation — as the "before"
-   side.
+   For each benchmark the sweep times eight configurations of the same
+   deterministic execution: uninstrumented (nop), ESP-bags SRW and MRW,
+   MRW with the static prune pre-pass (`--static-prune`,
+   Static.Prune.keep_fn), the seed MRW implementation kept in
+   Espbags.Reference — hashtable bags, boxed-address shadow, per-access
+   allocation — as the "before" side, vector-clock SRW and MRW
+   (Vclock.Seq, same packed shadow, concurrency decided by clock
+   coverage instead of bags), and one parallel row: the program executed
+   for real under Par.Engine with the sharded vector-clock monitor
+   (Vclock.Pardet) attached, detection overlapped with execution on
+   TDR_BENCH_PAR_DOMAINS domains.
 
    The headline metric is detection throughput: monitored accesses per
    second of detector work, where detector work is the run's time minus
    the uninstrumented (nop) run of the same program — i.e. the per-access
-   cost the detector itself adds, the quantity this PR's dense-shadow hot
-   path optimizes.  (Total-run times are also recorded; on
+   cost the detector itself adds.  (Total-run times are also recorded; on
    interpreter-bound programs they dilute any detector change with
-   constant interpretation cost.)  The speedup column is the ratio of new
-   to seed detection throughput.
+   constant interpretation cost.)  The speedup columns are the ratios of
+   ESP-bags and vector-clock detection throughput to the seed's.  The
+   parallel row is wall-clock only: its schedule is nondeterministic, so
+   it is excluded from both the byte-identity assertions and the speedup
+   floor.
 
    The interpreter is deterministic, so S-DPST node ids are stable across
-   runs; the sweep asserts the new detectors' race reports byte-identical
-   (same order, same (src, sink, addr, kind) records) to the seed's for
-   both SRW and MRW, and the pruned run's race multiset identical to the
-   unpruned one.  Any mismatch aborts rather than print a corrupt table.
+   runs; the sweep asserts the sequential detectors' race reports
+   byte-identical (same order, same (src, sink, addr, kind) records —
+   Espbags.Race.exact_sigs) to the seed's for both SRW and MRW, the
+   pruned run's race multiset identical to the unpruned one, and the
+   parallel detector's static race set (sorted static keys) equal to the
+   sequential MRW oracle's.  Any mismatch aborts rather than print a
+   corrupt table.
 
    Timing discipline: minimum of TDR_BENCH_REPEAT timed runs (default 5,
    plus a warmup), with a [Gc.full_major] before every configuration so
    one configuration's garbage is not collected on another's clock.
 
-   Environment knobs: TDR_BENCH_REPEAT, TDR_BENCH_DETECTOR_JSON (default
-   BENCH_detector.json; "-" disables).  The quick variant (`bench
-   detector-quick`, @ci) does a single run per configuration and skips
-   the JSON, keeping the race-set identity assertions. *)
+   Environment knobs: TDR_BENCH_REPEAT, TDR_BENCH_PAR_DOMAINS (default
+   2), TDR_BENCH_SUITE (comma-separated benchmark names; default all),
+   TDR_BENCH_DETECTOR_JSON (default BENCH_detector.json; "-" disables).
+   The quick variant (`bench detector-quick`, @ci) does a single run per
+   configuration and writes the JSON only when TDR_BENCH_DETECTOR_JSON
+   is set explicitly, keeping all the race-set identity assertions. *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -42,6 +56,26 @@ let env_float name default =
   | Some s -> (
       match float_of_string_opt s with Some f -> f | None -> default)
   | None -> default
+
+let par_domains () = max 1 (env_int "TDR_BENCH_PAR_DOMAINS" 2)
+
+let suite () =
+  match Sys.getenv_opt "TDR_BENCH_SUITE" with
+  | None | Some "" -> Benchsuite.Suite.all
+  | Some spec -> (
+      let names = String.split_on_char ',' spec in
+      match
+        List.filter
+          (fun (b : Benchsuite.Bench.t) -> List.mem b.name names)
+          Benchsuite.Suite.all
+      with
+      | [] ->
+          failwith
+            (Fmt.str
+               "detector bench: TDR_BENCH_SUITE=%S matches no benchmark \
+                (try 'tdrepair benchmarks')"
+               spec)
+      | bs -> bs)
 
 type row = {
   name : string;
@@ -55,6 +89,12 @@ type row = {
   skipped : int;
   ref_srw_s : float;
   ref_mrw_s : float;
+  vc_srw_s : float;
+  vc_mrw_s : float;
+  par_mrw_s : float;
+      (** wall-clock of the parallel run with the sharded monitor
+          attached; execution and detection overlap, so there is no
+          meaningful nop baseline to subtract *)
 }
 
 (* Detection time: run minus uninstrumented baseline, floored at 1us so
@@ -71,25 +111,20 @@ let measurable run nop = run -. nop >= Float.max 3e-4 (0.05 *. nop)
 
 let mrw_aps r = float_of_int r.accesses /. det_time r.mrw_s r.nop_s
 
+let vc_mrw_aps r = float_of_int r.accesses /. det_time r.vc_mrw_s r.nop_s
+
 let ref_mrw_aps r = float_of_int r.accesses /. det_time r.ref_mrw_s r.nop_s
 
 let mrw_speedup r = mrw_aps r /. ref_mrw_aps r
+
+let vc_mrw_speedup r = vc_mrw_aps r /. ref_mrw_aps r
 
 (* Both sides' detection time above the noise floor? *)
 let row_measurable r =
   measurable r.mrw_s r.nop_s && measurable r.ref_mrw_s r.nop_s
 
-(* Node ids are deterministic, so this is a byte-level record identity:
-   two runs report the same races in the same order iff these lists are
-   equal. *)
-let exact_sigs races =
-  List.map
-    (fun (r : Espbags.Race.t) ->
-      ( r.src.Sdpst.Node.id,
-        r.sink.Sdpst.Node.id,
-        Fmt.str "%a" Rt.Addr.pp r.addr,
-        Fmt.str "%a" Espbags.Race.pp_kind r.kind ))
-    races
+let vc_row_measurable r =
+  measurable r.vc_mrw_s r.nop_s && measurable r.ref_mrw_s r.nop_s
 
 let identical name what a b =
   if a <> b then
@@ -126,13 +161,37 @@ let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
   in
   let ref_srw_f () = fst (Espbags.Reference.detect Espbags.Detector.Srw prog) in
   let ref_mrw_f () = fst (Espbags.Reference.detect Espbags.Detector.Mrw prog) in
+  let vc_srw_f () = fst (Vclock.Seq.detect Vclock.Seq.Srw prog) in
+  let vc_mrw_f () = fst (Vclock.Seq.detect Vclock.Seq.Mrw prog) in
+  let par_f () =
+    fst
+      (Vclock.Pardet.detect
+         ~mode:(Par.Engine.Domains { n = par_domains (); seed = 1 })
+         prog)
+  in
+  (* A 100%-inline fuzz schedule IS depth-first execution: same access
+     set, same allocation order, even for benchmarks whose control flow
+     reads racy data.  The sharded parallel detector is asserted against
+     the sequential oracle on this schedule; the [Domains] row above is
+     timing-only, since a racy program may genuinely execute a different
+     access set under a different interleaving. *)
+  let par_df_f () =
+    fst
+      (Vclock.Pardet.detect
+         ~policy:{ Par.Engine.inline_pct = 100; yield_pct = 0 }
+         ~mode:(Par.Engine.Fuzz { seed = 1 })
+         prog)
+  in
   for _ = 1 to warmup do
     nop ();
     ignore (srw_f ());
     ignore (mrw_f ());
     ignore (pruned_f ());
     ignore (ref_srw_f ());
-    ignore (ref_mrw_f ())
+    ignore (ref_mrw_f ());
+    ignore (vc_srw_f ());
+    ignore (vc_mrw_f ());
+    ignore (par_f ())
   done;
   let nop_s = ref infinity
   and srw_s = ref infinity
@@ -140,7 +199,10 @@ let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
   and analysis_s = ref infinity
   and mrw_pruned_s = ref infinity
   and ref_srw_s = ref infinity
-  and ref_mrw_s = ref infinity in
+  and ref_mrw_s = ref infinity
+  and vc_srw_s = ref infinity
+  and vc_mrw_s = ref infinity
+  and par_mrw_s = ref infinity in
   let keep_min cell s = if s < !cell then cell := s in
   for _ = 1 to max 1 repeat do
     keep_min nop_s (once nop);
@@ -149,7 +211,10 @@ let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
     keep_min analysis_s (once analysis);
     keep_min mrw_pruned_s (once (fun () -> ignore (pruned_f ())));
     keep_min ref_srw_s (once (fun () -> ignore (ref_srw_f ())));
-    keep_min ref_mrw_s (once (fun () -> ignore (ref_mrw_f ())))
+    keep_min ref_mrw_s (once (fun () -> ignore (ref_mrw_f ())));
+    keep_min vc_srw_s (once (fun () -> ignore (vc_srw_f ())));
+    keep_min vc_mrw_s (once (fun () -> ignore (vc_mrw_f ())));
+    keep_min par_mrw_s (once (fun () -> ignore (par_f ())))
   done;
   let nop_s = !nop_s
   and srw_s = !srw_s
@@ -157,21 +222,41 @@ let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
   and analysis_s = !analysis_s
   and mrw_pruned_s = !mrw_pruned_s
   and ref_srw_s = !ref_srw_s
-  and ref_mrw_s = !ref_mrw_s in
+  and ref_mrw_s = !ref_mrw_s
+  and vc_srw_s = !vc_srw_s
+  and vc_mrw_s = !vc_mrw_s
+  and par_mrw_s = !par_mrw_s in
   let srw = srw_f ()
   and mrw = mrw_f ()
   and pruned = pruned_f ()
   and ref_srw = ref_srw_f ()
-  and ref_mrw = ref_mrw_f () in
-  identical b.name "SRW vs seed"
-    (exact_sigs (Espbags.Detector.races srw))
-    (exact_sigs (Espbags.Reference.races ref_srw));
-  identical b.name "MRW vs seed"
-    (exact_sigs (Espbags.Detector.races mrw))
-    (exact_sigs (Espbags.Reference.races ref_mrw));
+  and ref_mrw = ref_mrw_f ()
+  and vc_srw = vc_srw_f ()
+  and vc_mrw = vc_mrw_f ()
+  and par_df = par_df_f () in
+  identical b.name "ESP-bags SRW vs seed"
+    (Espbags.Race.exact_sigs (Espbags.Detector.races srw))
+    (Espbags.Race.exact_sigs (Espbags.Reference.races ref_srw));
+  identical b.name "ESP-bags MRW vs seed"
+    (Espbags.Race.exact_sigs (Espbags.Detector.races mrw))
+    (Espbags.Race.exact_sigs (Espbags.Reference.races ref_mrw));
+  identical b.name "vclock SRW vs seed"
+    (Espbags.Race.exact_sigs (Vclock.Seq.races vc_srw))
+    (Espbags.Race.exact_sigs (Espbags.Reference.races ref_srw));
+  identical b.name "vclock MRW vs seed"
+    (Espbags.Race.exact_sigs (Vclock.Seq.races vc_mrw))
+    (Espbags.Race.exact_sigs (Espbags.Reference.races ref_mrw));
   identical b.name "MRW vs pruned MRW"
-    (List.sort compare (exact_sigs (Espbags.Detector.races mrw)))
-    (List.sort compare (exact_sigs (Espbags.Detector.races pruned)));
+    (List.sort compare (Espbags.Race.exact_sigs (Espbags.Detector.races mrw)))
+    (List.sort compare
+       (Espbags.Race.exact_sigs (Espbags.Detector.races pruned)));
+  (* The engine reorders and re-duplicates reports even on a
+     deterministic schedule, so the parallel detector is held to static
+     race-set equality (sorted distinct keys), not byte identity. *)
+  identical b.name "parallel vclock static race set vs sequential MRW"
+    (Vclock.Pardet.races par_df)
+    (List.sort_uniq compare
+       (List.map Espbags.Race.static_key_of_race (Espbags.Detector.races mrw)));
   {
     name = b.name;
     accesses = mrw.Espbags.Detector.n_accesses;
@@ -184,6 +269,9 @@ let measure ~warmup ~repeat (b : Benchsuite.Bench.t) : row =
     skipped = pruned.Espbags.Detector.n_skipped;
     ref_srw_s;
     ref_mrw_s;
+    vc_srw_s;
+    vc_mrw_s;
+    par_mrw_s;
   }
 
 let json_of_rows ~repeat rows =
@@ -193,50 +281,82 @@ let json_of_rows ~repeat rows =
       "    {\"name\": %S, \"accesses\": %d, \"races\": %d, \"nop_s\": %.6f, \
        \"srw_s\": %.6f, \"mrw_s\": %.6f, \"prune_analysis_s\": %.6f, \
        \"mrw_pruned_s\": %.6f, \"skipped_accesses\": %d, \"ref_srw_s\": \
-       %.6f, \"ref_mrw_s\": %.6f, \"mrw_det_accesses_per_s\": %.0f, \
+       %.6f, \"ref_mrw_s\": %.6f, \"vc_srw_s\": %.6f, \"vc_mrw_s\": %.6f, \
+       \"par_mrw_wall_s\": %.6f, \"mrw_det_accesses_per_s\": %.0f, \
+       \"vc_mrw_det_accesses_per_s\": %.0f, \
        \"ref_mrw_det_accesses_per_s\": %.0f, \"mrw_speedup_vs_seed\": %.3f, \
-       \"mrw_overhead\": %.3f, \"ref_mrw_overhead\": %.3f, \"measurable\": \
+       \"vc_mrw_speedup_vs_seed\": %.3f, \"mrw_overhead\": %.3f, \
+       \"ref_mrw_overhead\": %.3f, \"measurable\": %b, \"vc_measurable\": \
        %b}"
       r.name r.accesses r.races r.nop_s r.srw_s r.mrw_s r.analysis_s
-      r.mrw_pruned_s r.skipped r.ref_srw_s r.ref_mrw_s (mrw_aps r)
-      (ref_mrw_aps r) (mrw_speedup r) (r.mrw_s /. r.nop_s)
-      (r.ref_mrw_s /. r.nop_s) (row_measurable r)
+      r.mrw_pruned_s r.skipped r.ref_srw_s r.ref_mrw_s r.vc_srw_s r.vc_mrw_s
+      r.par_mrw_s (mrw_aps r) (vc_mrw_aps r) (ref_mrw_aps r) (mrw_speedup r)
+      (vc_mrw_speedup r) (r.mrw_s /. r.nop_s) (r.ref_mrw_s /. r.nop_s)
+      (row_measurable r) (vc_row_measurable r)
   in
   (* summary statistics cover only rows whose detection time is above the
      noise floor on both sides *)
   let mrows = List.filter row_measurable rows in
-  let geomean f =
+  let vrows = List.filter vc_row_measurable rows in
+  let geomean_over rs f =
     exp
-      (List.fold_left (fun acc r -> acc +. log (f r)) 0. mrows
-      /. float_of_int (max 1 (List.length mrows)))
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0. rs
+      /. float_of_int (max 1 (List.length rs)))
   in
-  let total f = List.fold_left (fun acc r -> acc +. f r) 0. mrows in
+  let total_over rs f = List.fold_left (fun acc r -> acc +. f r) 0. rs in
+  let total = total_over mrows in
+  (* No measurable row leaves a 0/0 aggregate; JSON has no NaN, so such
+     summaries are written as 0. *)
+  let safe f = if Float.is_finite f then f else 0. in
   let agg_speedup =
-    total (fun r -> det_time r.ref_mrw_s r.nop_s)
-    /. total (fun r -> det_time r.mrw_s r.nop_s)
+    safe
+      (total (fun r -> det_time r.ref_mrw_s r.nop_s)
+      /. total (fun r -> det_time r.mrw_s r.nop_s))
+  in
+  let vc_agg_speedup =
+    safe
+      (total_over vrows (fun r -> det_time r.ref_mrw_s r.nop_s)
+      /. total_over vrows (fun r -> det_time r.vc_mrw_s r.nop_s))
   in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf (Fmt.str "  \"repeat\": %d,\n" repeat);
   Buffer.add_string buf
+    (Fmt.str "  \"par_domains\": %d,\n" (par_domains ()));
+  Buffer.add_string buf
     (Fmt.str "  \"measured_rows\": %d,\n" (List.length mrows));
   Buffer.add_string buf
+    (Fmt.str "  \"vc_measured_rows\": %d,\n" (List.length vrows));
+  Buffer.add_string buf
     (Fmt.str "  \"aggregate_mrw_speedup_vs_seed\": %.3f,\n" agg_speedup);
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_vc_mrw_speedup_vs_seed\": %.3f,\n" vc_agg_speedup);
   Buffer.add_string buf
     (Fmt.str "  \"total_accesses\": %.0f,\n"
        (total (fun r -> float_of_int r.accesses)));
   Buffer.add_string buf
     (Fmt.str "  \"aggregate_mrw_det_accesses_per_s\": %.0f,\n"
-       (total (fun r -> float_of_int r.accesses)
-       /. total (fun r -> det_time r.mrw_s r.nop_s)));
+       (safe
+          (total (fun r -> float_of_int r.accesses)
+          /. total (fun r -> det_time r.mrw_s r.nop_s))));
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_vc_mrw_det_accesses_per_s\": %.0f,\n"
+       (safe
+          (total_over vrows (fun r -> float_of_int r.accesses)
+          /. total_over vrows (fun r -> det_time r.vc_mrw_s r.nop_s))));
   Buffer.add_string buf
     (Fmt.str "  \"aggregate_ref_mrw_det_accesses_per_s\": %.0f,\n"
-       (total (fun r -> float_of_int r.accesses)
-       /. total (fun r -> det_time r.ref_mrw_s r.nop_s)));
+       (safe
+          (total (fun r -> float_of_int r.accesses)
+          /. total (fun r -> det_time r.ref_mrw_s r.nop_s))));
   Buffer.add_string buf
-    (Fmt.str "  \"geomean_mrw_speedup_vs_seed\": %.3f,\n" (geomean mrw_speedup));
+    (Fmt.str "  \"geomean_mrw_speedup_vs_seed\": %.3f,\n"
+       (geomean_over mrows mrw_speedup));
+  Buffer.add_string buf
+    (Fmt.str "  \"geomean_vc_mrw_speedup_vs_seed\": %.3f,\n"
+       (geomean_over vrows vc_mrw_speedup));
   Buffer.add_string buf
     (Fmt.str "  \"geomean_srw_speedup_vs_seed\": %.3f,\n"
-       (geomean (fun r ->
+       (geomean_over mrows (fun r ->
             det_time r.ref_srw_s r.nop_s /. det_time r.srw_s r.nop_s)));
   Buffer.add_string buf "  \"rows\": [\n";
   Buffer.add_string buf (String.concat ",\n" (List.map row_json rows));
@@ -246,48 +366,65 @@ let json_of_rows ~repeat rows =
 let sweep ~quick () =
   let repeat = if quick then 1 else env_int "TDR_BENCH_REPEAT" 5 in
   let warmup = if quick then 0 else 1 in
-  Fmt.pr "== detector overhead: MRW hot path vs seed implementation ==@.";
   Fmt.pr
-    "(accesses/sec of detection time = run minus uninstrumented baseline)@.";
-  Fmt.pr "%-14s %10s %6s %9s %9s %9s %11s %11s %8s@." "benchmark" "accesses"
-    "races" "nop(ms)" "mrw(ms)" "seed(ms)" "mrw(a/s)" "seed(a/s)" "speedup";
+    "== detector shootout: seed / ESP-bags / vector clocks (%d-domain \
+     parallel row) ==@."
+    (par_domains ());
+  Fmt.pr
+    "(speedups in accesses/sec of detection time = run minus \
+     uninstrumented baseline; par(ms) is wall-clock of detection \
+     overlapped with parallel execution)@.";
+  Fmt.pr "%-14s %10s %6s %9s %9s %9s %9s %9s %8s %8s@." "benchmark"
+    "accesses" "races" "nop(ms)" "seed(ms)" "mrw(ms)" "vc(ms)" "par(ms)"
+    "mrw-spd" "vc-spd";
   let rows =
     List.map
       (fun b ->
         let r = measure ~warmup ~repeat b in
-        let speedup =
-          if row_measurable r then Fmt.str "%7.2fx" (mrw_speedup r)
-          else "    n/a"
-        in
-        Fmt.pr "%-14s %10d %6d %9.2f %9.2f %9.2f %11.0f %11.0f %s@." r.name
-          r.accesses r.races (1e3 *. r.nop_s) (1e3 *. r.mrw_s)
-          (1e3 *. r.ref_mrw_s) (mrw_aps r) (ref_mrw_aps r) speedup;
+        let spd ok v = if ok then Fmt.str "%7.2fx" v else "    n/a" in
+        Fmt.pr "%-14s %10d %6d %9.2f %9.2f %9.2f %9.2f %9.2f %s %s@." r.name
+          r.accesses r.races (1e3 *. r.nop_s) (1e3 *. r.ref_mrw_s)
+          (1e3 *. r.mrw_s) (1e3 *. r.vc_mrw_s) (1e3 *. r.par_mrw_s)
+          (spd (row_measurable r) (mrw_speedup r))
+          (spd (vc_row_measurable r) (vc_mrw_speedup r));
         r)
-      Benchsuite.Suite.all
+      (suite ())
   in
   let mrows = List.filter row_measurable rows in
-  let geomean =
+  let vrows = List.filter vc_row_measurable rows in
+  let geomean_over rs f =
     exp
-      (List.fold_left (fun acc r -> acc +. log (mrw_speedup r)) 0. mrows
-      /. float_of_int (max 1 (List.length mrows)))
+      (List.fold_left (fun acc r -> acc +. log (f r)) 0. rs
+      /. float_of_int (max 1 (List.length rs)))
   in
-  let total f = List.fold_left (fun acc r -> acc +. f r) 0. mrows in
+  let total_over rs f = List.fold_left (fun acc r -> acc +. f r) 0. rs in
   let agg =
-    total (fun r -> det_time r.ref_mrw_s r.nop_s)
-    /. total (fun r -> det_time r.mrw_s r.nop_s)
+    total_over mrows (fun r -> det_time r.ref_mrw_s r.nop_s)
+    /. total_over mrows (fun r -> det_time r.mrw_s r.nop_s)
+  in
+  let vc_agg =
+    total_over vrows (fun r -> det_time r.ref_mrw_s r.nop_s)
+    /. total_over vrows (fun r -> det_time r.vc_mrw_s r.nop_s)
   in
   Fmt.pr
-    "race sets byte-identical to the seed on all %d benchmark(s); MRW \
+    "race sets byte-identical to the seed on all %d benchmark(s), \
+     parallel static race sets equal to the sequential MRW oracle; MRW \
      speedup vs seed over the %d with measurable detection time: %.2fx \
-     aggregate (suite accesses per detection second), %.2fx geomean@."
-    (List.length rows) (List.length mrows) agg geomean;
+     aggregate, %.2fx geomean; vclock MRW over %d: %.2fx aggregate, \
+     %.2fx geomean@."
+    (List.length rows) (List.length mrows) agg
+    (geomean_over mrows mrw_speedup)
+    (List.length vrows) vc_agg
+    (geomean_over vrows vc_mrw_speedup);
   (* Guard against the observability hooks (PR 5) creeping into the MRW
      hot loop: with tracing disabled the instrumented detector must stay
      faster than the seed implementation.  The floor is deliberately loose
      (1.0x by default, i.e. "at least as fast as the seed", far below the
      steady-state speedup) because CI machines are noisy and quick mode
      times a single run; TDR_BENCH_MIN_SPEEDUP overrides it.  Skipped
-     entirely when no row's detection time is above the noise floor. *)
+     entirely when no row's detection time is above the noise floor.  The
+     parallel row never participates: its clock is wall time of a
+     nondeterministic schedule. *)
   (if mrows <> [] then
      let floor = env_float "TDR_BENCH_MIN_SPEEDUP" 1.0 in
      if agg < floor then
@@ -297,20 +434,26 @@ let sweep ~quick () =
              the %.2fx floor (TDR_BENCH_MIN_SPEEDUP) — instrumentation \
              overhead regression?"
             agg floor));
-  if quick then ()
-  else
+  (* Quick mode writes the JSON only on explicit request (the @ci alias
+     must not litter the build dir), full mode by default. *)
+  let json_dest =
     match Sys.getenv_opt "TDR_BENCH_DETECTOR_JSON" with
-    | Some "-" -> ()
-    | path_opt ->
-        let path = Option.value ~default:"BENCH_detector.json" path_opt in
-        let oc = open_out path in
-        output_string oc (json_of_rows ~repeat rows);
-        close_out oc;
-        Fmt.pr "[detector data written to %s]@." path
+    | Some "-" -> None
+    | Some path -> Some path
+    | None -> if quick then None else Some "BENCH_detector.json"
+  in
+  match json_dest with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (json_of_rows ~repeat rows);
+      close_out oc;
+      Fmt.pr "[detector data written to %s]@." path
 
 let run () = sweep ~quick:false ()
 
-(* CI variant: single timed run per configuration, no JSON; the race-set
-   identity assertions (new vs seed, pruned vs unpruned) still run on the
-   whole suite. *)
+(* CI variant: single timed run per configuration, JSON only when
+   TDR_BENCH_DETECTOR_JSON is set; the race-set identity assertions
+   (ESP-bags and vclock vs seed, pruned vs unpruned, parallel static set
+   vs sequential oracle) still run on the whole suite. *)
 let run_quick () = sweep ~quick:true ()

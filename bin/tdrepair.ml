@@ -85,6 +85,30 @@ let mode_arg =
           "ESP-bags detector flavour: $(b,mrw) (all readers/writers, the \
            paper's default) or $(b,srw) (single reader-writer).")
 
+let backend_arg =
+  let backend_conv =
+    Arg.enum [ ("espbags", `Espbags); ("vclock", `Vclock); ("auto", `Auto) ]
+  in
+  Arg.(
+    value & opt backend_conv `Espbags
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Detection backend: $(b,espbags) (the paper's algorithm, the \
+           default), $(b,vclock) (vector clocks, report-identical to \
+           ESP-bags), or $(b,auto) (pick per workload from its task \
+           shape; the choice is printed and recorded in the metrics as \
+           $(b,detector.backend)).")
+
+(* [`Auto] resolves here so the pick and its reason are visible on
+   stdout; the driver resolves identically (same Vclock.Select.choose)
+   for the metrics. *)
+let resolve_backend_verbose prog = function
+  | (`Espbags | `Vclock) as b -> b
+  | `Auto ->
+      let pick, reason = Vclock.Select.choose prog in
+      Fmt.pr "auto backend: %a (%s)@." Vclock.Select.pp_choice pick reason;
+      (pick :> [ `Espbags | `Vclock ])
+
 let set_arg =
   Arg.(
     value & opt_all string []
@@ -260,10 +284,12 @@ let static_prune_arg =
            reported race set is unchanged; detection only gets cheaper.")
 
 let detect_cmd =
-  let run file mode sets trace dump_tree dump_sdpst static_prune timeout_ms =
+  let run file mode backend sets trace dump_tree dump_sdpst static_prune
+      timeout_ms =
     or_die (fun () ->
       Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
+        let backend = resolve_backend_verbose prog backend in
         let keep =
           if static_prune then begin
             let pr = Static.Prune.make prog in
@@ -276,24 +302,39 @@ let detect_cmd =
           end
           else None
         in
-        let det, res = Espbags.Detector.detect ?keep mode prog in
-        let races = Espbags.Detector.races det in
+        let label, races, n_accesses, n_locations, n_skipped, res =
+          match backend with
+          | `Espbags ->
+              let det, res = Espbags.Detector.detect ?keep mode prog in
+              ( "ESP-bags",
+                Espbags.Detector.races det,
+                det.Espbags.Detector.n_accesses,
+                det.Espbags.Detector.n_locations,
+                det.Espbags.Detector.n_skipped,
+                res )
+          | `Vclock ->
+              let det, res = Vclock.Seq.detect ?keep mode prog in
+              ( "vector-clock",
+                Vclock.Seq.races det,
+                det.Vclock.Seq.n_accesses,
+                det.Vclock.Seq.n_locations,
+                det.Vclock.Seq.n_skipped,
+                res )
+        in
         if dump_sdpst then Fmt.pr "%s@." (Sdpst.Serial.to_string res.tree);
         (match dump_tree with
         | Some path ->
             write_file path (Sdpst.Serial.tree_to_string res.tree);
             Fmt.pr "S-DPST written to %s@." path
         | None -> ());
-        Fmt.pr "%a ESP-bags: %d race report(s), %d distinct step pair(s)@."
-          Espbags.Detector.pp_mode mode (List.length races)
+        Fmt.pr "%a %s: %d race report(s), %d distinct step pair(s)@."
+          Espbags.Detector.pp_mode mode label (List.length races)
           (List.length (Espbags.Race.dedupe_by_steps races));
         Fmt.pr
           "checked %d access(es) over %d location(s); S-DPST has %d node(s)@."
-          det.Espbags.Detector.n_accesses det.Espbags.Detector.n_locations
-          res.Rt.Interp.tree.Sdpst.Node.n_nodes;
-        if det.Espbags.Detector.n_skipped > 0 then
-          Fmt.pr "skipped %d access(es) proven sequential@."
-            det.Espbags.Detector.n_skipped;
+          n_accesses n_locations res.Rt.Interp.tree.Sdpst.Node.n_nodes;
+        if n_skipped > 0 then
+          Fmt.pr "skipped %d access(es) proven sequential@." n_skipped;
         List.iteri
           (fun i r ->
             if i < 20 then Fmt.pr "  %a@." Espbags.Race.pp r
@@ -326,11 +367,11 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:
-         "Execute a program under an ESP-bags detector and report its data \
-          races.")
+         "Execute a program under a race detector (ESP-bags or vector \
+          clocks, see $(b,--backend)) and report its data races.")
     Term.(
-      const run $ file_arg $ mode_arg $ set_arg $ trace $ dump_tree $ dump
-      $ static_prune_arg $ timeout_arg)
+      const run $ file_arg $ mode_arg $ backend_arg $ set_arg $ trace
+      $ dump_tree $ dump $ static_prune_arg $ timeout_arg)
 
 let analyze_cmd =
   let run file tree_path trace_path output quiet =
@@ -395,7 +436,7 @@ let static_verify_arg =
            are listed and the command exits 4.")
 
 let repair_cmd =
-  let run file mode strategy sets budgets output report_flag quiet
+  let run file mode backend strategy sets budgets output report_flag quiet
       static_prune static_verify validate_par validate_seed budget_validate
       trace_file metrics_file timeout_ms =
     (* Enable tracing before the compile so the parse/typecheck/normalize
@@ -404,6 +445,7 @@ let repair_cmd =
     or_die (fun () ->
       Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
+        let backend = resolve_backend_verbose prog backend in
         let validate_par =
           Option.map
             (fun schedules ->
@@ -415,8 +457,10 @@ let repair_cmd =
             validate_par
         in
         let report =
-          Repair.Driver.repair ~mode ~strategy ~budgets ~static_prune
-            ~static_verify ?validate_par prog
+          Repair.Driver.repair ~mode
+            ~backend:(backend :> Repair.Driver.backend)
+            ~strategy ~budgets ~static_prune ~static_verify ?validate_par
+            prog
         in
         (* Write telemetry before anything below can [exit]. *)
         Option.iter (fun path -> Obs.Trace.save path) trace_file;
@@ -557,8 +601,8 @@ let repair_cmd =
           input, 4 repaired but degraded by a $(b,--budget-*) limit or \
           left unproven by $(b,--static-verify), 5 unrepairable.")
     Term.(
-      const run $ file_arg $ mode_arg $ strategy $ set_arg $ budgets_term
-      $ output_arg $ report_flag $ quiet $ static_prune_arg
+      const run $ file_arg $ mode_arg $ backend_arg $ strategy $ set_arg
+      $ budgets_term $ output_arg $ report_flag $ quiet $ static_prune_arg
       $ static_verify_arg $ validate_par $ validate_seed $ budget_validate
       $ trace_file $ metrics_file $ timeout_arg)
 

@@ -86,6 +86,9 @@ let declare_metrics m =
       "detector.uf_finds";
       "detector.uf_unions";
       "detector.scan_entries";
+      "detector.backend";
+      "detector.tasks";
+      "detector.clock_merges";
       "prune.stmts";
       "prune.kept";
       "prune.discharged";
@@ -107,6 +110,32 @@ let declare_metrics m =
     ]
 
 exception Unrepairable of string
+
+(** Which sequential detection backend executes the program: the
+    ESP-bags detectors (the paper's algorithm, the default), the
+    vector-clock detector ({!Vclock.Seq}, report-identical), or an
+    automatic per-workload pick ({!Vclock.Select.choose}).  The resolved
+    choice is recorded in [report.metrics] as [detector.backend]
+    (0 = espbags, 1 = vclock). *)
+type backend = [ `Espbags | `Vclock | `Auto ]
+
+let pp_backend ppf = function
+  | `Espbags -> Fmt.string ppf "espbags"
+  | `Vclock -> Fmt.string ppf "vclock"
+  | `Auto -> Fmt.string ppf "auto"
+
+(* Resolve [`Auto] against the program's task shape; returns the pick and
+   the human-readable reason (empty for explicit picks). *)
+let resolve_backend backend prog : [ `Espbags | `Vclock ] * string =
+  match backend with
+  | (`Espbags | `Vclock) as b -> (b, "")
+  | `Auto ->
+      let choice, reason = Vclock.Select.choose prog in
+      Log.info (fun m ->
+          m "backend auto-selection: %a (%s)" pp_backend
+            (choice :> backend)
+            reason);
+      (choice, reason)
 
 (* ------------------------------------------------------------------ *)
 (* Single-iteration placement                                          *)
@@ -408,14 +437,17 @@ let enforce_sdpst_budget ~guard (tree : Sdpst.Node.tree)
     @raise Unrepairable if some race admits no scope-valid fix
     @raise Diag.Fail on typed pipeline failures (see {!repair_checked} for
       the total variant) *)
-let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
-    ?(max_iterations = default_max_iterations) ?fuel
+let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
+    ?(strategy = `Batch) ?(max_iterations = default_max_iterations) ?fuel
     ?(budgets = Guard.unlimited) ?(static_prune = false)
     ?(static_verify = false) ?validate_par (prog : Mhj.Ast.program) : report =
   let guard = Guard.make budgets in
   let fuel = Guard.effective_fuel guard fuel in
   let metrics = Obs.Metrics.create () in
   declare_metrics metrics;
+  let backend, _auto_reason = resolve_backend backend prog in
+  Obs.Metrics.set metrics "detector.backend"
+    (match backend with `Espbags -> 0 | `Vclock -> 1);
   let finish program iterations ~converged ~final_races =
     let verified_static, static_residual =
       if static_verify && converged then
@@ -490,14 +522,34 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         end
         else None
       in
-      let det, res =
+      (* Both backends share the detection contract: run the program
+         depth-first, return the same Race.t records over the same
+         S-DPST (the differential suite holds them report-identical). *)
+      let races, det_stats, n_accesses, n_skipped, res =
         Guard.at_stage Diag.Detect (fun () ->
             Obs.Trace.with_span "detect" (fun () ->
-                Espbags.Detector.detect ?fuel ?keep mode program))
+                match backend with
+                | `Espbags ->
+                    let det, res =
+                      Espbags.Detector.detect ?fuel ?keep mode program
+                    in
+                    ( Espbags.Detector.races det,
+                      Espbags.Detector.stats det,
+                      det.Espbags.Detector.n_accesses,
+                      det.Espbags.Detector.n_skipped,
+                      res )
+                | `Vclock ->
+                    let det, res =
+                      Vclock.Seq.detect ?fuel ?keep mode program
+                    in
+                    ( Vclock.Seq.races det,
+                      Vclock.Seq.stats det,
+                      det.Vclock.Seq.n_accesses,
+                      det.Vclock.Seq.n_skipped,
+                      res )))
       in
       let detect_time = Unix.gettimeofday () -. t0 in
-      Obs.Metrics.add_all metrics (Espbags.Detector.stats det);
-      let races = Espbags.Detector.races det in
+      Obs.Metrics.add_all metrics det_stats;
       if races = [] then `Converged
       else if remaining = 0 then `Exhausted (List.length races)
       else begin
@@ -528,8 +580,8 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
             detect_time;
             place_time;
             sdpst_nodes = res.tree.Sdpst.Node.n_nodes;
-            n_accesses = det.Espbags.Detector.n_accesses;
-            n_skipped = det.Espbags.Detector.n_skipped;
+            n_accesses;
+            n_skipped;
           }
         in
         Obs.Metrics.add metrics "driver.races" iter.n_races;
@@ -561,11 +613,11 @@ let classify_unrepairable = function
     the analyzed program, fuel exhaustion, placement infeasibility,
     injected faults, internal invariant violations — comes back as a typed
     diagnostic instead of an exception. *)
-let repair_checked ?mode ?strategy ?max_iterations ?fuel ?budgets
+let repair_checked ?mode ?backend ?strategy ?max_iterations ?fuel ?budgets
     ?static_prune ?static_verify ?validate_par prog : (report, Diag.t) result =
   Guard.capture ~classify:classify_unrepairable (fun () ->
-      repair ?mode ?strategy ?max_iterations ?fuel ?budgets ?static_prune
-        ?static_verify ?validate_par prog)
+      repair ?mode ?backend ?strategy ?max_iterations ?fuel ?budgets
+        ?static_prune ?static_verify ?validate_par prog)
 
 (** Total placements inserted across all iterations. *)
 let total_placements (r : report) : Mhj.Transform.placement list =
@@ -595,8 +647,9 @@ type multi_report = {
     budget exhaustion, unrepairable race) is recorded in [failures] and
     does not stop the others.  Also reports the combined statement/async
     coverage of the input set — the paper's §9 test-suitability metric. *)
-let repair_multi ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
-    ?(max_rounds = 10) ?fuel ?(budgets = Guard.unlimited)
+let repair_multi ?(mode = Espbags.Detector.Mrw) ?backend
+    ?(strategy = `Batch) ?(max_rounds = 10) ?fuel
+    ?(budgets = Guard.unlimited)
     ~(inputs : (string * (string * int) list) list)
     (prog : Mhj.Ast.program) : multi_report =
   let apply_input program overrides =
@@ -613,7 +666,7 @@ let repair_multi ?(mode = Espbags.Detector.Mrw) ?(strategy = `Batch)
         (fun (label, overrides) ->
           ( label,
             Guard.capture ~classify:classify_unrepairable (fun () ->
-                repair ~mode ~strategy ?fuel ~budgets
+                repair ~mode ?backend ~strategy ?fuel ~budgets
                   (apply_input program overrides)) ))
         inputs
     in

@@ -70,6 +70,16 @@ type report = {
 exception Unrepairable of string
 (** Some race admits no scope-valid finish placement. *)
 
+(** Sequential detection backend: the ESP-bags detectors (the paper's
+    algorithm, default), the vector-clock detector ({!Vclock.Seq},
+    report-identical — the differential suite holds them record-equal),
+    or a per-workload automatic pick ({!Vclock.Select.choose}).  The
+    resolved choice lands in [report.metrics] as [detector.backend]
+    (0 = espbags, 1 = vclock). *)
+type backend = [ `Espbags | `Vclock | `Auto ]
+
+val pp_backend : backend Fmt.t
+
 (** One placement pass: the dynamic placement + location mapping for the
     races of a single detector run, without touching the program.
     Trace-file workflows (paper Appendix A) drive this directly.
@@ -97,6 +107,8 @@ val default_max_iterations : int
 (** Repair [prog]: iterate detection and placement until race-free.
 
     @param mode detector flavour (default {!Espbags.Detector.Mrw})
+    @param backend which detector implementation executes the program
+      (default [`Espbags]; [`Auto] resolves per workload)
     @param strategy [`Batch] (default) solves every NS-LCA group of a
       detection run at once; [`Incremental] is the paper's §6.1 live-tree
       loop.  Both converge; [`Batch] does less work on large race sets.
@@ -118,6 +130,7 @@ val default_max_iterations : int
     @raise Diag.Fail on typed pipeline failures *)
 val repair :
   ?mode:Espbags.Detector.mode ->
+  ?backend:backend ->
   ?strategy:[ `Batch | `Incremental ] ->
   ?max_iterations:int ->
   ?fuel:int ->
@@ -134,6 +147,7 @@ val repair :
     back as a typed diagnostic instead of an exception. *)
 val repair_checked :
   ?mode:Espbags.Detector.mode ->
+  ?backend:backend ->
   ?strategy:[ `Batch | `Incremental ] ->
   ?max_iterations:int ->
   ?fuel:int ->
@@ -169,6 +183,7 @@ type multi_report = {
     coverage of the input set — the paper's §9 test-suitability metric. *)
 val repair_multi :
   ?mode:Espbags.Detector.mode ->
+  ?backend:backend ->
   ?strategy:[ `Batch | `Incremental ] ->
   ?max_rounds:int ->
   ?fuel:int ->

@@ -22,6 +22,36 @@ val make :
 
 val pp : t Fmt.t
 
+(** Exact per-record signature [(src id, sink id, addr, kind)] — node ids
+    are deterministic under the depth-first interpreter, so two runs
+    report the same races in the same order iff their {!exact_sigs}
+    lists are equal.  This is the single comparator shared by the
+    differential test harness and the bench byte-identity assertions. *)
+val exact_sig : t -> int * int * string * string
+
+val exact_sigs : t list -> (int * int * string * string) list
+
+val pp_sig : (int * int * string * string) Fmt.t
+
+(** Schedule-independent race identity: unordered static endpoints
+    [(bid, idx, is_write)] (sorted) plus the address.  Parallel detection
+    compares these, since node ids depend on depth-first order.  [addr]
+    is polymorphic so hot paths can key on the interned id and render
+    the source-level string only when collecting. *)
+val static_key :
+  a_bid:int ->
+  a_idx:int ->
+  a_write:bool ->
+  b_bid:int ->
+  b_idx:int ->
+  b_write:bool ->
+  addr:'a ->
+  (int * int * bool) * (int * int * bool) * 'a
+
+val static_key_of_race : t -> (int * int * bool) * (int * int * bool) * string
+
+val pp_static_key : ((int * int * bool) * (int * int * bool) * string) Fmt.t
+
 (** Distinct (source step, sink step) pairs, first-seen order. *)
 val dedupe_by_steps : t list -> t list
 

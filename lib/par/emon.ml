@@ -1,0 +1,58 @@
+(** Execution-monitor hooks for the parallel {!Engine} — the parallel
+    analogue of {!Rt.Monitor}, for detectors that do not need the
+    depth-first order (vector clocks).
+
+    The engine has no S-DPST, so events carry dense [int] tokens instead
+    of tree nodes: the monitor mints a token per task
+    ([on_task_begin]) and per finish ([on_finish_begin]) and the engine
+    threads them through spawns and joins.  Accesses carry the interned
+    address (the engine maintains a shared {!Rt.Addr.Intern} when a
+    monitor is attached) plus the {e step origin} — the [(bid, idx)]
+    position where the current maximal monitored run began, matching the
+    origin the sequential interpreter would give the same step, so
+    parallel race reports are comparable to sequential ones by static
+    position.
+
+    {b Concurrency contract} (what implementations may rely on):
+    - [on_init] is called once, before any task runs;
+    - [on_task_begin ~parent] runs on the worker currently executing
+      task [parent] ([parent = -1] for the root), so the parent's
+      monitor state is not concurrently touched during the call;
+    - [on_task_end ~task ~fin] runs after [task]'s last event, and the
+      engine orders it before the join-side [on_finish_end ~fin] via
+      the finish's pending-count atomic ([fin = -1] for the root task);
+    - [on_finish_end ~task ~fin] runs on the worker executing [task]
+      after every task joined by [fin] has ended;
+    - [on_access] may be called concurrently from all workers —
+      implementations synchronize internally (e.g. sharded locks). *)
+
+type t = {
+  on_init : Rt.Addr.Intern.t -> unit;
+      (** the run's shared address interner, delivered before any task *)
+  on_task_begin : parent:int -> int;
+      (** a task is spawned by [parent] (-1 = root); returns its token *)
+  on_task_end : task:int -> fin:int -> unit;
+      (** [task] finished; [fin] is its joining finish (-1 = root task) *)
+  on_finish_begin : task:int -> int;
+      (** [task] opened a finish scope; returns the finish token *)
+  on_finish_end : task:int -> fin:int -> unit;
+      (** [task] passed the join of finish [fin]: all tasks it joined
+          have ended *)
+  on_access :
+    task:int -> bid:int -> idx:int -> int -> Rt.Monitor.access -> unit;
+      (** [task] touched interned address [addr]; [(bid, idx)] is the
+          step origin of the access *)
+}
+
+(** A monitor that ignores everything (token allocation is a plain
+    counter so the engine's threading stays exercised). *)
+let nop () : t =
+  let next = Atomic.make 0 in
+  {
+    on_init = (fun _ -> ());
+    on_task_begin = (fun ~parent:_ -> Atomic.fetch_and_add next 1);
+    on_task_end = (fun ~task:_ ~fin:_ -> ());
+    on_finish_begin = (fun ~task:_ -> Atomic.fetch_and_add next 1);
+    on_finish_end = (fun ~task:_ ~fin:_ -> ());
+    on_access = (fun ~task:_ ~bid:_ ~idx:_ _ _ -> ());
+  }

@@ -106,12 +106,16 @@ let error loc fmt =
 
 type frame = (string, Rt.Value.t ref) Hashtbl.t
 
-type finish = { pending : int Atomic.t }
+type finish = {
+  pending : int Atomic.t;
+  mutable ftok : int;  (** monitor finish token; -1 when unmonitored *)
+}
 
 type task = {
   t_body : Ast.stmt;  (** normalized block *)
   t_env : frame list;  (** frame snapshot taken at the spawn point *)
   t_fin : finish;
+  t_mtok : int;  (** monitor task token; -1 when unmonitored *)
 }
 
 (* Growable task pool with PRNG-indexed removal (Fuzz mode only; accessed
@@ -154,10 +158,29 @@ type worker = {
   mutable n_yields : int;
 }
 
+(* A global's slot caches its interned address, as in Rt.Interp; -1 when
+   no monitor is attached. *)
+type gslot = { gval : Rt.Value.t ref; gaddr : int }
+
+(* Monitoring state, present only when an [emon] was passed to [run].
+   The address interner is shared across workers: array registration
+   happens under [intern_mu] (which also serializes aid draws, keeping
+   registration order dense in aid as Addr.Intern requires), and the
+   per-array cell bases are mirrored into a copy-on-write array behind
+   an [Atomic] so the monitored access path can resolve [base + idx]
+   without taking the lock. *)
+type mon = {
+  em : Emon.t;
+  intern : Rt.Addr.Intern.t;
+  intern_mu : Mutex.t;
+  bases : int array Atomic.t;  (** aid -> cell base id; -1 = unknown *)
+}
+
 type engine = {
   funcs : (string, Ast.func) Hashtbl.t;
-  globals : (string, Rt.Value.t ref) Hashtbl.t;
+  globals : (string, gslot) Hashtbl.t;
       (** structure frozen after the sequential initializer phase *)
+  mon : mon option;
   fuel : int Atomic.t;
   aid : int Atomic.t;
   buf : Buffer.t;
@@ -181,7 +204,24 @@ type tstate = {
   mutable locals : frame list;
   mutable fin : finish;  (** innermost enclosing finish *)
   mutable quiet : bool;  (** global-initializer mode: fuel but no work *)
+  monitored : bool;  (** [eng.mon <> None], checked on hot paths *)
+  mutable mtok : int;  (** this task's monitor token *)
+  (* Step-origin tracking (monitored runs only).  The sequential
+     interpreter's step nodes originate at the (bid, idx) of the first
+     charge after a structural transition; the engine mirrors that with
+     a cursor [(sbid, sidx)] and a latch [(obid, oidx)] captured by the
+     first charge after each [mclose], so monitored access events
+     report the same static origin the depth-first run would. *)
+  mutable sbid : int;  (** block whose statements are executing *)
+  mutable sidx : int;  (** index of the current statement in [sbid] *)
+  mutable obid : int;  (** latched step origin; -1 = not latched *)
+  mutable oidx : int;
 }
+
+(* Close the current step: the next charge re-latches the origin.  The
+   engine calls this exactly where the sequential interpreter closes
+   steps (structural statements, calls, loop iterations). *)
+let mclose st = if st.monitored then st.obid <- -1
 
 (* ------------------------------------------------------------------ *)
 (* Cost, fuel, pacing, poison                                          *)
@@ -219,10 +259,48 @@ let charge st n =
   w.batch <- w.batch + n;
   if not st.quiet then begin
     w.work <- w.work + n;
+    if st.monitored && st.obid < 0 then begin
+      (* first charge since the last structural transition: this is
+         where Rt.Interp would create the step node *)
+      st.obid <- st.sbid;
+      st.oidx <- st.sidx
+    end;
     if st.eng.pace_ns > 0 then
       w.pace_debt_ns <- w.pace_debt_ns +. float_of_int (n * st.eng.pace_ns)
   end;
   if w.batch >= st.eng.batch_limit then slow_path st
+
+(* Deliver a monitored access at the latched step origin. *)
+let maccess st addr kind =
+  match st.eng.mon with
+  | None -> ()
+  | Some m ->
+      if not st.quiet then begin
+        if st.obid < 0 then begin
+          st.obid <- st.sbid;
+          st.oidx <- st.sidx
+        end;
+        m.em.Emon.on_access ~task:st.mtok ~bid:st.obid ~idx:st.oidx addr kind
+      end
+
+(* Interned id of cell [idx] of array [aid] on the monitored path: a
+   lock-free read of the copy-on-write base table, falling back to the
+   interner under the lock for an array whose registration this worker
+   has not yet observed (the lock acquisition synchronizes with the
+   registering unlock). *)
+let cell_addr st aid idx =
+  match st.eng.mon with
+  | None -> -1
+  | Some m -> (
+      let b = Atomic.get m.bases in
+      if aid < Array.length b && Array.unsafe_get b aid >= 0 then
+        Array.unsafe_get b aid + idx
+      else begin
+        Mutex.lock m.intern_mu;
+        let r = Rt.Addr.Intern.cell_id m.intern ~aid ~idx in
+        Mutex.unlock m.intern_mu;
+        r
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Frames                                                              *)
@@ -303,18 +381,45 @@ let eval_binop loc op (a : Rt.Value.t) (b : Rt.Value.t) : Rt.Value.t =
       error loc "operator '%s' applied to %a and %a" (string_of_binop op)
         Rt.Value.pp a Rt.Value.pp b
 
+(* Draw an array id; monitored runs also register the cell block with
+   the shared interner.  Drawing the id under the same lock keeps
+   registration order dense in aid (Addr.Intern's invariant) even when
+   workers allocate concurrently, and the base is published to the
+   copy-on-write mirror before the VArr can escape. *)
+let fresh_aid st len =
+  match st.eng.mon with
+  | None -> 1 + Atomic.fetch_and_add st.eng.aid 1
+  | Some m ->
+      Mutex.lock m.intern_mu;
+      let aid = 1 + Atomic.fetch_and_add st.eng.aid 1 in
+      Rt.Addr.Intern.register_array m.intern ~aid ~len;
+      let base = Rt.Addr.Intern.cell_id m.intern ~aid ~idx:0 in
+      let b = Atomic.get m.bases in
+      let b =
+        if aid < Array.length b then b
+        else begin
+          let bigger = Array.make (max (aid + 1) (2 * Array.length b)) (-1) in
+          Array.blit b 0 bigger 0 (Array.length b);
+          Atomic.set m.bases bigger;
+          bigger
+        end
+      in
+      b.(aid) <- base;
+      Mutex.unlock m.intern_mu;
+      aid
+
 let rec alloc_array st loc base dims : Rt.Value.t =
   match dims with
   | [] -> assert false
   | [ n ] ->
       if n < 0 then error loc "negative array dimension %d" n;
       charge st (n * Rt.Cost.array_cell_alloc);
-      let aid = 1 + Atomic.fetch_and_add st.eng.aid 1 in
+      let aid = fresh_aid st n in
       Rt.Value.VArr { aid; cells = Array.make n (Rt.Value.zero base) }
   | n :: rest ->
       if n < 0 then error loc "negative array dimension %d" n;
       charge st (n * Rt.Cost.array_cell_alloc);
-      let aid = 1 + Atomic.fetch_and_add st.eng.aid 1 in
+      let aid = fresh_aid st n in
       let cells = Array.init n (fun _ -> alloc_array st loc base rest) in
       Rt.Value.VArr { aid; cells }
 
@@ -354,6 +459,21 @@ let backoff_sleep failures =
 (* Interpreter core                                                    *)
 (* ------------------------------------------------------------------ *)
 
+(* Enter a structural scope, mirroring Rt.Interp.in_structural for the
+   step-origin cursor: the current step closes, the body runs with its
+   own block cursor, and the step resumes (re-latching lazily) at the
+   saved (bid, idx) afterwards. *)
+let in_scope st ~body_bid f =
+  mclose st;
+  let saved_bid = st.sbid and saved_idx = st.sidx in
+  st.sbid <- body_bid;
+  let restore () =
+    mclose st;
+    st.sbid <- saved_bid;
+    st.sidx <- saved_idx
+  in
+  Fun.protect ~finally:restore f
+
 let rec eval st (e : Ast.expr) : Rt.Value.t =
   charge st Rt.Cost.expr_node;
   match e.e with
@@ -366,7 +486,9 @@ let rec eval st (e : Ast.expr) : Rt.Value.t =
       | Some r -> !r
       | None -> (
           match Hashtbl.find_opt st.eng.globals x with
-          | Some r -> !r
+          | Some g ->
+              maccess st g.gaddr Rt.Monitor.Read;
+              !(g.gval)
           | None -> error e.eloc "unbound variable '%s'" x))
   | Bin (And, a, b) ->
       if as_bool a.eloc (eval st a) then eval st b else VBool false
@@ -387,6 +509,7 @@ let rec eval st (e : Ast.expr) : Rt.Value.t =
       let i = as_int i.eloc (eval st i) in
       if i < 0 || i >= Array.length arr.cells then
         error e.eloc "index %d out of bounds [0..%d)" i (Array.length arr.cells);
+      if st.monitored then maccess st (cell_addr st arr.aid i) Rt.Monitor.Read;
       arr.cells.(i)
   | NewArr (base, dims) ->
       let dims = List.map (fun d -> as_int d.Ast.eloc (eval st d)) dims in
@@ -441,19 +564,21 @@ and call_function st loc name (args : Rt.Value.t list) : Rt.Value.t =
     | None -> error loc "unknown function '%s'" name
   in
   charge st Rt.Cost.call_overhead;
-  let saved_locals = st.locals in
-  st.locals <- [ Hashtbl.create 8 ];
-  List.iter2 (fun (x, _ty) v -> declare_local st x v) f.params args;
-  push_frame st;
-  let restore () = st.locals <- saved_locals in
-  Fun.protect ~finally:restore (fun () ->
-      match exec_stmts st f.body.stmts with
-      | () -> Rt.Value.VUnit
-      | exception Return_v v -> v)
+  in_scope st ~body_bid:f.body.bid (fun () ->
+      let saved_locals = st.locals in
+      st.locals <- [ Hashtbl.create 8 ];
+      List.iter2 (fun (x, _ty) v -> declare_local st x v) f.params args;
+      push_frame st;
+      let restore () = st.locals <- saved_locals in
+      Fun.protect ~finally:restore (fun () ->
+          match exec_stmts st f.body.stmts with
+          | () -> Rt.Value.VUnit
+          | exception Return_v v -> v))
 
 and exec_stmts st (stmts : Ast.stmt list) : unit =
-  List.iter
-    (fun s ->
+  List.iteri
+    (fun i s ->
+      st.sidx <- i;
       maybe_yield st;
       exec_stmt st s)
     stmts
@@ -480,7 +605,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
       | Some r -> r := v
       | None -> (
           match Hashtbl.find_opt st.eng.globals x with
-          | Some r -> r := v
+          | Some g ->
+              maccess st g.gaddr Rt.Monitor.Write;
+              g.gval := v
           | None -> error stmt.sloc "unbound variable '%s'" x))
   | Assign (x, path, rhs) ->
       let base =
@@ -488,7 +615,9 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
         | Some r -> !r
         | None -> (
             match Hashtbl.find_opt st.eng.globals x with
-            | Some r -> !r
+            | Some g ->
+                maccess st g.gaddr Rt.Monitor.Read;
+                !(g.gval)
             | None -> error stmt.sloc "unbound variable '%s'" x)
       in
       let rec walk v = function
@@ -500,6 +629,8 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
               error stmt.sloc "index %d out of bounds [0..%d)" i
                 (Array.length arr.cells);
             let rhs_v = eval st rhs in
+            if st.monitored then
+              maccess st (cell_addr st arr.aid i) Rt.Monitor.Write;
             arr.cells.(i) <- rhs_v
         | idx :: rest ->
             let arr = as_arr stmt.sloc v in
@@ -507,6 +638,8 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
             if i < 0 || i >= Array.length arr.cells then
               error stmt.sloc "index %d out of bounds [0..%d)" i
                 (Array.length arr.cells);
+            if st.monitored then
+              maccess st (cell_addr st arr.aid i) Rt.Monitor.Read;
             walk arr.cells.(i) rest
       in
       walk base path
@@ -540,24 +673,36 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
       raise (Return_v v)
   | Async body -> (
       match body.s with
-      | Ast.Block _ -> spawn st body
+      | Ast.Block _ ->
+          mclose st;
+          spawn st body;
+          mclose st
       | _ ->
           error stmt.sloc
             "program not normalized (async); compile with Front.compile")
   | Finish body -> (
       match body.s with
-      | Ast.Block _ ->
-          let fin = { pending = Atomic.make 0 } in
-          let saved = st.fin in
-          st.fin <- fin;
-          Fun.protect
-            ~finally:(fun () -> st.fin <- saved)
-            (fun () -> exec_body st body);
-          wait_fin st fin
+      | Ast.Block b ->
+          let fin = { pending = Atomic.make 0; ftok = -1 } in
+          (match st.eng.mon with
+          | Some m -> fin.ftok <- m.em.Emon.on_finish_begin ~task:st.mtok
+          | None -> ());
+          in_scope st ~body_bid:b.bid (fun () ->
+              let saved = st.fin in
+              st.fin <- fin;
+              Fun.protect
+                ~finally:(fun () -> st.fin <- saved)
+                (fun () -> exec_body st body));
+          wait_fin st fin;
+          (match st.eng.mon with
+          | Some m -> m.em.Emon.on_finish_end ~task:st.mtok ~fin:fin.ftok
+          | None -> ())
       | _ ->
           error stmt.sloc
             "program not normalized (finish); compile with Front.compile")
-  | Block b -> in_frame st (fun () -> exec_stmts st b.stmts)
+  | Block b ->
+      in_scope st ~body_bid:b.bid (fun () ->
+          in_frame st (fun () -> exec_stmts st b.stmts))
   | Expr e -> ignore (eval st e)
 
 and exec_scope_body st (body : Ast.stmt) : unit =
@@ -571,9 +716,10 @@ and exec_scope_body st (body : Ast.stmt) : unit =
 and exec_for_iteration st iv i body =
   match body.s with
   | Ast.Block b ->
-      in_frame st (fun () ->
-          declare_local st iv (Rt.Value.VInt i);
-          exec_stmts st b.stmts)
+      in_scope st ~body_bid:b.bid (fun () ->
+          in_frame st (fun () ->
+              declare_local st iv (Rt.Value.VInt i);
+              exec_stmts st b.stmts))
   | _ ->
       error body.sloc
         "program not normalized (for body); compile with Front.compile"
@@ -585,7 +731,12 @@ and spawn st (body : Ast.stmt) : unit =
   let fin = st.fin in
   Atomic.incr eng.n_tasks;
   Atomic.incr fin.pending;
-  let t = { t_body = body; t_env = snapshot_env st; t_fin = fin } in
+  let t_mtok =
+    match eng.mon with
+    | Some m -> m.em.Emon.on_task_begin ~parent:st.mtok
+    | None -> -1
+  in
+  let t = { t_body = body; t_env = snapshot_env st; t_fin = fin; t_mtok } in
   if eng.is_fuzz then begin
     if Tdrutil.Prng.int st.w.rng 100 < eng.policy.inline_pct then begin
       st.w.n_inlined <- st.w.n_inlined + 1;
@@ -642,13 +793,25 @@ and wait_fin st (fin : finish) : unit =
    the engine; the pending count is always decremented so joins cannot
    hang. *)
 and run_task eng (w : worker) (t : task) : unit =
-  let st = { eng; w; locals = t.t_env; fin = t.t_fin; quiet = false } in
+  let body_bid =
+    match t.t_body.s with Ast.Block b -> b.bid | _ -> -1
+  in
+  let st =
+    { eng; w; locals = t.t_env; fin = t.t_fin; quiet = false;
+      monitored = eng.mon <> None; mtok = t.t_mtok;
+      sbid = body_bid; sidx = 0; obid = -1; oidx = 0 }
+  in
   (try exec_body st t.t_body with
   | Abort -> ()
   | Return_v _ ->
       (* the typechecker rejects [return] crossing an async boundary *)
       ()
   | e -> poison_with eng e);
+  (* End the task before releasing the join: the finish's pending-count
+     atomic then orders this event before the joiner's on_finish_end. *)
+  (match eng.mon with
+  | Some m -> m.em.Emon.on_task_end ~task:t.t_mtok ~fin:t.t_fin.ftok
+  | None -> ());
   ignore (Atomic.fetch_and_add t.t_fin.pending (-1))
 
 (* ------------------------------------------------------------------ *)
@@ -669,7 +832,7 @@ let worker_loop eng (w : worker) =
           backoff_sleep !failures
   done
 
-let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
+let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ?emon ~mode
     (prog : Ast.program) : result =
   if not (Normalize.is_normalized prog) then
     error Loc.dummy "program must be normalized (use Front.compile)";
@@ -704,10 +867,23 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
           n_yields = 0;
         })
   in
+  let mon =
+    match emon with
+    | None -> None
+    | Some em ->
+        Some
+          {
+            em;
+            intern = Rt.Addr.Intern.create ();
+            intern_mu = Mutex.create ();
+            bases = Atomic.make [||];
+          }
+  in
   let eng =
     {
       funcs = Hashtbl.create 16;
       globals = Hashtbl.create 16;
+      mon;
       fuel = Atomic.make fuel;
       aid = Atomic.make 0;
       buf = Buffer.create 256;
@@ -727,21 +903,41 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
     }
   in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace eng.funcs f.fname f) prog.funcs;
-  let root = { pending = Atomic.make 0 } in
+  let root = { pending = Atomic.make 0; ftok = -1 } in
   let st0 =
     { eng; w = workers.(0); locals = [ Hashtbl.create 8 ]; fin = root;
-      quiet = false }
+      quiet = false; monitored = mon <> None; mtok = -1;
+      sbid = main.body.bid; sidx = 0; obid = -1; oidx = 0 }
   in
+  (* Globals are interned up front (ids 0.. in declaration order, before
+     any array registration), as in Rt.Interp. *)
+  let gaddrs =
+    List.map
+      (fun (g : Ast.global) ->
+        let gaddr =
+          match mon with
+          | Some m -> Rt.Addr.Intern.add_global m.intern g.gname
+          | None -> -1
+        in
+        (g, gaddr))
+      prog.globals
+  in
+  (match mon with Some m -> m.em.Emon.on_init m.intern | None -> ());
   (* Global initializers are sequenced before every task: run them before
      any other domain exists, then never touch the table's structure
      again (only the refs and arrays it holds). *)
   st0.quiet <- true;
   List.iter
-    (fun (g : Ast.global) ->
+    (fun ((g : Ast.global), gaddr) ->
       let v = eval st0 g.ginit in
-      Hashtbl.replace eng.globals g.gname (ref v))
-    prog.globals;
+      Hashtbl.replace eng.globals g.gname { gval = ref v; gaddr })
+    gaddrs;
   st0.quiet <- false;
+  (match mon with
+  | Some m ->
+      st0.mtok <- m.em.Emon.on_task_begin ~parent:(-1);
+      root.ftok <- m.em.Emon.on_finish_begin ~task:st0.mtok
+  | None -> ());
   let t_start = Unix.gettimeofday () in
   let doms =
     Array.init (n_domains - 1) (fun i ->
@@ -750,7 +946,12 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
   (try
      (try in_frame st0 (fun () -> exec_stmts st0 main.body.stmts)
       with Return_v _ -> ());
-     wait_fin st0 root
+     wait_fin st0 root;
+     match mon with
+     | Some m ->
+         m.em.Emon.on_finish_end ~task:st0.mtok ~fin:root.ftok;
+         m.em.Emon.on_task_end ~task:st0.mtok ~fin:(-1)
+     | None -> ()
    with
   | Abort -> ()
   | e -> poison_with eng e);
@@ -759,7 +960,7 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ~mode
   let wall_s = Unix.gettimeofday () -. t_start in
   (match Atomic.get eng.poison with Some e -> raise e | None -> ());
   let globals =
-    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) eng.globals []
+    Hashtbl.fold (fun name g acc -> (name, !(g.gval)) :: acc) eng.globals []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in

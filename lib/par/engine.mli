@@ -86,12 +86,21 @@ type result = {
       reflect schedule overlap rather than host core count.
     @param policy scheduling probabilities; defaults to {!fuzz_policy} or
       {!domains_policy} according to [mode]
+    @param emon an execution monitor ({!Emon}) receiving task/finish
+      structure and shared-memory accesses from all workers — the
+      parallel analogue of {!Rt.Monitor}.  Attaching one makes the
+      engine maintain a shared {!Rt.Addr.Intern} (globals in declaration
+      order, then array blocks in allocation order) and deliver each
+      access with the step origin the depth-first interpreter would
+      assign, so parallel race reports are comparable to sequential
+      ones.
     @raise Rt.Interp.Runtime_error as {!Rt.Interp.run} (first failing
       task wins; the run is cancelled and joined before re-raising) *)
 val run :
   ?fuel:int ->
   ?pace_ns:int ->
   ?policy:policy ->
+  ?emon:Emon.t ->
   mode:mode ->
   Mhj.Ast.program ->
   result

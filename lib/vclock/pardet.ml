@@ -1,0 +1,299 @@
+(** Parallel MRW vector-clock race detection under the domains engine.
+
+    Implements {!Par.Emon} so detection runs {e during} actual parallel
+    execution: every worker reports its shared-memory accesses as they
+    happen, and concurrency between two accesses is decided by the same
+    logical happens-before the sequential {!Seq} detector computes —
+    access by task [u] at epoch [e] is ordered before the current access
+    of task [t] iff [t]'s clock covers [(u, e)].  The clock relation is
+    schedule-independent (it encodes the async-finish structure, not the
+    observed interleaving), so a parallel run reports the same {e static}
+    race set as the sequential MRW oracle on the same program, which the
+    differential property in [test_par] checks across schedules.
+
+    Synchronization layout:
+
+    - {b clocks} — one {!Clock} per task token, in a copy-on-write
+      registry.  A clock is only ever {e mutated} by the worker
+      currently running its task (forks happen on the spawning worker;
+      joins on the joining worker), so clock operations need no lock of
+      their own.  Publication of a child's clock to whichever worker
+      steals the task rides the engine's deque atomics: the task is
+      pushed after [on_task_begin] returns, and stealing acquires.
+    - {b finish accumulators} — per-finish {!Clock} plus a mutex;
+      [on_task_end] folds the ended task's clock in under the lock, and
+      the join side reads it under the same lock (the engine's
+      pending-count atomic already orders every fold before the read;
+      the mutex supplies the memory fence).
+    - {b shadow memory} — sharded by address ([addr mod 16]); each shard
+      owns a mutex, its slice of per-location access lists, and a dedup
+      table of reported races.  The shard lock serializes all accesses
+      to one location, so for every unordered pair the later-recorded
+      access scans the earlier entry: no race is missed.
+
+    The sequential detectors' scan-replay shortcut is {e dropped} here —
+    other tasks may append entries to a location between two scans by
+    the same step, so replaying a remembered report range would be
+    unsound.  Races are instead deduplicated by their static key
+    ({!Espbags.Race.static_key}), which is also the granularity at which
+    parallel reports are compared to sequential ones. *)
+
+let n_shards = 16
+
+(* Per-location access lists: stride-4 entries (task token, epoch,
+   origin bid, origin idx) per direction.  Entries are only appended
+   under the owning shard's lock. *)
+type loc = { w_ent : Tdrutil.Ivec.t; r_ent : Tdrutil.Ivec.t }
+
+let fresh_loc () =
+  { w_ent = Tdrutil.Ivec.create (); r_ent = Tdrutil.Ivec.create () }
+
+type shard = {
+  mu : Mutex.t;
+  locs : loc Tdrutil.Vec.t;  (** slot [addr / n_shards] -> location *)
+  null_loc : loc;  (** sentinel: slot allocated, location untouched *)
+  races : ((int * int * bool) * (int * int * bool) * int, unit) Hashtbl.t;
+      (** static keys of reported races, addr as interned id *)
+  mutable n_accesses : int;
+  mutable n_locations : int;
+  mutable n_scan_entries : int;
+}
+
+(* Copy-on-write registry of per-token values: slot writes happen under
+   [mu] and the backing array is republished on growth, so a lock-free
+   [Atomic.get] either sees the value or falls back to the locked read
+   (which synchronizes with the registering unlock). *)
+module Reg = struct
+  type 'a t = {
+    mu : Mutex.t;
+    next : int Atomic.t;
+    slots : 'a option array Atomic.t;
+  }
+
+  let create () =
+    { mu = Mutex.create (); next = Atomic.make 0; slots = Atomic.make [||] }
+
+  let n_registered t = Atomic.get t.next
+
+  (* Mint a token and bind [v] to it. *)
+  let add t v =
+    Mutex.lock t.mu;
+    let tok = Atomic.fetch_and_add t.next 1 in
+    let s = Atomic.get t.slots in
+    let s =
+      if tok < Array.length s then s
+      else begin
+        let bigger = Array.make (max (tok + 1) (2 * Array.length s)) None in
+        Array.blit s 0 bigger 0 (Array.length s);
+        Atomic.set t.slots bigger;
+        bigger
+      end
+    in
+    s.(tok) <- Some v;
+    Mutex.unlock t.mu;
+    tok
+
+  let get t tok =
+    let s = Atomic.get t.slots in
+    let hit = if tok >= 0 && tok < Array.length s then s.(tok) else None in
+    match hit with
+    | Some v -> v
+    | None ->
+        Mutex.lock t.mu;
+        let s = Atomic.get t.slots in
+        let r = if tok >= 0 && tok < Array.length s then s.(tok) else None in
+        Mutex.unlock t.mu;
+        (match r with
+        | Some v -> v
+        | None -> invalid_arg "Vclock.Pardet: unknown token")
+end
+
+type fin = { fmu : Mutex.t; acc : Clock.t }
+
+type t = {
+  emon : Par.Emon.t;
+  clocks : Clock.t Reg.t;
+  fins : fin Reg.t;
+  shards : shard array;
+  intern : Rt.Addr.Intern.t option ref;
+  n_merges : int Atomic.t;
+}
+
+let make () : t =
+  let clocks = Reg.create () and fins = Reg.create () in
+  let shards =
+    Array.init n_shards (fun _ ->
+        {
+          mu = Mutex.create ();
+          locs = Tdrutil.Vec.create ();
+          null_loc = fresh_loc ();
+          races = Hashtbl.create 32;
+          n_accesses = 0;
+          n_locations = 0;
+          n_scan_entries = 0;
+        })
+  in
+  let intern = ref None in
+  let n_merges = Atomic.make 0 in
+  let on_task_begin ~parent =
+    let c =
+      if parent < 0 then Clock.create ()
+      else begin
+        (* copy before the parent's self-increment: accesses the parent
+           recorded before this fork are inherited (ordered), accesses
+           after it are not *)
+        let pc = Reg.get clocks parent in
+        let c = Clock.copy pc in
+        Clock.incr pc parent;
+        c
+      end
+    in
+    let tok = Reg.add clocks c in
+    Clock.set c tok 1;
+    tok
+  in
+  let on_task_end ~task ~fin =
+    if fin >= 0 then begin
+      let f = Reg.get fins fin in
+      Mutex.lock f.fmu;
+      Clock.merge ~into:f.acc (Reg.get clocks task);
+      Mutex.unlock f.fmu;
+      Atomic.incr n_merges
+    end
+  in
+  let on_finish_begin ~task:_ =
+    Reg.add fins { fmu = Mutex.create (); acc = Clock.create () }
+  in
+  let on_finish_end ~task ~fin =
+    let f = Reg.get fins fin in
+    (* every joined task folded its clock in before the pending count hit
+       zero; the lock is the memory fence making those folds visible *)
+    Mutex.lock f.fmu;
+    Clock.merge ~into:(Reg.get clocks task) f.acc;
+    Mutex.unlock f.fmu;
+    Atomic.incr n_merges
+  in
+  (* Scan the entries of one direction against the current clock, report
+     every uncovered (= concurrent) one.  Runs under the shard lock. *)
+  let scan sh ent c ~ent_write ~cur_write ~bid ~idx ~addr =
+    let n = Tdrutil.Ivec.length ent / 4 in
+    sh.n_scan_entries <- sh.n_scan_entries + n;
+    for i = 0 to n - 1 do
+      let tok = Tdrutil.Ivec.unsafe_get ent (4 * i)
+      and ep = Tdrutil.Ivec.unsafe_get ent ((4 * i) + 1) in
+      if not (Clock.covers c tok ep) then begin
+        let e_bid = Tdrutil.Ivec.unsafe_get ent ((4 * i) + 2)
+        and e_idx = Tdrutil.Ivec.unsafe_get ent ((4 * i) + 3) in
+        let key =
+          Espbags.Race.static_key ~a_bid:e_bid ~a_idx:e_idx
+            ~a_write:ent_write ~b_bid:bid ~b_idx:idx ~b_write:cur_write
+            ~addr
+        in
+        if not (Hashtbl.mem sh.races key) then Hashtbl.replace sh.races key ()
+      end
+    done
+  in
+  (* Append an entry unless it duplicates the last one (same task, same
+     epoch, same origin — e.g. a loop touching one cell repeatedly).
+     Best-effort: interleaved entries from other tasks break the run. *)
+  let record ent ~tok ~ep ~bid ~idx =
+    let n = Tdrutil.Ivec.length ent in
+    let dup =
+      n >= 4
+      && Tdrutil.Ivec.unsafe_get ent (n - 4) = tok
+      && Tdrutil.Ivec.unsafe_get ent (n - 3) = ep
+      && Tdrutil.Ivec.unsafe_get ent (n - 2) = bid
+      && Tdrutil.Ivec.unsafe_get ent (n - 1) = idx
+    in
+    if not dup then Tdrutil.Ivec.push4 ent tok ep bid idx
+  in
+  let on_access ~task ~bid ~idx addr kind =
+    let c = Reg.get clocks task in
+    let sh = shards.(addr land (n_shards - 1)) in
+    let slot = addr / n_shards in
+    Mutex.lock sh.mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock sh.mu)
+      (fun () ->
+        sh.n_accesses <- sh.n_accesses + 1;
+        Tdrutil.Vec.ensure sh.locs (slot + 1) ~fill:sh.null_loc;
+        let l = Tdrutil.Vec.unsafe_get sh.locs slot in
+        let l =
+          if l != sh.null_loc then l
+          else begin
+            let l = fresh_loc () in
+            Tdrutil.Vec.unsafe_set sh.locs slot l;
+            sh.n_locations <- sh.n_locations + 1;
+            l
+          end
+        in
+        let ep = Clock.get c task in
+        match kind with
+        | Rt.Monitor.Read ->
+            scan sh l.w_ent c ~ent_write:true ~cur_write:false ~bid ~idx
+              ~addr;
+            record l.r_ent ~tok:task ~ep ~bid ~idx
+        | Rt.Monitor.Write ->
+            scan sh l.w_ent c ~ent_write:true ~cur_write:true ~bid ~idx
+              ~addr;
+            scan sh l.r_ent c ~ent_write:false ~cur_write:true ~bid ~idx
+              ~addr;
+            record l.w_ent ~tok:task ~ep ~bid ~idx)
+  in
+  let emon =
+    {
+      Par.Emon.on_init = (fun i -> intern := Some i);
+      on_task_begin;
+      on_task_end;
+      on_finish_begin;
+      on_finish_end;
+      on_access;
+    }
+  in
+  { emon; clocks; fins; shards; intern; n_merges }
+
+let emon t = t.emon
+
+let race_count t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.races) 0 t.shards
+
+let clean t = race_count t = 0
+
+(* The report: static keys with the interned address rendered back to its
+   source-level form, sorted for schedule-independent comparison. *)
+let races t : ((int * int * bool) * (int * int * bool) * string) list =
+  let intern =
+    match !(t.intern) with
+    | Some i -> i
+    | None -> invalid_arg "Vclock.Pardet.races: detector never ran"
+  in
+  let out = ref [] in
+  Array.iter
+    (fun sh ->
+      Hashtbl.iter
+        (fun (a, b, addr) () ->
+          let addr =
+            Fmt.str "%a" Rt.Addr.pp (Rt.Addr.Intern.of_id intern addr)
+          in
+          out := (a, b, addr) :: !out)
+        sh.races)
+    t.shards;
+  List.sort_uniq compare !out
+
+let stats t =
+  let sum f = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards in
+  [
+    ("detector.accesses", sum (fun sh -> sh.n_accesses));
+    ("detector.locations", sum (fun sh -> sh.n_locations));
+    ("detector.races", race_count t);
+    ("detector.tasks", Reg.n_registered t.clocks);
+    ("detector.clock_merges", Atomic.get t.n_merges);
+    ("detector.scan_entries", sum (fun sh -> sh.n_scan_entries));
+  ]
+
+(** Run [prog] under the engine with a fresh parallel detector attached. *)
+let detect ?fuel ?pace_ns ?policy ~mode (prog : Mhj.Ast.program) :
+    t * Par.Engine.result =
+  let det = make () in
+  let res = Par.Engine.run ?fuel ?pace_ns ?policy ~emon:det.emon ~mode prog in
+  (det, res)

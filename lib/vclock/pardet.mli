@@ -1,0 +1,40 @@
+(** Parallel MRW vector-clock race detection: a {!Par.Emon}
+    implementation that detects races {e during} actual parallel
+    execution under {!Par.Engine}, sharded by address range.
+
+    Concurrency is the same logical happens-before as {!Seq} (clock
+    coverage), which is schedule-independent, so the reported {e static}
+    race set matches the sequential MRW oracle's on every schedule —
+    the property the parallel differential tests check. *)
+
+type t
+
+(** Fresh detector; attach {!emon} to {!Par.Engine.run}. *)
+val make : unit -> t
+
+val emon : t -> Par.Emon.t
+
+(** Distinct races as sorted static keys
+    (see {!Espbags.Race.static_key_of_race}), addresses rendered in
+    source-level form.
+    @raise Invalid_argument if the detector never received [on_init] *)
+val races : t -> ((int * int * bool) * (int * int * bool) * string) list
+
+val race_count : t -> int
+
+val clean : t -> bool
+
+(** ["detector."]-prefixed counters; parallel-specific keys match
+    {!Seq.stats} minus [detector.skipped] (no static pruning here). *)
+val stats : t -> (string * int) list
+
+(** Run [prog] under {!Par.Engine.run} with a fresh detector attached;
+    [mode] picks the schedule ({!Par.Engine.Fuzz} for deterministic
+    interleavings, {!Par.Engine.Domains} for real parallelism). *)
+val detect :
+  ?fuel:int ->
+  ?pace_ns:int ->
+  ?policy:Par.Engine.policy ->
+  mode:Par.Engine.mode ->
+  Mhj.Ast.program ->
+  t * Par.Engine.result

@@ -1,0 +1,20 @@
+(** Static backend auto-selection for [--backend=auto]: picks ESP-bags
+    or vector clocks from syntactic workload features (task fan-out
+    shape, async nesting depth) and explains the choice. *)
+
+type choice = [ `Espbags | `Vclock ]
+
+val pp_choice : choice Fmt.t
+
+type features = {
+  n_async : int;
+  n_finish : int;
+  n_loop_async : int;  (** asyncs spawned directly from a loop body *)
+  max_async_depth : int;  (** deepest syntactic async nesting *)
+}
+
+val features : Mhj.Ast.program -> features
+
+(** Pick a backend; the string is the human-readable reason, reported by
+    the CLI and logged in [report.metrics]. *)
+val choose : Mhj.Ast.program -> choice * string

@@ -1,0 +1,415 @@
+(** Vector-clock race detectors for the sequential (depth-first)
+    interpreter, report-identical to the ESP-bags detectors.
+
+    Same two flavours as {!Espbags.Detector} ({b SRW} single
+    reader/writer slot, {b MRW} full access lists), same packed hot-path
+    representation (flat shadow tables over interned ids, packed race
+    records, per-step epoch dedup, scan replay) — but concurrency is
+    decided by vector clocks ({!Clock}) instead of union-find bags.
+
+    Under the depth-first execution both predicates compute precise
+    may-happen-in-parallel for async-finish programs, so for every
+    recorded shadow entry the clock test [not (covers current t e)]
+    answers exactly like [Bags.in_pbag t]:
+
+    - an entry by an ancestor (or an earlier epoch of the current task
+      itself) was inherited at fork time — covered, ordered;
+    - an entry by a task that ended but whose join finish is still open
+      has not been merged anywhere the current task can see — not
+      covered, concurrent (ESP-bags: in a P-bag);
+    - once the finish ends, the accumulator merge makes the current task
+      cover every joined epoch — ordered again (ESP-bags: P-bag unioned
+      into the S-bag).
+
+    The differential suite holds this module's race records byte-equal
+    to {!Espbags.Reference}'s.  The scan-replay optimization remains
+    valid here because a task's clock only changes at structural
+    transitions, never inside a step. *)
+
+type mode = Espbags.Detector.mode = Srw | Mrw
+
+let pp_mode = Espbags.Detector.pp_mode
+
+type t = {
+  mode : mode;
+  mutable monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
+  steps : Sdpst.Node.t Tdrutil.Vec.t;
+      (** step id -> step node, filled on each step's first access *)
+  r_buf : Tdrutil.Ivec.t;
+      (** race records, stride 2, packed like {!Espbags.Detector}:
+          [(src lsl 31) lor sink], then [(addr lsl 2) lor kind] *)
+  clocks : Clock.t Tdrutil.Vec.t;  (** task index -> clock *)
+  mutable task_stack : int list;  (** task indices, innermost first *)
+  mutable fin_stack : Clock.t list;  (** open finishes' accumulators *)
+  mutable cur : Clock.t;  (** current task's clock (cached stack top) *)
+  mutable cur_tidx : int;
+  mutable intern : Rt.Addr.Intern.t;
+  mutable n_accesses : int;
+  mutable n_locations : int;
+  mutable n_skipped : int;
+  mutable n_tasks : int;
+  mutable n_merges : int;  (** clock fold/merge operations *)
+  mutable n_scan_entries : int;  (** MRW shadow entries scanned *)
+}
+
+let wr = 0
+
+and rw = 1
+
+and ww = 2
+
+let kind_of_code = function
+  | 0 -> Espbags.Race.Write_read
+  | 1 -> Espbags.Race.Read_write
+  | _ -> Espbags.Race.Write_write
+
+let race_count t = Tdrutil.Ivec.length t.r_buf / 2
+
+let clean t = Tdrutil.Ivec.is_empty t.r_buf
+
+let sid_mask = (1 lsl 31) - 1
+
+let races t =
+  let node i = Tdrutil.Vec.unsafe_get t.steps i in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let ss = Tdrutil.Ivec.unsafe_get t.r_buf i
+      and meta = Tdrutil.Ivec.unsafe_get t.r_buf (i + 1) in
+      go (i - 2)
+        (Espbags.Race.make
+           ~src:(node (ss lsr 31))
+           ~sink:(node (ss land sid_mask))
+           ~addr:(Rt.Addr.Intern.of_id t.intern (meta lsr 2))
+           ~kind:(kind_of_code (meta land 3))
+        :: acc)
+  in
+  go (Tdrutil.Ivec.length t.r_buf - 2) []
+
+let stats t =
+  [
+    ("detector.accesses", t.n_accesses);
+    ("detector.locations", t.n_locations);
+    ("detector.races", race_count t);
+    ("detector.skipped", t.n_skipped);
+    ("detector.tasks", t.n_tasks);
+    ("detector.clock_merges", t.n_merges);
+    ("detector.scan_entries", t.n_scan_entries);
+  ]
+
+let check_sid sid =
+  if sid < 0 || sid >= 1 lsl 31 then
+    invalid_arg "Vclock.Seq: step id exceeds 31 bits"
+
+let check_tidx tidx =
+  if tidx < 0 || tidx >= 1 lsl 31 then
+    invalid_arg "Vclock.Seq: task index exceeds 31 bits"
+
+let dummy_step () = (Sdpst.Node.create_tree ~main_bid:(-1)).Sdpst.Node.root
+
+let register_step det ~dummy step sid =
+  Tdrutil.Vec.ensure det.steps (sid + 1) ~fill:dummy;
+  if Tdrutil.Vec.unsafe_get det.steps sid == dummy then
+    Tdrutil.Vec.unsafe_set det.steps sid step
+
+(* ------------------------------------------------------------------ *)
+(* Structural transitions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let task_begin det =
+  let tidx = det.n_tasks in
+  check_tidx tidx;
+  det.n_tasks <- tidx + 1;
+  let c =
+    match det.task_stack with
+    | [] ->
+        let c = Clock.create () in
+        Clock.set c tidx 1;
+        c
+    | parent :: _ ->
+        let pc = Tdrutil.Vec.get det.clocks parent in
+        (* copy before the parent's self-increment: accesses the parent
+           recorded before this fork are inherited (ordered), accesses
+           after it are not *)
+        let c = Clock.copy pc in
+        Clock.set c tidx 1;
+        Clock.incr pc parent;
+        c
+  in
+  Tdrutil.Vec.ensure det.clocks (tidx + 1) ~fill:c;
+  Tdrutil.Vec.unsafe_set det.clocks tidx c;
+  det.task_stack <- tidx :: det.task_stack;
+  det.cur <- c;
+  det.cur_tidx <- tidx
+
+let task_end det =
+  match det.task_stack with
+  | [] -> invalid_arg "Vclock.Seq.task_end: empty task stack"
+  | tidx :: rest ->
+      det.task_stack <- rest;
+      (match det.fin_stack with
+      | [] -> ()  (* root task: nothing joins it *)
+      | acc :: _ ->
+          Clock.merge ~into:acc (Tdrutil.Vec.get det.clocks tidx);
+          det.n_merges <- det.n_merges + 1);
+      (match rest with
+      | [] -> ()
+      | parent :: _ ->
+          det.cur <- Tdrutil.Vec.get det.clocks parent;
+          det.cur_tidx <- parent)
+
+let finish_begin det = det.fin_stack <- Clock.create () :: det.fin_stack
+
+let finish_end det =
+  match det.fin_stack with
+  | [] -> invalid_arg "Vclock.Seq.finish_end: empty finish stack"
+  | acc :: rest ->
+      det.fin_stack <- rest;
+      (* every task joined here folded its clock into [acc]; the merge
+         orders all of their accesses before the continuation *)
+      Clock.merge ~into:det.cur acc;
+      det.n_merges <- det.n_merges + 1
+
+let structural det ~on_init ~on_access : Rt.Monitor.t =
+  {
+    Rt.Monitor.on_init;
+    on_task_begin = (fun _n -> task_begin det);
+    on_task_end = (fun _n -> task_end det);
+    on_finish_begin = (fun _n -> finish_begin det);
+    on_finish_end = (fun _n -> finish_end det);
+    on_access;
+  }
+
+let fresh mode =
+  let empty = Clock.create () in
+  {
+    mode;
+    monitor = Rt.Monitor.nop;
+    steps = Tdrutil.Vec.create ();
+    r_buf = Tdrutil.Ivec.create ();
+    clocks = Tdrutil.Vec.create ();
+    task_stack = [];
+    fin_stack = [];
+    cur = empty;
+    cur_tidx = -1;
+    intern = Rt.Addr.Intern.create ();
+    n_accesses = 0;
+    n_locations = 0;
+    n_skipped = 0;
+    n_tasks = 0;
+    n_merges = 0;
+    n_scan_entries = 0;
+  }
+
+let report det ~src_id ~sink_id ~addr ~kind =
+  if src_id <> sink_id then
+    Tdrutil.Ivec.push2 det.r_buf
+      ((src_id lsl 31) lor sink_id)
+      ((addr lsl 2) lor kind)
+
+(* ------------------------------------------------------------------ *)
+(* SRW                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Same flat struct-of-arrays shadow as the ESP-bags SRW, plus an epoch
+   column per direction: a slot is (task index, step id, epoch), task
+   index -1 = no recorded access. *)
+
+let make_srw () : t =
+  let det = fresh Srw in
+  let dummy = dummy_step () in
+  let w_task = Tdrutil.Ivec.create ()
+  and w_id = Tdrutil.Ivec.create ()
+  and w_ep = Tdrutil.Ivec.create ()
+  and r_task = Tdrutil.Ivec.create ()
+  and r_id = Tdrutil.Ivec.create ()
+  and r_ep = Tdrutil.Ivec.create () in
+  let cap = ref 0 in
+  let grow addr =
+    let n = max (addr + 1) (2 * !cap) in
+    Tdrutil.Ivec.ensure w_task n ~fill:(-1);
+    Tdrutil.Ivec.ensure w_id n ~fill:(-1);
+    Tdrutil.Ivec.ensure w_ep n ~fill:0;
+    Tdrutil.Ivec.ensure r_task n ~fill:(-1);
+    Tdrutil.Ivec.ensure r_id n ~fill:(-1);
+    Tdrutil.Ivec.ensure r_ep n ~fill:0;
+    cap := n
+  in
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
+    det.n_accesses <- det.n_accesses + 1;
+    if addr >= !cap then grow addr;
+    let sid = step.Sdpst.Node.id in
+    register_step det ~dummy step sid;
+    let wt = Tdrutil.Ivec.unsafe_get w_task addr
+    and rt = Tdrutil.Ivec.unsafe_get r_task addr in
+    if wt < 0 && rt < 0 then det.n_locations <- det.n_locations + 1;
+    let cur = det.cur in
+    let parallel t ep = not (Clock.covers cur t ep) in
+    match kind with
+    | Rt.Monitor.Read ->
+        if wt >= 0 && parallel wt (Tdrutil.Ivec.unsafe_get w_ep addr) then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~sink_id:sid ~addr ~kind:wr;
+        if not (rt >= 0 && parallel rt (Tdrutil.Ivec.unsafe_get r_ep addr))
+        then begin
+          check_sid sid;
+          Tdrutil.Ivec.unsafe_set r_task addr det.cur_tidx;
+          Tdrutil.Ivec.unsafe_set r_id addr sid;
+          Tdrutil.Ivec.unsafe_set r_ep addr (Clock.get cur det.cur_tidx)
+        end
+    | Rt.Monitor.Write ->
+        if wt >= 0 && parallel wt (Tdrutil.Ivec.unsafe_get w_ep addr) then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~sink_id:sid ~addr ~kind:ww;
+        if rt >= 0 && parallel rt (Tdrutil.Ivec.unsafe_get r_ep addr) then
+          report det
+            ~src_id:(Tdrutil.Ivec.unsafe_get r_id addr)
+            ~sink_id:sid ~addr ~kind:rw;
+        check_sid sid;
+        Tdrutil.Ivec.unsafe_set w_task addr det.cur_tidx;
+        Tdrutil.Ivec.unsafe_set w_id addr sid;
+        Tdrutil.Ivec.unsafe_set w_ep addr (Clock.get cur det.cur_tidx)
+  in
+  det.monitor <-
+    structural det ~on_init:(fun intern -> det.intern <- intern) ~on_access;
+  det
+
+(* ------------------------------------------------------------------ *)
+(* MRW                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Entries pack [(task index lsl 31) lor sid] with a parallel epoch
+   vector; the concurrency test per entry is one clock lookup against
+   the current task's clock instead of a union-find find. *)
+type mrw_loc = {
+  w_list : Tdrutil.Ivec.t;  (** recorded writers, packed [tidx, sid] *)
+  w_eps : Tdrutil.Ivec.t;  (** their epochs, parallel to [w_list] *)
+  r_list : Tdrutil.Ivec.t;
+  r_eps : Tdrutil.Ivec.t;
+  mutable w_epoch : int;  (** id of the last recorded writer step; -1 none *)
+  mutable r_epoch : int;
+  (* Scan replay, exactly as in Espbags.Detector: the current task's
+     clock cannot change while one step executes (clock maintenance is
+     tied to structural transitions), so a step's repeated same-kind
+     scans of one location produce byte-identical report runs. *)
+  mutable rscan_epoch : int;
+  mutable rscan_lo : int;
+  mutable rscan_hi : int;
+  mutable wscan_epoch : int;
+  mutable wscan_lo : int;
+  mutable wscan_hi : int;
+}
+
+let fresh_loc () =
+  {
+    w_list = Tdrutil.Ivec.create ();
+    w_eps = Tdrutil.Ivec.create ();
+    r_list = Tdrutil.Ivec.create ();
+    r_eps = Tdrutil.Ivec.create ();
+    w_epoch = -1;
+    r_epoch = -1;
+    rscan_epoch = -1;
+    rscan_lo = 0;
+    rscan_hi = 0;
+    wscan_epoch = -1;
+    wscan_lo = 0;
+    wscan_hi = 0;
+  }
+
+let make_mrw () : t =
+  let det = fresh Mrw in
+  let dummy = dummy_step () in
+  let null_loc = fresh_loc () in
+  let shadow : mrw_loc Tdrutil.Vec.t = Tdrutil.Vec.create () in
+  let cap = ref 0 in
+  let grow addr =
+    let n = max (addr + 1) (2 * !cap) in
+    Tdrutil.Vec.ensure shadow n ~fill:null_loc;
+    cap := n
+  in
+  let scan entries eps ~sid ~meta =
+    let cur = det.cur in
+    let n = Tdrutil.Ivec.length entries in
+    det.n_scan_entries <- det.n_scan_entries + n;
+    for i = 0 to n - 1 do
+      let packed = Tdrutil.Ivec.unsafe_get entries i in
+      if not (Clock.covers cur (packed lsr 31) (Tdrutil.Ivec.unsafe_get eps i))
+      then begin
+        let src = packed land sid_mask in
+        if src <> sid then
+          Tdrutil.Ivec.push2 det.r_buf ((src lsl 31) lor sid) meta
+      end
+    done
+  in
+  let on_access ~step ~bid:_ ~idx:_ addr kind =
+    det.n_accesses <- det.n_accesses + 1;
+    if addr >= !cap then grow addr;
+    let s = Tdrutil.Vec.unsafe_get shadow addr in
+    let s =
+      if s != null_loc then s
+      else begin
+        let s = fresh_loc () in
+        Tdrutil.Vec.unsafe_set shadow addr s;
+        det.n_locations <- det.n_locations + 1;
+        s
+      end
+    in
+    let sid = step.Sdpst.Node.id in
+    register_step det ~dummy step sid;
+    let self_epoch () = Clock.get det.cur det.cur_tidx in
+    match kind with
+    | Rt.Monitor.Read ->
+        if s.rscan_epoch = sid then
+          Tdrutil.Ivec.append_slice det.r_buf s.rscan_lo s.rscan_hi
+        else begin
+          s.rscan_epoch <- sid;
+          s.rscan_lo <- Tdrutil.Ivec.length det.r_buf;
+          scan s.w_list s.w_eps ~sid ~meta:((addr lsl 2) lor wr);
+          s.rscan_hi <- Tdrutil.Ivec.length det.r_buf
+        end;
+        if s.r_epoch <> sid then begin
+          check_sid sid;
+          s.r_epoch <- sid;
+          Tdrutil.Ivec.push s.r_list ((det.cur_tidx lsl 31) lor sid);
+          Tdrutil.Ivec.push s.r_eps (self_epoch ())
+        end
+    | Rt.Monitor.Write ->
+        if s.wscan_epoch = sid then
+          Tdrutil.Ivec.append_slice det.r_buf s.wscan_lo s.wscan_hi
+        else begin
+          s.wscan_epoch <- sid;
+          s.wscan_lo <- Tdrutil.Ivec.length det.r_buf;
+          scan s.w_list s.w_eps ~sid ~meta:((addr lsl 2) lor ww);
+          scan s.r_list s.r_eps ~sid ~meta:((addr lsl 2) lor rw);
+          s.wscan_hi <- Tdrutil.Ivec.length det.r_buf
+        end;
+        if s.w_epoch <> sid then begin
+          check_sid sid;
+          s.w_epoch <- sid;
+          Tdrutil.Ivec.push s.w_list ((det.cur_tidx lsl 31) lor sid);
+          Tdrutil.Ivec.push s.w_eps (self_epoch ())
+        end
+  in
+  det.monitor <-
+    structural det ~on_init:(fun intern -> det.intern <- intern) ~on_access;
+  det
+
+let make = function Srw -> make_srw () | Mrw -> make_mrw ()
+
+(** Run [prog] under a fresh vector-clock detector; same contract as
+    {!Espbags.Detector.detect}, including [keep]-based static pruning. *)
+let detect ?fuel ?keep mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
+  let det = make mode in
+  let monitor =
+    match keep with
+    | None -> det.monitor
+    | Some keep ->
+        Rt.Monitor.filter
+          ~keep:(fun ~bid ~idx _addr _kind -> keep ~bid ~idx)
+          ~on_skip:(fun () -> det.n_skipped <- det.n_skipped + 1)
+          det.monitor
+  in
+  let res = Rt.Interp.run ?fuel ~monitor prog in
+  (det, res)

@@ -1,0 +1,57 @@
+(** Vector-clock race detectors for the depth-first interpreter,
+    report-identical to the ESP-bags detectors ({!Espbags.Detector},
+    {!Espbags.Reference}) — same SRW/MRW flavours, same packed hot path,
+    but concurrency decided by {!Clock} tests instead of union-find
+    bags.  Under depth-first delivery both predicates compute precise
+    may-happen-in-parallel for async-finish programs, which the
+    differential suite checks record-for-record. *)
+
+type mode = Espbags.Detector.mode = Srw | Mrw
+
+val pp_mode : mode Fmt.t
+
+type t = private {
+  mode : mode;
+  mutable monitor : Rt.Monitor.t;  (** pass to {!Rt.Interp.run} *)
+  steps : Sdpst.Node.t Tdrutil.Vec.t;
+  r_buf : Tdrutil.Ivec.t;
+      (** packed race records, same layout as {!Espbags.Detector} *)
+  clocks : Clock.t Tdrutil.Vec.t;  (** task index -> clock *)
+  mutable task_stack : int list;
+  mutable fin_stack : Clock.t list;
+  mutable cur : Clock.t;
+  mutable cur_tidx : int;
+  mutable intern : Rt.Addr.Intern.t;
+  mutable n_accesses : int;
+  mutable n_locations : int;
+  mutable n_skipped : int;
+  mutable n_tasks : int;
+  mutable n_merges : int;
+  mutable n_scan_entries : int;
+}
+
+(** Races recorded so far, in report order. *)
+val races : t -> Espbags.Race.t list
+
+(** ["detector."]-prefixed counters for an {!Obs.Metrics} registry;
+    vclock-specific keys are [detector.tasks], [detector.clock_merges]
+    and [detector.scan_entries]. *)
+val stats : t -> (string * int) list
+
+val race_count : t -> int
+
+(** No race reported? *)
+val clean : t -> bool
+
+(** Fresh detector of the given flavour. *)
+val make : mode -> t
+
+(** Same contract as {!Espbags.Detector.detect}: [keep] is a
+    per-statement monitoring predicate; rejected accesses are skipped
+    and counted in [n_skipped]. *)
+val detect :
+  ?fuel:int ->
+  ?keep:(bid:int -> idx:int -> bool) ->
+  mode ->
+  Mhj.Ast.program ->
+  t * Rt.Interp.result

@@ -590,6 +590,126 @@ let test_repair_obs_files () =
   Sys.remove trace;
   Sys.remove metrics
 
+(* ------------------- detection backend selection -------------------- *)
+
+let test_backend_flag () =
+  (* the flag is documented on detect and repair *)
+  let code, out = run_cli [ "detect"; "--help=plain" ] in
+  Alcotest.(check int) "detect help exit 0" 0 code;
+  check_contains "detect help" out "--backend";
+  List.iter (check_contains "detect help backends" out)
+    [ "espbags"; "vclock"; "auto" ];
+  let code2, out2 = run_cli [ "repair"; "--help=plain" ] in
+  Alcotest.(check int) "repair help exit 0" 0 code2;
+  check_contains "repair help" out2 "--backend";
+  (* a bad value is a usage error, not a crash *)
+  let code3, out3 =
+    run_cli [ "detect"; sample "figure5.mhj"; "--backend"; "bogus" ]
+  in
+  Alcotest.(check bool) "bad backend rejected" true (code3 <> 0);
+  check_contains "bad backend lists choices" out3 "vclock";
+  (* vclock reports the same races as the default backend on figure5 *)
+  let code4, out4 =
+    run_cli [ "detect"; sample "figure5.mhj"; "--backend"; "vclock" ]
+  in
+  Alcotest.(check int) "vclock detect exit 0" 0 code4;
+  check_contains "vclock labeled" out4 "MRW vector-clock: 2 race report(s)";
+  (* auto prints its pick and the reason before detecting *)
+  let code5, out5 =
+    run_cli [ "detect"; sample "figure5.mhj"; "--backend"; "auto" ]
+  in
+  Alcotest.(check int) "auto detect exit 0" 0 code5;
+  check_contains "auto pick reported" out5 "auto backend:";
+  check_contains "auto still detects" out5 "2 race report(s)"
+
+let test_repair_backend_metrics () =
+  (* a vclock repair converges to the same result and records its
+     backend (and clock counters) in the metrics *)
+  let metrics = Filename.temp_file "tdrepair_cli" ".metrics.json" in
+  let code, out =
+    run_cli
+      [ "repair"; sample "figure5.mhj"; "-q"; "--backend"; "vclock";
+        "--metrics"; metrics ]
+  in
+  Alcotest.(check int) "vclock repair exit 0" 0 code;
+  check_contains "vclock repair converges" out "race-free after 1 iteration(s)";
+  let mj = Obs.Json.of_string (read_file metrics) in
+  let get k =
+    match Obs.Json.member k mj with
+    | Some (Obs.Json.Int i) -> i
+    | _ -> Alcotest.failf "metrics missing key %s" k
+  in
+  Alcotest.(check int) "backend recorded as vclock" 1 (get "detector.backend");
+  Alcotest.(check int) "two races found" 2 (get "detector.races");
+  Alcotest.(check bool) "clock tasks counted" true (get "detector.tasks" > 0);
+  Sys.remove metrics;
+  (* the default backend records 0 *)
+  let metrics2 = Filename.temp_file "tdrepair_cli" ".metrics.json" in
+  let code2, _ =
+    run_cli [ "repair"; sample "figure5.mhj"; "-q"; "--metrics"; metrics2 ]
+  in
+  Alcotest.(check int) "default repair exit 0" 0 code2;
+  let mj2 = Obs.Json.of_string (read_file metrics2) in
+  (match Obs.Json.member "detector.backend" mj2 with
+  | Some (Obs.Json.Int 0) -> ()
+  | _ -> Alcotest.fail "default backend must record detector.backend = 0");
+  Sys.remove metrics2
+
+(* The bench shootout's JSON schema: run `bench detector-quick` on one
+   small benchmark and assert the vclock and parallel columns are
+   present and sane.  The run also exercises the bench's own race-set
+   identity assertions (all three backends vs the seed). *)
+let bench_binary = Filename.concat here "../../bench/main.exe"
+
+let test_bench_detector_quick_json () =
+  let json = Filename.temp_file "tdrepair_cli" ".bench.json" in
+  let out_file = Filename.temp_file "tdrepair_cli" ".out" in
+  let cmd =
+    Fmt.str
+      "TDR_BENCH_SUITE=Fibonacci TDR_BENCH_DETECTOR_JSON=%s %s \
+       detector-quick > %s 2>&1"
+      (Filename.quote json)
+      (Filename.quote bench_binary)
+      (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let out = read_file out_file in
+  Sys.remove out_file;
+  Alcotest.(check int) "bench exit 0" 0 code;
+  check_contains "identity line" out "byte-identical to the seed";
+  check_contains "parallel identity line" out
+    "parallel static race sets equal to the sequential MRW oracle";
+  let j = Obs.Json.of_string (read_file json) in
+  Sys.remove json;
+  let top k =
+    match Obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "bench JSON missing top-level key %s" k
+  in
+  (match top "par_domains" with
+  | Obs.Json.Int n when n >= 1 -> ()
+  | _ -> Alcotest.fail "par_domains must be a positive int");
+  ignore (top "aggregate_vc_mrw_speedup_vs_seed");
+  ignore (top "geomean_vc_mrw_speedup_vs_seed");
+  let rows =
+    match top "rows" with
+    | Obs.Json.List rs -> rs
+    | _ -> Alcotest.fail "rows must be a list"
+  in
+  Alcotest.(check int) "one filtered row" 1 (List.length rows);
+  let row = List.hd rows in
+  List.iter
+    (fun k ->
+      match Obs.Json.member k row with
+      | Some (Obs.Json.Float f) when f > 0. -> ()
+      | Some (Obs.Json.Int i) when i > 0 -> ()
+      | Some _ -> Alcotest.failf "bench row key %s not positive" k
+      | None -> Alcotest.failf "bench row missing key %s" k)
+    [
+      "accesses"; "mrw_s"; "ref_mrw_s"; "vc_srw_s"; "vc_mrw_s";
+      "par_mrw_wall_s"; "vc_mrw_det_accesses_per_s"; "vc_mrw_speedup_vs_seed";
+    ]
+
 let test_serve_help () =
   let code, out = run_cli [ "serve"; "--help=plain" ] in
   Alcotest.(check int) "exit 0" 0 code;
@@ -671,6 +791,11 @@ let () =
             test_repair_validate_par;
           Alcotest.test_case "repair --trace/--metrics" `Quick
             test_repair_obs_files;
+          Alcotest.test_case "--backend flag" `Quick test_backend_flag;
+          Alcotest.test_case "repair --backend metrics" `Quick
+            test_repair_backend_metrics;
+          Alcotest.test_case "bench detector-quick JSON" `Quick
+            test_bench_detector_quick_json;
           Alcotest.test_case "serve/call --help" `Quick test_serve_help;
           Alcotest.test_case "--timeout-ms" `Quick test_timeout_flag;
         ] );

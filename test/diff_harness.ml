@@ -1,0 +1,145 @@
+(* Reusable cross-backend differential harness.
+
+   Every sequential detector backend (the seed ESP-bags reference, the
+   optimized dense-shadow ESP-bags detector, the vector-clock detector)
+   is wrapped as a [backend] value exposing one uniform [run]; the
+   differential properties then quantify over (backend pair x program
+   source x prune flag) instead of hand-rolling a comparison per pair.
+   The oracle side of every test is [reference] — the seed
+   implementation kept verbatim.
+
+   Comparisons use {!Espbags.Race.exact_sigs}: node ids are
+   deterministic under the depth-first interpreter, so two backends
+   agree iff their signature lists are equal (ordered when both record
+   in execution order, sorted when pruning may interleave reports
+   differently). *)
+
+let compile = Mhj.Front.compile
+
+(* Shared deep-pass knob: `dune runtest` uses the bounded default, @ci
+   rules override via TDR_QCHECK_COUNT. *)
+let qcheck_count =
+  match
+    Option.bind (Sys.getenv_opt "TDR_QCHECK_COUNT") int_of_string_opt
+  with
+  | Some n when n > 0 -> n
+  | _ -> 60
+
+type outcome = {
+  sigs : (int * int * string * string) list;  (** exact race records *)
+  n_accesses : int;
+  n_skipped : int;
+}
+
+type backend = {
+  bname : string;
+  run :
+    ?keep:(bid:int -> idx:int -> bool) ->
+    Espbags.Detector.mode ->
+    Mhj.Ast.program ->
+    outcome;
+}
+
+let reference =
+  {
+    bname = "reference";
+    run =
+      (fun ?keep mode prog ->
+        let det, _ = Espbags.Reference.detect ?keep mode prog in
+        {
+          sigs = Espbags.Race.exact_sigs (Espbags.Reference.races det);
+          n_accesses = det.Espbags.Reference.n_accesses;
+          n_skipped = det.Espbags.Reference.n_skipped;
+        });
+  }
+
+let espbags =
+  {
+    bname = "espbags";
+    run =
+      (fun ?keep mode prog ->
+        let det, _ = Espbags.Detector.detect ?keep mode prog in
+        {
+          sigs = Espbags.Race.exact_sigs (Espbags.Detector.races det);
+          n_accesses = det.Espbags.Detector.n_accesses;
+          n_skipped = det.Espbags.Detector.n_skipped;
+        });
+  }
+
+let vclock =
+  {
+    bname = "vclock";
+    run =
+      (fun ?keep mode prog ->
+        let det, _ = Vclock.Seq.detect ?keep mode prog in
+        {
+          sigs = Espbags.Race.exact_sigs (Vclock.Seq.races det);
+          n_accesses = det.Vclock.Seq.n_accesses;
+          n_skipped = det.Vclock.Seq.n_skipped;
+        });
+  }
+
+let check_identical ~seed ~what a b =
+  if a <> b then
+    QCheck.Test.fail_reportf
+      "seed %d: %s differ@.lhs (%d): @[%a@]@.rhs (%d): @[%a@]" seed what
+      (List.length a)
+      Fmt.(list ~sep:comma Espbags.Race.pp_sig)
+      a (List.length b)
+      Fmt.(list ~sep:comma Espbags.Race.pp_sig)
+      b
+
+(* One differential check: [backend] vs [reference] on the program
+   generated from [seed].  [prune] monitors only statements the static
+   pre-pass cannot prove race-free; pruned comparisons are multiset
+   (sorted) since skipped accesses no longer interleave reports. *)
+let diff_one ?(gen_cfg = Benchsuite.Progen.default) ~backend ~mode ~prune seed
+    =
+  let prog = compile (Benchsuite.Progen.generate ~cfg:gen_cfg ~seed ()) in
+  let oracle = reference.run mode prog in
+  if prune then begin
+    let pr = Static.Prune.make prog in
+    let got = backend.run ~keep:(Static.Prune.keep_fn pr) mode prog in
+    check_identical ~seed
+      ~what:
+        (Fmt.str "pruned %s %a race multisets vs seed" backend.bname
+           Espbags.Detector.pp_mode mode)
+      (List.sort compare got.sigs)
+      (List.sort compare oracle.sigs);
+    if got.n_skipped > oracle.n_accesses then
+      QCheck.Test.fail_reportf "seed %d: %s skipped more accesses than exist"
+        seed backend.bname
+  end
+  else begin
+    let got = backend.run mode prog in
+    check_identical ~seed
+      ~what:
+        (Fmt.str "%s %a race records vs seed" backend.bname
+           Espbags.Detector.pp_mode mode)
+      got.sigs oracle.sigs;
+    if got.n_accesses <> oracle.n_accesses then
+      QCheck.Test.fail_reportf "seed %d: %s access counters differ (%d vs %d)"
+        seed backend.bname got.n_accesses oracle.n_accesses
+  end;
+  true
+
+(* The full (backend x mode x prune) grid as qcheck tests over random
+   program seeds. *)
+let diff_tests ?gen_cfg ?(count = qcheck_count) ~backends ~modes ~prunes () =
+  List.concat_map
+    (fun backend ->
+      List.concat_map
+        (fun mode ->
+          List.map
+            (fun prune ->
+              QCheck.Test.make ~count
+                ~name:
+                  (Fmt.str "%s %a%s == seed" backend.bname
+                     Espbags.Detector.pp_mode mode
+                     (if prune then " + static prune (multiset)"
+                      else " (ordered records)"))
+                QCheck.(int_range 0 1_000_000)
+                (diff_one ?gen_cfg ~backend ~mode ~prune))
+            prunes)
+        modes)
+    backends

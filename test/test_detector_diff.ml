@@ -8,109 +8,28 @@
    records}, and because the interpreter is deterministic the comparison
    can be exact and ordered, not just a multiset check.
 
-   Four properties per generated program:
-   - SRW: new vs seed, ordered record identity;
-   - MRW: new vs seed, ordered record identity;
-   - MRW under --static-prune (Static.Prune.keep_fn) vs unpruned MRW:
+   The grid (now built on Diff_harness, shared with the vector-clock
+   suite in test_vclock.ml):
+   - SRW and MRW: new vs seed, ordered record identity plus access
+     counters;
+   - MRW under --static-prune (Static.Prune.keep_fn) vs unpruned seed:
      same multiset (pruning may only skip statements proven race-free,
-     never change what is reported);
-   - counters: both sides agree on [n_accesses] (minus skips) and race
-     counts are consistent with [clean].
+     never change what is reported).
 
    `dune runtest` uses a bounded number of programs; the @ci alias runs
    the deep pass (TDR_QCHECK_COUNT=300).  Seeds are the qcheck input, so
    failures replay exactly. *)
 
-let compile = Mhj.Front.compile
-
-let qcheck_count =
-  match
-    Option.bind (Sys.getenv_opt "TDR_QCHECK_COUNT") int_of_string_opt
-  with
-  | Some n when n > 0 -> n
-  | _ -> 60
-
-(* Node ids are deterministic, so two runs report the same races in the
-   same order iff these signature lists are equal. *)
-let exact_sigs races =
-  List.map
-    (fun (r : Espbags.Race.t) ->
-      ( r.src.Sdpst.Node.id,
-        r.sink.Sdpst.Node.id,
-        Fmt.str "%a" Rt.Addr.pp r.addr,
-        Fmt.str "%a" Espbags.Race.pp_kind r.kind ))
-    races
-
-let pp_sig ppf (src, sink, addr, kind) =
-  Fmt.pf ppf "(%d -> %d) %s %s" src sink addr kind
-
-let check_identical ~seed ~what a b =
-  if a <> b then
-    QCheck.Test.fail_reportf
-      "seed %d: %s differ@.new  (%d): @[%a@]@.seed (%d): @[%a@]" seed what
-      (List.length a)
-      Fmt.(list ~sep:comma pp_sig)
-      a (List.length b)
-      Fmt.(list ~sep:comma pp_sig)
-      b
-
-let diff_one mode seed =
-  let prog = compile (Benchsuite.Progen.generate ~seed ()) in
-  let det, _ = Espbags.Detector.detect mode prog in
-  let ref_det, _ = Espbags.Reference.detect mode prog in
-  check_identical ~seed
-    ~what:(Fmt.str "%a race records" Espbags.Detector.pp_mode mode)
-    (exact_sigs (Espbags.Detector.races det))
-    (exact_sigs (Espbags.Reference.races ref_det));
-  if det.Espbags.Detector.n_accesses <> ref_det.Espbags.Reference.n_accesses
-  then
-    QCheck.Test.fail_reportf "seed %d: access counters differ (%d vs %d)" seed
-      det.Espbags.Detector.n_accesses ref_det.Espbags.Reference.n_accesses;
-  if Espbags.Detector.clean det <> (Espbags.Detector.race_count det = 0) then
-    QCheck.Test.fail_reportf "seed %d: clean/race_count inconsistent" seed;
-  true
-
-let srw_matches_seed =
-  QCheck.Test.make ~count:qcheck_count
-    ~name:"SRW: dense detector == seed (ordered records)"
-    QCheck.(int_range 0 1_000_000)
-    (diff_one Espbags.Detector.Srw)
-
-let mrw_matches_seed =
-  QCheck.Test.make ~count:qcheck_count
-    ~name:"MRW: dense detector == seed (ordered records)"
-    QCheck.(int_range 0 1_000_000)
-    (diff_one Espbags.Detector.Mrw)
-
-(* Static pruning drops monitoring for statements the MHP pre-pass proves
-   race-free; with MRW that must leave the reported multiset unchanged
-   (order may differ: skipped accesses no longer interleave reports). *)
-let mrw_prune_matches_seed =
-  QCheck.Test.make ~count:qcheck_count
-    ~name:"MRW + static prune: same multiset as seed unpruned"
-    QCheck.(int_range 0 1_000_000)
-    (fun seed ->
-      let prog = compile (Benchsuite.Progen.generate ~seed ()) in
-      let pr = Static.Prune.make prog in
-      let pruned, _ =
-        Espbags.Detector.detect
-          ~keep:(Static.Prune.keep_fn pr)
-          Espbags.Detector.Mrw prog
-      in
-      let ref_det, _ = Espbags.Reference.detect Espbags.Detector.Mrw prog in
-      check_identical ~seed ~what:"pruned-MRW vs seed race multisets"
-        (List.sort compare (exact_sigs (Espbags.Detector.races pruned)))
-        (List.sort compare (exact_sigs (Espbags.Reference.races ref_det)));
-      if pruned.Espbags.Detector.n_skipped > ref_det.Espbags.Reference.n_accesses
-      then
-        QCheck.Test.fail_reportf "seed %d: skipped more accesses than exist"
-          seed;
-      true)
+let tests =
+  Diff_harness.diff_tests
+    ~backends:[ Diff_harness.espbags ]
+    ~modes:[ Espbags.Detector.Srw; Espbags.Detector.Mrw ]
+    ~prunes:[ false ] ()
+  @ Diff_harness.diff_tests
+      ~backends:[ Diff_harness.espbags ]
+      ~modes:[ Espbags.Detector.Mrw ]
+      ~prunes:[ true ] ()
 
 let () =
   Alcotest.run "detector-diff"
-    [
-      ( "differential",
-        List.map QCheck_alcotest.to_alcotest
-          [ srw_matches_seed; mrw_matches_seed; mrw_prune_matches_seed ] );
-    ]
+    [ ("differential", List.map QCheck_alcotest.to_alcotest tests) ]

@@ -6,7 +6,7 @@
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
                                   students|ablation|prune|prune-quick|
-                                  detector|detector-quick|speedup|micro|all]
+                                  detector|detector-quick|scale|scale-quick|speedup|micro|all]
 
    (table3 and table4 are produced by the same SRW-vs-MRW sweep;
    detector-quick and prune-quick are the CI variants of the
@@ -15,7 +15,7 @@
 let usage () =
   Fmt.epr
     "usage: main.exe \
-     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|prune-quick|detector|detector-quick|speedup|micro|all]@.";
+     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|prune-quick|detector|detector-quick|scale|scale-quick|speedup|micro|all]@.";
   exit 1
 
 let () =
@@ -33,6 +33,8 @@ let () =
   | "prune-quick" -> Prune.run_quick ()
   | "detector" -> Detector.run ()
   | "detector-quick" -> Detector.run_quick ()
+  | "scale" -> Scale.run ()
+  | "scale-quick" -> Scale.run_quick ()
   | "speedup" -> Speedup.run ()
   | "micro" -> Micro.run_and_print ()
   | "all" ->
@@ -45,6 +47,7 @@ let () =
       Tables.ablation ();
       Prune.run ();
       Detector.run ();
+      Scale.run ();
       Speedup.run ();
       Micro.run_and_print ()
   | _ -> usage ());

@@ -1,0 +1,392 @@
+(* `bench scale`: million-access detection — throughput and memory
+   bounds of the slab-chunked / epoch-GC'd / spill-bounded detectors
+   (DESIGN.md §15) on the closed-form scale workloads
+   (Benchsuite.Progen.scale_presets: wide grid, deep task chain,
+   hot-address skew, phased finishes, sparse id space).
+
+   For every workload x backend (ESP-bags, vector clocks; MRW — the
+   flavour whose shadow actually grows), the sweep times the same
+   deterministic execution twice: with the default slab-chunked shadow
+   layout and with the Monolithic doubling-array layout (the pre-scale
+   baseline).  Per row it records detection throughput (accesses per
+   second of detection time = run minus uninstrumented baseline), the
+   GC-heap high-water mark of each layout's run (Obs.Rusage.watermark —
+   per-run, unlike process RSS, which is monotone), allocated shadow
+   slabs/words, entries retired by epoch GC, and clocks freed (vclock).
+   The process-wide peak RSS (getrusage) is reported once in the
+   summary.
+
+   Report invariance is asserted, not assumed: per workload the race
+   records of {chunked, monolithic} x {ESP-bags, vclock} and of a
+   chunked ESP-bags run with a deliberately tiny spill cap (forcing the
+   disk-overflow path) must all be byte-identical to the unbounded seed
+   oracle (Espbags.Reference).  Any mismatch aborts rather than print a
+   corrupt table.
+
+   The sparse workload is the layout comparison row: its interned id
+   space is ~17x larger than its touched set, so the monolithic shadow's
+   words scale with the id span while the chunked shadow's scale with
+   the touched chunks — the sweep asserts chunked shadow words strictly
+   below monolithic's there (sublinear growth in the untouched span).
+
+   Environment knobs (mirroring `bench detector`): TDR_BENCH_REPEAT
+   (default 2), TDR_BENCH_SCALE_SUITE (comma-separated workload names),
+   TDR_BENCH_SCALE_JSON (default BENCH_scale.json; "-" disables),
+   TDR_BENCH_MIN_ACCESSES_PER_S (throughput floor over the aggregate;
+   default 20000, 0 disables), TDR_BENCH_MAX_RSS_MB (process peak-RSS
+   ceiling; default 0 = disabled).  The quick variant (`bench
+   scale-quick`, @ci) shrinks every workload ~16x (~10^5 accesses),
+   does a single run per configuration and writes JSON only when
+   TDR_BENCH_SCALE_JSON is set explicitly, keeping all assertions
+   including the layout-comparison row and the spill path. *)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+      match float_of_string_opt s with Some f -> f | None -> default)
+  | None -> default
+
+(* Quick variants: every dimension cut so each workload lands near 10^5
+   accesses; shapes and ratios preserved. *)
+let quick_config (cfg : Benchsuite.Progen.scale_config) :
+    Benchsuite.Progen.scale_config =
+  let shape =
+    match cfg.shape with
+    | Benchsuite.Progen.Grid { tasks; reps } ->
+        Benchsuite.Progen.Grid { tasks = tasks / 4; reps = reps / 4 }
+    | Deep { depth; reps } -> Deep { depth = depth / 4; reps = reps / 4 }
+    | Hot { tasks; reps; hot } ->
+        Hot { tasks = tasks / 4; reps = max 1 (reps / 4); hot = max 1 (hot / 4) }
+    | Phased { phases; tasks; reps; hot } ->
+        Phased
+          {
+            phases = max 2 (phases / 2);
+            tasks = tasks / 4;
+            reps = max 1 (reps / 2);
+            hot = max 1 (hot / 4);
+          }
+    | Sparse { pad_arrays; pad_len; tasks; reps } ->
+        Sparse { pad_arrays; pad_len = pad_len / 4; tasks = tasks / 4; reps = reps / 4 }
+  in
+  { cfg with shape }
+
+let workloads ~quick () =
+  let all =
+    if quick then
+      List.map
+        (fun (n, c) -> (n, quick_config c))
+        Benchsuite.Progen.scale_presets
+    else Benchsuite.Progen.scale_presets
+  in
+  match Sys.getenv_opt "TDR_BENCH_SCALE_SUITE" with
+  | None | Some "" -> all
+  | Some spec -> (
+      let names = String.split_on_char ',' spec in
+      match List.filter (fun (n, _) -> List.mem n names) all with
+      | [] ->
+          failwith
+            (Fmt.str
+               "scale bench: TDR_BENCH_SCALE_SUITE=%S matches no workload \
+                (have: %s)"
+               spec
+               (String.concat ", " (List.map fst all)))
+      | ws -> ws)
+
+type mem = {
+  hw_words : int;  (** GC-heap high-water mark of the run *)
+  shadow_slabs : int;
+  shadow_words : int;
+  gc_retired : int;
+  clocks_freed : int;  (** vclock only; 0 for ESP-bags *)
+}
+
+type row = {
+  workload : string;
+  backend : string;  (** "espbags" | "vclock" *)
+  accesses : int;
+  races : int;
+  nop_s : float;
+  chunked_s : float;
+  mono_s : float;
+  chunked : mem;
+  mono : mem;
+  spilled : int;  (** records through the forced-spill identity run *)
+}
+
+let det_time run nop = Float.max (run -. nop) 1e-6
+
+let measurable run nop = run -. nop >= Float.max 3e-4 (0.05 *. nop)
+
+let aps r = float_of_int r.accesses /. det_time r.chunked_s r.nop_s
+
+let mono_aps r = float_of_int r.accesses /. det_time r.mono_s r.nop_s
+
+let row_measurable r = measurable r.chunked_s r.nop_s
+
+let identical workload what a b =
+  if a <> b then
+    failwith
+      (Fmt.str
+         "scale bench: %s: %s race records differ (%d vs %d) — memory \
+          bounds changed the report"
+         workload what (List.length a) (List.length b))
+
+(* One measured detection run: time, heap high-water mark, and detector
+   gauges, under a [Gc.full_major]-cleaned heap. *)
+let run_one f =
+  Gc.full_major ();
+  let wm = Obs.Rusage.watermark () in
+  let r, s = Clock.time f in
+  let hw = Obs.Rusage.dispose wm in
+  (r, s, hw)
+
+let stat det key =
+  match List.assoc_opt key det with Some v -> v | None -> 0
+
+let measure ~repeat ~spill_dir (name, cfg) : row list =
+  let src = Benchsuite.Progen.generate_scaled cfg in
+  let prog = Mhj.Front.compile src in
+  let nop_s = ref infinity in
+  let keep_min cell s = if s < !cell then cell := s in
+  for _ = 1 to repeat do
+    let _, s, _ = run_one (fun () -> ignore (Rt.Interp.run prog)) in
+    keep_min nop_s s
+  done;
+  let nop_s = !nop_s in
+  (* unbounded oracle: the seed implementation, hashtable bags and boxed
+     shadow — no slabs, no GC, no spill *)
+  let oracle =
+    Espbags.Race.exact_sigs
+      (Espbags.Reference.races
+         (fst (Espbags.Reference.detect Espbags.Detector.Mrw prog)))
+  in
+  let eb layout () =
+    fst (Espbags.Detector.detect ~layout Espbags.Detector.Mrw prog)
+  in
+  let vc layout () = fst (Vclock.Seq.detect ~layout Vclock.Seq.Mrw prog) in
+  let time_runs f =
+    let best = ref infinity and last = ref None and hw = ref 0 in
+    for _ = 1 to repeat do
+      let det, s, h = run_one f in
+      keep_min best s;
+      if h > !hw then hw := h;
+      last := Some det
+    done;
+    (Option.get !last, !best, !hw)
+  in
+  let backend bname ~detect ~races ~stats ~spill_races : row =
+    let chunked_det, chunked_s, chunked_hw =
+      time_runs (detect (Tdrutil.Islab.Chunked Tdrutil.Islab.default_chunk))
+    in
+    let mono_det, mono_s, mono_hw = time_runs (detect Tdrutil.Islab.Monolithic) in
+    let csigs = Espbags.Race.exact_sigs (races chunked_det) in
+    identical name (bname ^ " chunked vs seed oracle") csigs oracle;
+    identical name
+      (bname ^ " monolithic vs seed oracle")
+      (Espbags.Race.exact_sigs (races mono_det))
+      oracle;
+    (* force the spill path: a cap far below the race count drains
+       r_buf to disk mid-run; the report must survive the round-trip *)
+    let spill_path = Filename.concat spill_dir (name ^ "-" ^ bname ^ ".spill") in
+    let n_spilled, spill_sigs = spill_races spill_path in
+    identical name (bname ^ " spilled vs seed oracle") spill_sigs oracle;
+    if List.length oracle > 4 && n_spilled = 0 then
+      failwith
+        (Fmt.str "scale bench: %s: %s spill run spilled nothing" name bname);
+    let mem det hw =
+      let st = stats det in
+      {
+        hw_words = hw;
+        shadow_slabs = stat st "detector.shadow_slabs";
+        shadow_words = stat st "detector.shadow_words";
+        gc_retired = stat st "detector.gc_retired";
+        clocks_freed = stat st "detector.clocks_freed";
+      }
+    in
+    {
+      workload = name;
+      backend = bname;
+      accesses = stat (stats chunked_det) "detector.accesses";
+      races = List.length csigs;
+      nop_s;
+      chunked_s;
+      mono_s;
+      chunked = mem chunked_det chunked_hw;
+      mono = mem mono_det mono_hw;
+      spilled = n_spilled;
+    }
+  in
+  let eb_row =
+    backend "espbags" ~detect:(fun l -> eb l) ~races:Espbags.Detector.races
+      ~stats:Espbags.Detector.stats ~spill_races:(fun path ->
+        let det, _ =
+          Espbags.Detector.detect
+            ~spill:(Espbags.Spill.config ~cap:2 path)
+            Espbags.Detector.Mrw prog
+        in
+        ( Espbags.Detector.n_spilled det,
+          Espbags.Race.exact_sigs (Espbags.Detector.races det) ))
+  in
+  let vc_row =
+    backend "vclock" ~detect:(fun l -> vc l) ~races:Vclock.Seq.races
+      ~stats:Vclock.Seq.stats ~spill_races:(fun path ->
+        let det, _ =
+          Vclock.Seq.detect
+            ~spill:(Espbags.Spill.config ~cap:2 path)
+            Vclock.Seq.Mrw prog
+        in
+        (Vclock.Seq.n_spilled det, Espbags.Race.exact_sigs (Vclock.Seq.races det)))
+  in
+  [ eb_row; vc_row ]
+
+(* JSON has no NaN/Inf; aggregates over an empty or unmeasurable row set
+   degrade to 0 instead. *)
+let safe f = if Float.is_finite f then f else 0.
+
+let json_of_rows ~repeat ~quick rows =
+  let buf = Buffer.create 4096 in
+  let row_json r =
+    Fmt.str
+      "    {\"workload\": %S, \"backend\": %S, \"accesses\": %d, \"races\": \
+       %d, \"nop_s\": %.6f, \"chunked_s\": %.6f, \"mono_s\": %.6f, \
+       \"det_accesses_per_s\": %.0f, \"mono_det_accesses_per_s\": %.0f, \
+       \"chunked_hw_words\": %d, \"mono_hw_words\": %d, \
+       \"chunked_shadow_slabs\": %d, \"chunked_shadow_words\": %d, \
+       \"mono_shadow_words\": %d, \"gc_retired\": %d, \"clocks_freed\": %d, \
+       \"spilled_races\": %d, \"measurable\": %b}"
+      r.workload r.backend r.accesses r.races r.nop_s r.chunked_s r.mono_s
+      (safe (aps r)) (safe (mono_aps r)) r.chunked.hw_words r.mono.hw_words
+      r.chunked.shadow_slabs r.chunked.shadow_words r.mono.shadow_words
+      r.chunked.gc_retired r.chunked.clocks_freed r.spilled (row_measurable r)
+  in
+  let mrows = List.filter row_measurable rows in
+  let total_over rs f = List.fold_left (fun acc r -> acc +. f r) 0. rs in
+  let agg_aps =
+    safe
+      (total_over mrows (fun r -> float_of_int r.accesses)
+      /. total_over mrows (fun r -> det_time r.chunked_s r.nop_s))
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Fmt.str "  \"repeat\": %d,\n" repeat);
+  Buffer.add_string buf (Fmt.str "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Fmt.str "  \"measured_rows\": %d,\n" (List.length mrows));
+  Buffer.add_string buf
+    (Fmt.str "  \"total_accesses\": %.0f,\n"
+       (total_over rows (fun r -> float_of_int r.accesses)));
+  Buffer.add_string buf
+    (Fmt.str "  \"aggregate_det_accesses_per_s\": %.0f,\n" agg_aps);
+  Buffer.add_string buf
+    (Fmt.str "  \"peak_rss_kb\": %d,\n" (Obs.Rusage.peak_rss_kb ()));
+  Buffer.add_string buf "  \"rows\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map row_json rows));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let sweep ~quick () =
+  let repeat = max 1 (if quick then 1 else env_int "TDR_BENCH_REPEAT" 2) in
+  let spill_dir = Filename.temp_file "tdr-scale" "" in
+  Sys.remove spill_dir;
+  Unix.mkdir spill_dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat spill_dir f) with _ -> ())
+        (try Sys.readdir spill_dir with _ -> [||]);
+      try Unix.rmdir spill_dir with _ -> ())
+    (fun () ->
+      Fmt.pr "== scale: memory-bounded detection at ~10^%d accesses ==@."
+        (if quick then 5 else 6);
+      Fmt.pr
+        "(aps = accesses/sec of detection time; hw = GC-heap high-water \
+         Mwords of the run, chunked vs monolithic shadow layout)@.";
+      Fmt.pr "%-11s %-8s %10s %6s %9s %9s %9s %8s %8s %9s %9s@." "workload"
+        "backend" "accesses" "races" "nop(ms)" "chk(ms)" "mono(ms)" "chk-hw"
+        "mono-hw" "retired" "aps";
+      let rows =
+        List.concat_map
+          (fun w ->
+            let rs = measure ~repeat ~spill_dir w in
+            List.iter
+              (fun r ->
+                Fmt.pr
+                  "%-11s %-8s %10d %6d %9.1f %9.1f %9.1f %7.1fM %7.1fM %9d \
+                   %9.0f@."
+                  r.workload r.backend r.accesses r.races (1e3 *. r.nop_s)
+                  (1e3 *. r.chunked_s) (1e3 *. r.mono_s)
+                  (float_of_int r.chunked.hw_words /. 1e6)
+                  (float_of_int r.mono.hw_words /. 1e6)
+                  r.chunked.gc_retired (safe (aps r)))
+              rs;
+            rs)
+          (workloads ~quick ())
+      in
+      (* the sparse workload is the layout-comparison row: its id span is
+         ~17x its touched set, so the chunked table must undercut the
+         monolithic doubling array.  Strict-less, not a fixed ratio: both
+         layouts carry identical per-location access-list words (they
+         scale with the touched set), so the assertable difference is
+         exactly the table part — touched chunks vs the whole span. *)
+      List.iter
+        (fun r ->
+          if
+            String.length r.workload >= 6
+            && String.sub r.workload 0 6 = "sparse"
+            && r.chunked.shadow_words >= r.mono.shadow_words
+          then
+            failwith
+              (Fmt.str
+                 "scale bench: %s/%s: chunked shadow (%d words) is not \
+                  sublinear vs monolithic (%d words)"
+                 r.workload r.backend r.chunked.shadow_words
+                 r.mono.shadow_words))
+        rows;
+      let mrows = List.filter row_measurable rows in
+      let total_over rs f = List.fold_left (fun acc r -> acc +. f r) 0. rs in
+      let agg_aps =
+        safe
+          (total_over mrows (fun r -> float_of_int r.accesses)
+          /. total_over mrows (fun r -> det_time r.chunked_s r.nop_s))
+      in
+      let rss_kb = Obs.Rusage.peak_rss_kb () in
+      Fmt.pr
+        "reports byte-identical to the unbounded oracle on all %d rows \
+         (both layouts + forced spill); aggregate %.0f accesses/s over %d \
+         measurable rows; process peak RSS %d MB@."
+        (List.length rows) agg_aps (List.length mrows) (rss_kb / 1024);
+      (let floor = env_float "TDR_BENCH_MIN_ACCESSES_PER_S" 20_000. in
+       if mrows <> [] && floor > 0. && agg_aps < floor then
+         failwith
+           (Fmt.str
+              "scale bench: aggregate %.0f accesses/s is below the %.0f \
+               floor (TDR_BENCH_MIN_ACCESSES_PER_S)"
+              agg_aps floor));
+      (let ceil_mb = env_int "TDR_BENCH_MAX_RSS_MB" 0 in
+       if ceil_mb > 0 && rss_kb / 1024 > ceil_mb then
+         failwith
+           (Fmt.str
+              "scale bench: process peak RSS %d MB exceeds the %d MB \
+               ceiling (TDR_BENCH_MAX_RSS_MB)"
+              (rss_kb / 1024) ceil_mb));
+      let json_dest =
+        match Sys.getenv_opt "TDR_BENCH_SCALE_JSON" with
+        | Some "-" -> None
+        | Some path -> Some path
+        | None -> if quick then None else Some "BENCH_scale.json"
+      in
+      match json_dest with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (json_of_rows ~repeat ~quick rows);
+          close_out oc;
+          Fmt.pr "[scale data written to %s]@." path)
+
+let run () = sweep ~quick:false ()
+
+let run_quick () = sweep ~quick:true ()

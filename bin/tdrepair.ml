@@ -283,13 +283,68 @@ let static_prune_arg =
            accesses it proves sequential.  With $(b,--mode mrw) the \
            reported race set is unchanged; detection only gets cheaper.")
 
+(* --shadow-chunk / --spill: detector memory bounds (DESIGN.md §15);
+   shared by detect and repair.  Neither changes the reported races. *)
+let shadow_chunk_arg =
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some _ -> Error (`Msg "chunk size must be positive")
+      | None -> Error (`Msg (Fmt.str "%S is not an integer" s))
+    in
+    Arg.conv (parse, Fmt.int)
+  in
+  Arg.(
+    value
+    & opt (some pos_int) None
+    & info [ "shadow-chunk" ] ~docv:"N"
+        ~doc:
+          "Grow the detector's shadow tables in slab chunks of $(docv) \
+           slots (default 8192; rounded up to a power of two).  Reported \
+           races are unchanged; smaller chunks track sparse address \
+           spaces more tightly.")
+
+let spill_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill" ] ~docv:"FILE"
+        ~doc:
+          "Bound in-memory race records by draining overflow to $(docv) \
+           (a loadable race-trace file, removed again if nothing \
+           spills).  Reported races are unchanged.")
+
+(* Fail fast on an unwritable spill path (the detector only opens it on
+   first overflow, which could be minutes into a run). *)
+let check_spill_writable spill =
+  Option.iter
+    (fun path ->
+      try
+        let oc = open_out_gen [ Open_wronly; Open_creat ] 0o644 path in
+        close_out oc
+      with Sys_error m ->
+        Fmt.epr "error: --spill %s: %s@." path m;
+        exit Ec.input_error)
+    spill
+
+(* A spill file that never received records is an empty stub, not a
+   loadable trace; drop it. *)
+let cleanup_spill spill ~n_spilled =
+  match spill with
+  | Some path when n_spilled = 0 -> ( try Sys.remove path with Sys_error _ -> ())
+  | _ -> ()
+
 let detect_cmd =
   let run file mode backend sets trace dump_tree dump_sdpst static_prune
-      timeout_ms =
+      shadow_chunk spill timeout_ms =
     or_die (fun () ->
       Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
         let backend = resolve_backend_verbose prog backend in
+        check_spill_writable spill;
+        let layout = Option.map (fun n -> Tdrutil.Islab.Chunked n) shadow_chunk in
+        let spill_cfg = Option.map Espbags.Spill.config spill in
         let keep =
           if static_prune then begin
             let pr = Static.Prune.make prog in
@@ -302,25 +357,33 @@ let detect_cmd =
           end
           else None
         in
-        let label, races, n_accesses, n_locations, n_skipped, res =
+        let label, races, n_accesses, n_locations, n_skipped, n_spilled, res =
           match backend with
           | `Espbags ->
-              let det, res = Espbags.Detector.detect ?keep mode prog in
+              let det, res =
+                Espbags.Detector.detect ?keep ?layout ?spill:spill_cfg mode
+                  prog
+              in
               ( "ESP-bags",
                 Espbags.Detector.races det,
                 det.Espbags.Detector.n_accesses,
                 det.Espbags.Detector.n_locations,
                 det.Espbags.Detector.n_skipped,
+                Espbags.Detector.n_spilled det,
                 res )
           | `Vclock ->
-              let det, res = Vclock.Seq.detect ?keep mode prog in
+              let det, res =
+                Vclock.Seq.detect ?keep ?layout ?spill:spill_cfg mode prog
+              in
               ( "vector-clock",
                 Vclock.Seq.races det,
                 det.Vclock.Seq.n_accesses,
                 det.Vclock.Seq.n_locations,
                 det.Vclock.Seq.n_skipped,
+                Vclock.Seq.n_spilled det,
                 res )
         in
+        cleanup_spill spill ~n_spilled;
         if dump_sdpst then Fmt.pr "%s@." (Sdpst.Serial.to_string res.tree);
         (match dump_tree with
         | Some path ->
@@ -335,6 +398,10 @@ let detect_cmd =
           n_accesses n_locations res.Rt.Interp.tree.Sdpst.Node.n_nodes;
         if n_skipped > 0 then
           Fmt.pr "skipped %d access(es) proven sequential@." n_skipped;
+        (match spill with
+        | Some path when n_spilled > 0 ->
+            Fmt.pr "spilled %d race record(s) to %s@." n_spilled path
+        | _ -> ());
         List.iteri
           (fun i r ->
             if i < 20 then Fmt.pr "  %a@." Espbags.Race.pp r
@@ -371,7 +438,8 @@ let detect_cmd =
           clocks, see $(b,--backend)) and report its data races.")
     Term.(
       const run $ file_arg $ mode_arg $ backend_arg $ set_arg $ trace
-      $ dump_tree $ dump $ static_prune_arg $ timeout_arg)
+      $ dump_tree $ dump $ static_prune_arg $ shadow_chunk_arg $ spill_arg
+      $ timeout_arg)
 
 let analyze_cmd =
   let run file tree_path trace_path output quiet =
@@ -438,12 +506,13 @@ let static_verify_arg =
 let repair_cmd =
   let run file mode backend strategy sets budgets output report_flag quiet
       static_prune static_verify validate_par validate_seed budget_validate
-      trace_file metrics_file timeout_ms =
+      shadow_chunk spill trace_file metrics_file timeout_ms =
     (* Enable tracing before the compile so the parse/typecheck/normalize
        spans land in the file too. *)
     if trace_file <> None then Obs.Trace.enable ();
     or_die (fun () ->
       Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
+        check_spill_writable spill;
         let prog = apply_sets (compile file) sets in
         let backend = resolve_backend_verbose prog backend in
         let validate_par =
@@ -460,8 +529,14 @@ let repair_cmd =
           Repair.Driver.repair ~mode
             ~backend:(backend :> Repair.Driver.backend)
             ~strategy ~budgets ~static_prune ~static_verify ?validate_par
-            prog
+            ?shadow_chunk ?spill prog
         in
+        let n_spilled =
+          Option.value ~default:0
+            (List.assoc_opt "detector.spilled_races"
+               report.Repair.Driver.metrics)
+        in
+        cleanup_spill spill ~n_spilled;
         (* Write telemetry before anything below can [exit]. *)
         Option.iter (fun path -> Obs.Trace.save path) trace_file;
         Option.iter
@@ -604,7 +679,8 @@ let repair_cmd =
       const run $ file_arg $ mode_arg $ backend_arg $ strategy $ set_arg
       $ budgets_term $ output_arg $ report_flag $ quiet $ static_prune_arg
       $ static_verify_arg $ validate_par $ validate_seed $ budget_validate
-      $ trace_file $ metrics_file $ timeout_arg)
+      $ shadow_chunk_arg $ spill_arg $ trace_file $ metrics_file
+      $ timeout_arg)
 
 let strip_cmd =
   let run file output =

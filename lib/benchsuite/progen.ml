@@ -269,3 +269,210 @@ let generate ?(cfg = default) ~seed () : string =
   done;
   Buffer.add_string buf "  }\n  print(sink[0]);\n}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Closed-form scale workloads                                          *)
+(* ------------------------------------------------------------------ *)
+
+type scale_shape =
+  | Grid of { tasks : int; reps : int }
+  | Deep of { depth : int; reps : int }
+  | Hot of { tasks : int; reps : int; hot : int }
+  | Phased of { phases : int; tasks : int; reps : int; hot : int }
+  | Sparse of { pad_arrays : int; pad_len : int; tasks : int; reps : int }
+
+type scale_config = { shape : scale_shape; racy_pairs : int }
+
+(* Per inner-loop iteration, the interpreter monitors the global-variable
+   read of each array base in addition to the cell accesses: [g[x] = g[x]
+   + e] is 4 monitored accesses (2 base reads, 1 cell read, 1 cell
+   write), and the Hot/Phased body [g[i] = g[i] + hot[..]] is 6. *)
+let scale_accesses { shape; racy_pairs } =
+  let body =
+    match shape with
+    | Grid { tasks; reps } -> 4 * tasks * reps
+    | Deep { depth; reps } -> 4 * depth * reps
+    | Hot { tasks; reps; hot } -> (6 * tasks * reps) + (2 * hot)
+    | Phased { phases; tasks; reps; hot } ->
+        (6 * phases * tasks * reps) + (2 * hot)
+    | Sparse { tasks; reps; _ } -> 4 * tasks * reps
+  in
+  (* each racy pair: a bare write plus a read-increment, with base reads *)
+  body + (6 * racy_pairs)
+
+let check_pos what n =
+  if n <= 0 then invalid_arg (Fmt.str "Progen scale: %s must be positive" what)
+
+(* [racy_pairs] unjoined async pairs on dedicated cells of [r], emitted
+   after the main workload.  Pair [k] produces exactly two deterministic
+   race records on [r[k]] (a write-read and a write-write), so the
+   config's race density — and with a small spill cap, the spill path —
+   is under test control without perturbing the main phase. *)
+let add_racy buf racy_pairs =
+  if racy_pairs > 0 then begin
+    Buffer.add_string buf "  finish {\n";
+    for k = 0 to racy_pairs - 1 do
+      Buffer.add_string buf
+        (Fmt.str "    async {\n      r[%d] = %d;\n    }\n" k k);
+      Buffer.add_string buf
+        (Fmt.str "    async {\n      r[%d] = r[%d] + 1;\n    }\n" k k)
+    done;
+    Buffer.add_string buf "  }\n"
+  end
+
+let add_header buf ~racy_pairs decls =
+  List.iter
+    (fun (name, len) ->
+      Buffer.add_string buf (Fmt.str "var %s: int[] = new int[%d];\n" name len))
+    decls;
+  Buffer.add_string buf
+    (Fmt.str "var r: int[] = new int[%d];\n\n" (max 1 racy_pairs));
+  Buffer.add_string buf "def main() {\n"
+
+let add_footer buf ~racy_pairs ~result =
+  add_racy buf racy_pairs;
+  Buffer.add_string buf (Fmt.str "  print(%s + r[0]);\n}\n" result)
+
+(** Generate the Mini-HJ source of a scale workload: a closed-form
+    program whose monitored-access count is [scale_accesses cfg] up to
+    small constants, race-free except for the [racy_pairs] appendix.
+
+    - [Grid]: one wide [forasync] over provably disjoint array slices —
+      peak parallelism with a large, uniformly touched address space.
+    - [Deep]: a [depth]-long chain of nested [finish { async { ... } }]
+      levels, each doing [reps] accesses — stresses live-task state
+      (clock count, bag depth), not address volume.
+    - [Hot]: wide [forasync] where every task's inner loop re-reads a
+      small shared [hot] array — address skew: a few cells accumulate
+      reader entries from every task.
+    - [Phased]: [phases] sequential top-level finishes of the [Hot]
+      shape over the {e same} arrays — after each phase only the root
+      task is live, so epoch GC can retire the previous phase's shadow
+      entries; without GC the hot cells' lists grow by [tasks] entries
+      per phase. *)
+let generate_scaled { shape; racy_pairs } : string =
+  if racy_pairs < 0 then invalid_arg "Progen scale: racy_pairs negative";
+  let buf = Buffer.create 4096 in
+  (match shape with
+  | Grid { tasks; reps } ->
+      check_pos "tasks" tasks;
+      check_pos "reps" reps;
+      add_header buf ~racy_pairs [ ("g", tasks * reps) ];
+      Buffer.add_string buf
+        (Fmt.str
+           "  finish {\n\
+           \    forasync (i = 0 to %d) {\n\
+           \      for (j = 0 to %d) {\n\
+           \        g[i * %d + j] = g[i * %d + j] + j;\n\
+           \      }\n\
+           \    }\n\
+           \  }\n"
+           (tasks - 1) (reps - 1) reps reps);
+      add_footer buf ~racy_pairs ~result:"g[0]"
+  | Deep { depth; reps } ->
+      check_pos "depth" depth;
+      check_pos "reps" reps;
+      (* cells are shared across levels, but every level's task is an
+         ancestor of the next level's, so all conflicts are ordered *)
+      let len = min (depth * reps) 65536 in
+      add_header buf ~racy_pairs [ ("g", len) ];
+      for d = 0 to depth - 1 do
+        Buffer.add_string buf
+          (Fmt.str
+             "  finish {\n\
+             \  async {\n\
+             \  for (j%d = 0 to %d) {\n\
+             \    g[(%d + j%d) %% %d] = g[(%d + j%d) %% %d] + 1;\n\
+             \  }\n"
+             d (reps - 1) (d * reps) d len (d * reps) d len)
+      done;
+      for _ = 1 to depth do
+        Buffer.add_string buf "  }\n  }\n"
+      done;
+      add_footer buf ~racy_pairs ~result:"g[0]"
+  | Sparse { pad_arrays; pad_len; tasks; reps } ->
+      check_pos "pad_arrays" pad_arrays;
+      check_pos "pad_len" pad_len;
+      check_pos "tasks" tasks;
+      check_pos "reps" reps;
+      (* the pad arrays are declared (so their cells occupy the interned
+         id space) but never accessed; all traffic lands in the last
+         declared array, i.e. the top of the id range — a monolithic
+         shadow must span every pad id, a chunked one only the touched
+         tail *)
+      let pads =
+        List.init pad_arrays (fun k -> (Fmt.str "p%d" k, pad_len))
+      in
+      add_header buf ~racy_pairs (pads @ [ ("g", tasks * reps) ]);
+      Buffer.add_string buf
+        (Fmt.str
+           "  finish {\n\
+           \    forasync (i = 0 to %d) {\n\
+           \      for (j = 0 to %d) {\n\
+           \        g[i * %d + j] = g[i * %d + j] + j;\n\
+           \      }\n\
+           \    }\n\
+           \  }\n"
+           (tasks - 1) (reps - 1) reps reps);
+      add_footer buf ~racy_pairs ~result:"g[0]"
+  | Hot { tasks; reps; hot } ->
+      check_pos "tasks" tasks;
+      check_pos "reps" reps;
+      check_pos "hot" hot;
+      add_header buf ~racy_pairs [ ("g", tasks); ("hot", hot) ];
+      Buffer.add_string buf
+        (Fmt.str "  for (k = 0 to %d) {\n    hot[k] = k;\n  }\n" (hot - 1));
+      Buffer.add_string buf
+        (Fmt.str
+           "  finish {\n\
+           \    forasync (i = 0 to %d) {\n\
+           \      for (j = 0 to %d) {\n\
+           \        g[i] = g[i] + hot[j %% %d];\n\
+           \      }\n\
+           \    }\n\
+           \  }\n"
+           (tasks - 1) (reps - 1) hot);
+      add_footer buf ~racy_pairs ~result:"g[0]"
+  | Phased { phases; tasks; reps; hot } ->
+      check_pos "phases" phases;
+      check_pos "tasks" tasks;
+      check_pos "reps" reps;
+      check_pos "hot" hot;
+      add_header buf ~racy_pairs [ ("g", tasks); ("hot", hot) ];
+      Buffer.add_string buf
+        (Fmt.str "  for (k = 0 to %d) {\n    hot[k] = k;\n  }\n" (hot - 1));
+      for p = 0 to phases - 1 do
+        Buffer.add_string buf
+          (Fmt.str
+             "  finish {\n\
+             \    forasync (i = 0 to %d) {\n\
+             \      for (j = 0 to %d) {\n\
+             \        g[i] = g[i] + hot[(j + %d) %% %d];\n\
+             \      }\n\
+             \    }\n\
+             \  }\n"
+             (tasks - 1) (reps - 1) p hot)
+      done;
+      add_footer buf ~racy_pairs ~result:"g[0]");
+  Buffer.contents buf
+
+(** Named full-size presets, each ~10^6 monitored accesses (the sizes
+    the committed BENCH_scale.json rows use). *)
+let scale_presets : (string * scale_config) list =
+  [
+    ("grid-1m", { shape = Grid { tasks = 1024; reps = 256 }; racy_pairs = 4 });
+    ("deep-1m", { shape = Deep { depth = 512; reps = 512 }; racy_pairs = 2 });
+    ( "hot-1m",
+      { shape = Hot { tasks = 2048; reps = 85; hot = 64 }; racy_pairs = 8 } );
+    ( "phased-1m",
+      {
+        shape = Phased { phases = 16; tasks = 256; reps = 43; hot = 64 };
+        racy_pairs = 16;
+      } );
+    ( "sparse-1m",
+      {
+        shape =
+          Sparse { pad_arrays = 64; pad_len = 65536; tasks = 1024; reps = 256 };
+        racy_pairs = 4;
+      } );
+  ]

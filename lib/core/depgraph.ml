@@ -24,6 +24,11 @@ type t = {
   first : Sdpst.Node.t array;  (** leftmost S-DPST child of each vertex *)
   last : Sdpst.Node.t array;  (** rightmost S-DPST child of each vertex *)
   times : int array;  (** t_i: sequential composition of the run's spans *)
+  drags : int array;
+      (** delay until the next vertex may start: 0 for an async, the span
+          for steps and finishes, the {e summarized} drag for a scope
+          collapsed by {!Sdpst.Analysis.prune} (< span when the scope
+          contains asyncs that outlive it) *)
   is_async : bool array;  (** singleton async vertex? *)
   edges : (int * int) list;  (** deduplicated, 0-based vertex pairs *)
   cum : int array array;
@@ -165,8 +170,21 @@ let build ?(coalesce = true) ~(span : Sdpst.Node.t -> int)
   let first = Array.make n_groups children.(0) in
   let last = Array.make n_groups children.(0) in
   let times = Array.make n_groups 0 in
+  let drags = Array.make n_groups 0 in
   let is_async = Array.make n_groups false in
   let seen_group = Array.make n_groups false in
+  (* A child's own drag: 0 for an async, span for a step or finish, and
+     for a scope collapsed by pruning the exact summarized drag — which
+     is below its span when the collapsed region contains asyncs that
+     outlive it.  Using the summary keeps the DP's cost model identical
+     to the one the unpruned expansion would induce. *)
+  let child_drag c =
+    if Sdpst.Node.is_async c then 0
+    else
+      match c.Sdpst.Node.collapsed with
+      | Some (_, d) -> d
+      | None -> span c
+  in
   Array.iteri
     (fun i c ->
       let v = group_of.(i) in
@@ -176,9 +194,11 @@ let build ?(coalesce = true) ~(span : Sdpst.Node.t -> int)
         is_async.(v) <- Sdpst.Node.is_async c
       end;
       last.(v) <- c;
-      (* non-async runs compose sequentially: drag = span for each, so the
-         composed span is the sum; async vertices are singletons. *)
-      times.(v) <- times.(v) + span c)
+      (* runs compose sequentially: the next member starts after the
+         previous one's drag; for steps and finishes drag = span, so
+         this reduces to the old sum-of-spans *)
+      times.(v) <- max times.(v) (drags.(v) + span c);
+      drags.(v) <- drags.(v) + child_drag c)
     children;
   let seen2 = Hashtbl.create 64 in
   let edges =
@@ -198,6 +218,7 @@ let build ?(coalesce = true) ~(span : Sdpst.Node.t -> int)
     first;
     last;
     times;
+    drags;
     is_async;
     edges;
     cum = build_cum n_groups edges;

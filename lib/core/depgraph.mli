@@ -12,6 +12,10 @@ type t = private {
   first : Sdpst.Node.t array;  (** leftmost S-DPST child of each vertex *)
   last : Sdpst.Node.t array;  (** rightmost S-DPST child of each vertex *)
   times : int array;  (** [t_i]: sequential composition of the run's spans *)
+  drags : int array;
+      (** delay until the next vertex may start: 0 for an async, the span
+          for steps and finishes, the summarized drag for a collapsed
+          scope (< span when it contains asyncs that outlive it) *)
   is_async : bool array;  (** singleton async vertex? *)
   edges : (int * int) list;  (** deduplicated, 0-based, left-to-right *)
   cum : int array array;  (** 2-D prefix sums for O(1) crossing tests *)

@@ -46,12 +46,13 @@ let solve ?(valid = fun ~i:_ ~j:_ -> true) (g : Depgraph.t) : outcome =
     let est_after = Array.make_matrix n n infinity_cost in
     let partition = Array.make_matrix n n (-1) in
     let finish = Array.make_matrix n n false in
-    let is_async i = g.Depgraph.is_async.(i) in
     for i = 0 to n - 1 do
       opt.(i).(i) <- g.times.(i);
       partition.(i).(i) <- i;
       finish.(i).(i) <- false;
-      est_after.(i).(i) <- (if is_async i then 0 else g.times.(i))
+      (* drags already encodes the async (0) and collapsed-scope
+         (summarized) cases; for steps and finishes it equals times *)
+      est_after.(i).(i) <- g.Depgraph.drags.(i)
     done;
     for s = 2 to n do
       for i = 0 to n - s do
@@ -140,10 +141,8 @@ let eval_placement (g : Depgraph.t) (intervals : (int * int) list) : int =
     let span = ref 0 in
     let cursor = ref lo in
     let emit_vertex v =
-      let t = g.times.(v) in
-      span := max !span (!start + t);
-      let drag = if g.Depgraph.is_async.(v) then 0 else t in
-      start := !start + drag
+      span := max !span (!start + g.times.(v));
+      start := !start + g.Depgraph.drags.(v)
     in
     List.iter
       (fun ((a, b), inner) ->

@@ -89,6 +89,12 @@ let declare_metrics m =
       "detector.backend";
       "detector.tasks";
       "detector.clock_merges";
+      "detector.shadow_slabs";
+      "detector.shadow_words";
+      "detector.gc_retired";
+      "detector.clocks_freed";
+      "detector.spilled_races";
+      "detector.peak_rss_kb";
       "prune.stmts";
       "prune.kept";
       "prune.discharged";
@@ -440,7 +446,10 @@ let enforce_sdpst_budget ~guard (tree : Sdpst.Node.tree)
 let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
     ?(strategy = `Batch) ?(max_iterations = default_max_iterations) ?fuel
     ?(budgets = Guard.unlimited) ?(static_prune = false)
-    ?(static_verify = false) ?validate_par (prog : Mhj.Ast.program) : report =
+    ?(static_verify = false) ?validate_par ?shadow_chunk ?spill
+    (prog : Mhj.Ast.program) : report =
+  let layout = Option.map (fun n -> Tdrutil.Islab.Chunked n) shadow_chunk in
+  let spill = Option.map Espbags.Spill.config spill in
   let guard = Guard.make budgets in
   let fuel = Guard.effective_fuel guard fuel in
   let metrics = Obs.Metrics.create () in
@@ -531,7 +540,8 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
                 match backend with
                 | `Espbags ->
                     let det, res =
-                      Espbags.Detector.detect ?fuel ?keep mode program
+                      Espbags.Detector.detect ?fuel ?keep ?layout ?spill mode
+                        program
                     in
                     ( Espbags.Detector.races det,
                       Espbags.Detector.stats det,
@@ -540,7 +550,8 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
                       res )
                 | `Vclock ->
                     let det, res =
-                      Vclock.Seq.detect ?fuel ?keep mode program
+                      Vclock.Seq.detect ?fuel ?keep ?layout ?spill mode
+                        program
                     in
                     ( Vclock.Seq.races det,
                       Vclock.Seq.stats det,
@@ -549,7 +560,19 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
                       res )))
       in
       let detect_time = Unix.gettimeofday () -. t0 in
-      Obs.Metrics.add_all metrics det_stats;
+      (* shadow sizes and RSS are gauges (the latest run's footprint),
+         unlike the rest of the detector schema, which accumulates
+         across iterations *)
+      let shadow_gauge (k, _) =
+        k = "detector.shadow_slabs" || k = "detector.shadow_words"
+      in
+      Obs.Metrics.add_all metrics
+        (List.filter (fun kv -> not (shadow_gauge kv)) det_stats);
+      List.iter
+        (fun ((k, v) as kv) ->
+          if shadow_gauge kv then Obs.Metrics.set metrics k v)
+        det_stats;
+      Obs.Metrics.set metrics "detector.peak_rss_kb" (Obs.Rusage.peak_rss_kb ());
       if races = [] then `Converged
       else if remaining = 0 then `Exhausted (List.length races)
       else begin
@@ -614,10 +637,11 @@ let classify_unrepairable = function
     injected faults, internal invariant violations — comes back as a typed
     diagnostic instead of an exception. *)
 let repair_checked ?mode ?backend ?strategy ?max_iterations ?fuel ?budgets
-    ?static_prune ?static_verify ?validate_par prog : (report, Diag.t) result =
+    ?static_prune ?static_verify ?validate_par ?shadow_chunk ?spill prog :
+    (report, Diag.t) result =
   Guard.capture ~classify:classify_unrepairable (fun () ->
       repair ?mode ?backend ?strategy ?max_iterations ?fuel ?budgets
-        ?static_prune ?static_verify ?validate_par prog)
+        ?static_prune ?static_verify ?validate_par ?shadow_chunk ?spill prog)
 
 (** Total placements inserted across all iterations. *)
 let total_placements (r : report) : Mhj.Transform.placement list =

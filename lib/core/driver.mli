@@ -126,6 +126,11 @@ val default_max_iterations : int
     @param validate_par after convergence, re-run the repaired program
       under fuzzed parallel schedules and record the differential outcome
       in [validated_par] (see {!Par.Validate})
+    @param shadow_chunk grow the detector's shadow tables in slab chunks
+      of this many slots (default {!Tdrutil.Islab.default_chunk}); the
+      reported races are unchanged (DESIGN.md §15)
+    @param spill bound in-memory race records by draining overflow to
+      this file in {!Espbags.Trace} format; reported races unchanged
     @raise Unrepairable if some race admits no scope-valid fix
     @raise Diag.Fail on typed pipeline failures *)
 val repair :
@@ -138,6 +143,8 @@ val repair :
   ?static_prune:bool ->
   ?static_verify:bool ->
   ?validate_par:Par.Validate.request ->
+  ?shadow_chunk:int ->
+  ?spill:string ->
   Mhj.Ast.program ->
   report
 
@@ -155,6 +162,8 @@ val repair_checked :
   ?static_prune:bool ->
   ?static_verify:bool ->
   ?validate_par:Par.Validate.request ->
+  ?shadow_chunk:int ->
+  ?spill:string ->
   Mhj.Ast.program ->
   (report, Diag.t) result
 

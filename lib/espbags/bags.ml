@@ -62,6 +62,11 @@ type t = {
   mutable n_finds : int;
   mutable n_unions : int;  (** class merges (no-op unions not counted) *)
   mutable n_scan_entries : int;  (** shadow entries tested by scans *)
+  mutable serial_ver : int;
+      (** bumped when a finish ending in the {e root} task's continuation
+          merges its P-bag into the root S-bag: the merged tasks just
+          became {!forever_serial}, so shadow state can retire their
+          entries (the detectors' epoch-GC trigger) *)
 }
 
 let create () =
@@ -79,11 +84,13 @@ let create () =
     n_finds = 0;
     n_unions = 0;
     n_scan_entries = 0;
+    serial_ver = 0;
   }
 
 let n_finds t = t.n_finds
 let n_unions t = t.n_unions
 let n_scan_entries t = t.n_scan_entries
+let serial_version t = t.serial_ver
 
 let find t x =
   if
@@ -118,6 +125,19 @@ let union t a b =
   end
 
 let mark_of t x = Tdrutil.Ivec.unsafe_get t.mark (find t x)
+
+(** Is task [x] {e permanently} serialized with everything that still
+    runs — i.e. currently in the root task's S-bag (mark [sbag 0]; the
+    root task interns to dense index 0)?  Permanent because that class
+    can never turn into a P-bag again: while a task [d] lives its class
+    is marked [sbag d] (only [finish_end] with [d] current merges into
+    it), so a live non-root task is never in the root class, and the only
+    transition that re-marks a class to a P-bag — [task_end] — therefore
+    never hits it ([task_end] of the root itself is the no-op empty-
+    finish-stack case).  The detectors' epoch GC retires shadow entries
+    whose recording task satisfies this: such an entry can never be in a
+    P-bag again, so it can never report again. *)
+let forever_serial t x = mark_of t x = 0
 
 (** Is task [x] currently in a P-bag (i.e. parallel-possible with the
     currently executing code)?  Memoized per [version]: between two
@@ -245,4 +265,5 @@ let finish_end t ~finish =
       Tdrutil.Ivec.unsafe_set t.pbag_root finish (-1);
       let task = current_task t in
       let root = union t r (find t task) in
-      Tdrutil.Ivec.unsafe_set t.mark root (sbag task)
+      Tdrutil.Ivec.unsafe_set t.mark root (sbag task);
+      if task = 0 then t.serial_ver <- t.serial_ver + 1

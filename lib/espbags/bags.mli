@@ -38,6 +38,19 @@ val current_task : t -> int
     @raise Invalid_argument for an unknown task index. *)
 val in_pbag : t -> int -> bool
 
+(** Is this task {e permanently} serialized with everything that still
+    runs — in the root task's S-bag, which no transition can ever turn
+    back into a P-bag (see bags.ml for the argument)?  Shadow entries
+    recorded by such a task can never report again, so the detectors'
+    epoch GC drops them.
+    @raise Invalid_argument for an unknown task index. *)
+val forever_serial : t -> int -> bool
+
+(** Bumped each time a batch of tasks becomes {!forever_serial} (a
+    finish closing in the root task's continuation).  Detectors compare
+    a per-location stamp against it to lazily trigger retirement. *)
+val serial_version : t -> int
+
 (** [scan_report t entries ~out ~sink ~meta] appends to [out] the packed
     2-int race record [(sid lsl 31) lor sink, meta] for every element of
     [entries] — each packed as [(task lsl 31) lor sid] with [task] a

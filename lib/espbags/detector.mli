@@ -8,10 +8,13 @@
     every potential race for the input is reported in a single run.
 
     The per-access hot path is allocation- and hash-free: shadow memory is
-    a flat table indexed by interned address id, access lists are
+    a slab-chunked table indexed by interned address id, access lists are
     struct-of-arrays, and per-step dedup is an epoch compare (see
     detector.ml; {!Reference} keeps the seed representation the
-    differential suite compares against). *)
+    differential suite compares against).  At scale, memory stays bounded
+    without changing reports: shadow slabs track touched id ranges, epoch
+    GC retires entries of {!Bags.forever_serial} tasks, and race-record
+    overflow spills to disk (DESIGN.md §15). *)
 
 type mode = Srw | Mrw
 
@@ -27,30 +30,51 @@ type t = private {
       (** deferred race records in report order, stride 2, packed:
           [(src lsl 31) lor sink] step ids, then [(addr lsl 2) lor kind]
           (see [races], which materializes them) *)
+  spill : Spill.t option;
+      (** overflow sink: past its cap, [r_buf] drains to disk *)
+  mutable spill_gen : int;  (** drains so far (invalidates scan memos) *)
   mutable intern : Rt.Addr.Intern.t;
       (** the monitored run's address interner (delivered via the
           monitor's [on_init]) *)
   mutable n_accesses : int;  (** monitored accesses checked *)
   mutable n_locations : int;  (** distinct locations touched *)
   mutable n_skipped : int;  (** accesses skipped by a static pre-pass *)
+  mutable n_retired : int;  (** shadow entries dropped by epoch GC *)
+  mutable shadow_info : unit -> int * int;
+      (** current (slab count, allocated shadow words) *)
 }
 
-(** Races recorded so far, in report order. *)
+(** Races recorded so far (including any spilled to disk), in report
+    order. *)
 val races : t -> Race.t list
 
 (** The run's counters as ["detector."]-prefixed keys for an
     {!Obs.Metrics} registry: accesses monitored, distinct shadow
     locations, races recorded, accesses skipped by a static pre-pass,
-    union-find finds/unions, and shadow entries scanned. *)
+    union-find finds/unions, shadow entries scanned, shadow slabs and
+    words allocated, entries retired by epoch GC, and race records
+    spilled to disk. *)
 val stats : t -> (string * int) list
 
+(** Including spilled records. *)
 val race_count : t -> int
+
+(** Race records spilled to disk so far. *)
+val n_spilled : t -> int
+
+(** Allocated shadow slab count / words (the [detector.shadow_slabs] and
+    [detector.shadow_words] gauges). *)
+val shadow_slabs : t -> int
+
+val shadow_words : t -> int
 
 (** No race reported? *)
 val clean : t -> bool
 
-(** Fresh detector of the given flavour. *)
-val make : mode -> t
+(** Fresh detector of the given flavour.  [layout] picks the shadow
+    growth policy (default: slab-chunked, {!Tdrutil.Islab.default_chunk}
+    slots); [spill] bounds in-memory race records. *)
+val make : ?layout:Tdrutil.Islab.layout -> ?spill:Spill.config -> mode -> t
 
 (** Run a program under a fresh detector; returns the detector (with its
     recorded races) and the execution result.
@@ -58,10 +82,13 @@ val make : mode -> t
     [keep] is a per-statement monitoring predicate (typically a static
     MHP pre-pass); accesses of statements it rejects are skipped and
     counted in [n_skipped].  With MRW, skipping statements proven
-    race-free leaves the reported race set unchanged. *)
+    race-free leaves the reported race set unchanged.  [layout] and
+    [spill] as in {!make}; neither changes the reported races. *)
 val detect :
   ?fuel:int ->
   ?keep:(bid:int -> idx:int -> bool) ->
+  ?layout:Tdrutil.Islab.layout ->
+  ?spill:Spill.config ->
   mode ->
   Mhj.Ast.program ->
   t * Rt.Interp.result

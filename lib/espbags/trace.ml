@@ -7,33 +7,14 @@
     S-DPST node ids, which are reproducible because the depth-first
     execution is deterministic. *)
 
-let magic = "tdrace-trace-v1"
+let magic = Trace_fmt.magic
 
-exception Parse_error of string * int  (** message, 1-based line number *)
+exception Parse_error = Trace_fmt.Parse_error  (** message, 1-based line *)
 
-let string_of_addr = function
-  | Rt.Addr.Global g -> "g:" ^ g
-  | Rt.Addr.Cell (a, i) -> Fmt.str "c:%d:%d" a i
+(* Line-level codecs live in Trace_fmt, shared with the Spill sink. *)
+let addr_of_string = Trace_fmt.addr_of_string
 
-let addr_of_string ~line s =
-  match String.split_on_char ':' s with
-  | [ "g"; name ] -> Rt.Addr.Global name
-  | [ "c"; a; i ] -> (
-      match (int_of_string_opt a, int_of_string_opt i) with
-      | Some a, Some i -> Rt.Addr.Cell (a, i)
-      | _ -> raise (Parse_error ("malformed cell address " ^ s, line)))
-  | _ -> raise (Parse_error ("malformed address " ^ s, line))
-
-let string_of_kind = function
-  | Race.Write_read -> "WR"
-  | Race.Read_write -> "RW"
-  | Race.Write_write -> "WW"
-
-let kind_of_string ~line = function
-  | "WR" -> Race.Write_read
-  | "RW" -> Race.Read_write
-  | "WW" -> Race.Write_write
-  | s -> raise (Parse_error ("unknown race kind " ^ s, line))
+let kind_of_string = Trace_fmt.kind_of_string
 
 (** Render races to the trace format. *)
 let to_string ~(mode : Detector.mode) (races : Race.t list) : string =
@@ -44,9 +25,8 @@ let to_string ~(mode : Detector.mode) (races : Race.t list) : string =
   Buffer.add_string buf (Fmt.str "races %d\n" (List.length races));
   List.iter
     (fun (r : Race.t) ->
-      Buffer.add_string buf
-        (Fmt.str "race %s %s %d %d\n" (string_of_kind r.kind)
-           (string_of_addr r.addr) r.src.Sdpst.Node.id r.sink.Sdpst.Node.id))
+      Trace_fmt.add_race_line buf ~kind:r.kind ~addr:r.addr
+        ~src:r.src.Sdpst.Node.id ~sink:r.sink.Sdpst.Node.id)
     races;
   Buffer.contents buf
 

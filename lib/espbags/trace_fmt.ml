@@ -1,0 +1,44 @@
+(** Line-level codecs of the race trace format, shared by {!Trace}
+    (whole-file save/load) and {!Spill} (incremental append of detector
+    overflow).  Kept free of any {!Detector} dependency so the spill sink
+    can sit below the detectors. *)
+
+let magic = "tdrace-trace-v1"
+
+exception Parse_error of string * int  (** message, 1-based line number *)
+
+let string_of_addr = function
+  | Rt.Addr.Global g -> "g:" ^ g
+  | Rt.Addr.Cell (a, i) -> Fmt.str "c:%d:%d" a i
+
+let addr_of_string ~line s =
+  match String.split_on_char ':' s with
+  | [ "g"; name ] -> Rt.Addr.Global name
+  | [ "c"; a; i ] -> (
+      match (int_of_string_opt a, int_of_string_opt i) with
+      | Some a, Some i -> Rt.Addr.Cell (a, i)
+      | _ -> raise (Parse_error ("malformed cell address " ^ s, line)))
+  | _ -> raise (Parse_error ("malformed address " ^ s, line))
+
+let string_of_kind = function
+  | Race.Write_read -> "WR"
+  | Race.Read_write -> "RW"
+  | Race.Write_write -> "WW"
+
+let kind_of_string ~line = function
+  | "WR" -> Race.Write_read
+  | "RW" -> Race.Read_write
+  | "WW" -> Race.Write_write
+  | s -> raise (Parse_error ("unknown race kind " ^ s, line))
+
+(* The detectors' packed 2-bit race-kind codes (the low bits of a packed
+   record's meta word). *)
+let kind_of_code = function
+  | 0 -> Race.Write_read
+  | 1 -> Race.Read_write
+  | _ -> Race.Write_write
+
+let add_race_line buf ~kind ~addr ~src ~sink =
+  Buffer.add_string buf
+    (Fmt.str "race %s %s %d %d\n" (string_of_kind kind) (string_of_addr addr)
+       src sink)

@@ -1,0 +1,24 @@
+(** Line-level codecs of the race trace format, shared by {!Trace} and
+    {!Spill}.  Free of any {!Detector} dependency. *)
+
+val magic : string
+
+exception Parse_error of string * int
+(** message, 1-based line number *)
+
+val string_of_addr : Rt.Addr.t -> string
+
+(** @raise Parse_error on a malformed address *)
+val addr_of_string : line:int -> string -> Rt.Addr.t
+
+val string_of_kind : Race.kind -> string
+
+(** @raise Parse_error on an unknown kind *)
+val kind_of_string : line:int -> string -> Race.kind
+
+(** Decode the detectors' packed 2-bit race-kind code. *)
+val kind_of_code : int -> Race.kind
+
+(** Append one [race KIND ADDR SRC SINK] line. *)
+val add_race_line :
+  Buffer.t -> kind:Race.kind -> addr:Rt.Addr.t -> src:int -> sink:int -> unit

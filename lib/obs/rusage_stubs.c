@@ -1,0 +1,20 @@
+/* Peak resident set size for Obs.Rusage.
+
+   One stub around getrusage(RUSAGE_SELF): ru_maxrss is the process'
+   resident-set high-water mark, in kilobytes on Linux (the only target
+   this project builds on; macOS reports bytes, which callers normalize
+   only if the value is implausibly large).  Returned as an immediate
+   int — a peak RSS beyond OCaml's int range is not a realistic
+   concern. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+
+CAMLprim value tdr_obs_peak_rss_kb(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(0);
+  return Val_long((long)ru.ru_maxrss);
+}

@@ -78,12 +78,29 @@ let span_memo () =
 (* S-DPST pruning (paper §9 future work)                               *)
 (* ------------------------------------------------------------------ *)
 
-(** [prune tree ~keep] collapses every subtree containing no node for which
-    [keep] holds into a single summary step carrying the subtree's span as
-    its cost.  This is the paper's proposed garbage-collection of race-free
-    S-DPST regions: placements computed on the pruned tree are unchanged
-    because collapsed regions contain neither race endpoints nor potential
-    insertion points.  Returns the number of nodes removed. *)
+(** [prune tree ~keep] collapses subtrees containing no node for which
+    [keep] holds into a single summary leaf carrying the subtree's exact
+    (span, drag).  This is the paper's proposed garbage-collection of
+    race-free S-DPST regions.
+
+    Placements computed on the pruned tree are unchanged because
+    collapsed regions contain neither race endpoints nor {e useful}
+    finish boundaries — with one exception that bounds what may
+    collapse.  Async and finish subtrees are always safe: they appear as
+    single vertices in any dependence graph, so only their summary
+    matters, and the stored (span, drag) is exact.  A {e scope} subtree,
+    however, is expanded by {!Depgraph.nonscope_children} into its
+    non-scope descendants: if any of those is an async, the optimal
+    finish interval may need to end strictly inside the expansion (to
+    leave a trailing race-free async outside the wait), and collapsing
+    the scope to one sequential leaf would hide that boundary and
+    deterministically shift the DP to a different, longer placement
+    (e.g. progen seed 451531: CPL 409 vs 449).  So a scope collapses
+    only when its subtree spawns no task — then its expansion is a run
+    of pure-drag sinks, which vertex coalescing merges away anyway —
+    and otherwise pruning recurses, still collapsing the race-free
+    async/finish subtrees below it.  Returns the number of nodes
+    removed. *)
 let prune tree ~keep =
   let removed = ref 0 in
   let rec subtree_size n =
@@ -92,10 +109,17 @@ let prune tree ~keep =
   let rec contains_kept n =
     keep n || Tdrutil.Vec.exists contains_kept n.children
   in
+  let rec contains_async n =
+    n.kind = Async || Tdrutil.Vec.exists contains_async n.children
+  in
+  let scope_safe c =
+    match c.kind with Scope _ -> not (contains_async c) | _ -> true
+  in
   let rec go n =
     Tdrutil.Vec.iter
       (fun c ->
-        if (not (is_step c)) && not (contains_kept c) then begin
+        if (not (is_step c)) && (not (contains_kept c)) && scope_safe c
+        then begin
           removed := !removed + subtree_size c - 1;
           let summary = (span_of c, drag_of c) in
           Tdrutil.Vec.clear c.children;

@@ -105,3 +105,15 @@ let of_list xs =
   t
 
 let clear t = t.len <- 0
+
+let truncate t n =
+  if n < 0 || n > t.len then invalid_arg "Ivec.truncate";
+  t.len <- n
+
+(* Shrink the backing array to the live length: after an in-place filter
+   ([truncate]) of a long-lived vector, the freed capacity would
+   otherwise be pinned until the next growth. *)
+let compact t =
+  if Array.length t.data > t.len then t.data <- Array.sub t.data 0 t.len
+
+let capacity t = Array.length t.data

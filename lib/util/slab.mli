@@ -1,0 +1,32 @@
+(** Sparse slab-allocated tables of boxed elements — {!Islab} for ['a]
+    slots, sharing its {!Islab.layout} choice (chunked growth vs the
+    monolithic doubling baseline).  Used for the MRW detectors' shadow:
+    one location record per touched address id, where chunked growth
+    keeps footprint proportional to touched chunks and avoids the
+    doubling copy (which for a boxed table also re-runs the GC write
+    barrier per moved slot). *)
+
+type 'a t
+
+(** [create ?layout ~fill ()] is an empty table; every slot reads as
+    [fill] until written (use a shared sentinel value).
+    @raise Invalid_argument for a non-positive chunk size *)
+val create : ?layout:Islab.layout -> fill:'a -> unit -> 'a t
+
+(** Chunks allocated so far. *)
+val n_chunks : 'a t -> int
+
+(** Allocated backing words (slots plus directory), excluding the boxed
+    elements themselves. *)
+val words : 'a t -> int
+
+(** @raise Invalid_argument on a negative index *)
+val get : 'a t -> int -> 'a
+
+(** @raise Invalid_argument on a negative index *)
+val set : 'a t -> int -> 'a -> unit
+
+(** Apply to every slot of every materialized chunk in index order
+    (absent chunks are skipped; present chunks include their [fill]
+    padding). *)
+val iter_present : ('a -> unit) -> 'a t -> unit

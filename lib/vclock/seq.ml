@@ -3,9 +3,10 @@
 
     Same two flavours as {!Espbags.Detector} ({b SRW} single
     reader/writer slot, {b MRW} full access lists), same packed hot-path
-    representation (flat shadow tables over interned ids, packed race
-    records, per-step epoch dedup, scan replay) — but concurrency is
-    decided by vector clocks ({!Clock}) instead of union-find bags.
+    representation (slab shadow tables over interned ids, packed race
+    records, per-step epoch dedup, scan replay, disk spill of race-record
+    overflow) — but concurrency is decided by vector clocks ({!Clock})
+    instead of union-find bags.
 
     Under the depth-first execution both predicates compute precise
     may-happen-in-parallel for async-finish programs, so for every
@@ -24,11 +25,29 @@
     The differential suite holds this module's race records byte-equal
     to {!Espbags.Reference}'s.  The scan-replay optimization remains
     valid here because a task's clock only changes at structural
-    transitions, never inside a step. *)
+    transitions, never inside a step.
+
+    {b Memory bounds at scale} (DESIGN.md §15), mirroring the ESP-bags
+    backend:
+
+    - a task's clock is released the moment the task ends (it is only
+      ever read at its own forks and its end-merge), collapsing clock
+      footprint from all-tasks to live-tasks — the vclock analogue of
+      "retiring dead task ids";
+    - {e epoch GC}: when a finish closes with only the root task live,
+      every entry covered by the root's clock {e at that moment} is
+      permanently ordered before everything that can still run (all
+      future tasks fork, transitively, from the root and inherit that
+      clock), so MRW entries passing [covers retire_clock] are dropped
+      lazily per location;
+    - shadow slabs and race-record spill exactly as in
+      {!Espbags.Detector}. *)
 
 type mode = Espbags.Detector.mode = Srw | Mrw
 
 let pp_mode = Espbags.Detector.pp_mode
+
+let mode_name = function Srw -> "SRW" | Mrw -> "MRW"
 
 type t = {
   mode : mode;
@@ -38,11 +57,21 @@ type t = {
   r_buf : Tdrutil.Ivec.t;
       (** race records, stride 2, packed like {!Espbags.Detector}:
           [(src lsl 31) lor sink], then [(addr lsl 2) lor kind] *)
-  clocks : Clock.t Tdrutil.Vec.t;  (** task index -> clock *)
+  spill : Espbags.Spill.t option;
+      (** overflow sink: past its cap, [r_buf] drains to disk *)
+  mutable spill_gen : int;  (** drains so far (invalidates scan memos) *)
+  clocks : Clock.t Tdrutil.Vec.t;
+      (** task index -> clock; replaced by [dead] once the task ends *)
+  dead : Clock.t;  (** shared sentinel standing in for released clocks *)
   mutable task_stack : int list;  (** task indices, innermost first *)
   mutable fin_stack : Clock.t list;  (** open finishes' accumulators *)
   mutable cur : Clock.t;  (** current task's clock (cached stack top) *)
   mutable cur_tidx : int;
+  mutable retire_ver : int;
+      (** retirement waves so far; per-location stamps compare against it *)
+  mutable retire_clock : Clock.t;
+      (** snapshot of the root's clock at the last wave — entries it
+          covers are permanently ordered (see the module comment) *)
   mutable intern : Rt.Addr.Intern.t;
   mutable n_accesses : int;
   mutable n_locations : int;
@@ -50,6 +79,10 @@ type t = {
   mutable n_tasks : int;
   mutable n_merges : int;  (** clock fold/merge operations *)
   mutable n_scan_entries : int;  (** MRW shadow entries scanned *)
+  mutable n_retired : int;  (** shadow entries dropped by epoch GC *)
+  mutable n_clocks_freed : int;  (** clocks released at task end *)
+  mutable shadow_info : unit -> int * int;
+      (** current (slab count, allocated shadow words) *)
 }
 
 let wr = 0
@@ -58,14 +91,14 @@ and rw = 1
 
 and ww = 2
 
-let kind_of_code = function
-  | 0 -> Espbags.Race.Write_read
-  | 1 -> Espbags.Race.Read_write
-  | _ -> Espbags.Race.Write_write
+let kind_of_code = Espbags.Trace_fmt.kind_of_code
 
-let race_count t = Tdrutil.Ivec.length t.r_buf / 2
+let n_spilled t =
+  match t.spill with None -> 0 | Some sp -> Espbags.Spill.n_spilled sp
 
-let clean t = Tdrutil.Ivec.is_empty t.r_buf
+let race_count t = n_spilled t + (Tdrutil.Ivec.length t.r_buf / 2)
+
+let clean t = race_count t = 0
 
 let sid_mask = (1 lsl 31) - 1
 
@@ -84,9 +117,19 @@ let races t =
            ~kind:(kind_of_code (meta land 3))
         :: acc)
   in
-  go (Tdrutil.Ivec.length t.r_buf - 2) []
+  let in_mem = go (Tdrutil.Ivec.length t.r_buf - 2) [] in
+  match t.spill with
+  | None -> in_mem
+  | Some sp ->
+      Espbags.Spill.records sp ~resolve:(fun sid -> Tdrutil.Vec.get t.steps sid)
+      @ in_mem
+
+let shadow_slabs t = fst (t.shadow_info ())
+
+let shadow_words t = snd (t.shadow_info ())
 
 let stats t =
+  let slabs, words = t.shadow_info () in
   [
     ("detector.accesses", t.n_accesses);
     ("detector.locations", t.n_locations);
@@ -95,6 +138,11 @@ let stats t =
     ("detector.tasks", t.n_tasks);
     ("detector.clock_merges", t.n_merges);
     ("detector.scan_entries", t.n_scan_entries);
+    ("detector.shadow_slabs", slabs);
+    ("detector.shadow_words", words);
+    ("detector.gc_retired", t.n_retired);
+    ("detector.clocks_freed", t.n_clocks_freed);
+    ("detector.spilled_races", n_spilled t);
   ]
 
 let check_sid sid =
@@ -111,6 +159,17 @@ let register_step det ~dummy step sid =
   Tdrutil.Vec.ensure det.steps (sid + 1) ~fill:dummy;
   if Tdrutil.Vec.unsafe_get det.steps sid == dummy then
     Tdrutil.Vec.unsafe_set det.steps sid step
+
+let maybe_spill det =
+  match det.spill with
+  | None -> ()
+  | Some sp ->
+      if Tdrutil.Ivec.length det.r_buf >= Espbags.Spill.cap_ints sp then begin
+        Espbags.Spill.append sp ~intern:det.intern det.r_buf;
+        Tdrutil.Ivec.clear det.r_buf;
+        Tdrutil.Ivec.compact det.r_buf;
+        det.spill_gen <- det.spill_gen + 1
+      end
 
 (* ------------------------------------------------------------------ *)
 (* Structural transitions                                               *)
@@ -152,6 +211,11 @@ let task_end det =
       | acc :: _ ->
           Clock.merge ~into:acc (Tdrutil.Vec.get det.clocks tidx);
           det.n_merges <- det.n_merges + 1);
+      (* the ended task's clock is only ever read at its own forks and
+         the end-merge above — release it, so clock footprint tracks the
+         live tasks (O(depth)) instead of every task ever forked *)
+      Tdrutil.Vec.unsafe_set det.clocks tidx det.dead;
+      det.n_clocks_freed <- det.n_clocks_freed + 1;
       (match rest with
       | [] -> ()
       | parent :: _ ->
@@ -168,7 +232,18 @@ let finish_end det =
       (* every task joined here folded its clock into [acc]; the merge
          orders all of their accesses before the continuation *)
       Clock.merge ~into:det.cur acc;
-      det.n_merges <- det.n_merges + 1
+      det.n_merges <- det.n_merges + 1;
+      (match det.task_stack with
+      | [ _root ] ->
+          (* only the root is live: everything its clock covers now is
+             permanently ordered before all future work (which forks from
+             the root and inherits this clock).  Snapshot it — the lazy
+             per-location sweeps run later, when other tasks are live
+             again, so they must test against this frozen clock, not the
+             then-current one. *)
+          det.retire_ver <- det.retire_ver + 1;
+          det.retire_clock <- Clock.copy det.cur
+      | _ -> ())
 
 let structural det ~on_init ~on_access : Rt.Monitor.t =
   {
@@ -180,18 +255,26 @@ let structural det ~on_init ~on_access : Rt.Monitor.t =
     on_access;
   }
 
-let fresh mode =
+let fresh ?spill mode =
   let empty = Clock.create () in
   {
     mode;
     monitor = Rt.Monitor.nop;
     steps = Tdrutil.Vec.create ();
     r_buf = Tdrutil.Ivec.create ();
+    spill =
+      Option.map
+        (fun cfg -> Espbags.Spill.create cfg ~mode_name:(mode_name mode))
+        spill;
+    spill_gen = 0;
     clocks = Tdrutil.Vec.create ();
+    dead = Clock.create ();
     task_stack = [];
     fin_stack = [];
     cur = empty;
     cur_tidx = -1;
+    retire_ver = 0;
+    retire_clock = Clock.create ();
     intern = Rt.Addr.Intern.create ();
     n_accesses = 0;
     n_locations = 0;
@@ -199,6 +282,9 @@ let fresh mode =
     n_tasks = 0;
     n_merges = 0;
     n_scan_entries = 0;
+    n_retired = 0;
+    n_clocks_freed = 0;
+    shadow_info = (fun () -> (0, 0));
   }
 
 let report det ~src_id ~sink_id ~addr ~kind =
@@ -211,66 +297,54 @@ let report det ~src_id ~sink_id ~addr ~kind =
 (* SRW                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Same flat struct-of-arrays shadow as the ESP-bags SRW, plus an epoch
-   column per direction: a slot is (task index, step id, epoch), task
-   index -1 = no recorded access. *)
+(* Slab shadow, stride 8 per location (6 columns padded to a power of
+   two so a row never straddles a chunk): [w_task; w_id; w_ep; r_task;
+   r_id; r_ep; _; _], task -1 = no recorded access.  The step/epoch
+   columns are only read behind a task >= 0 guard, so the -1 filler is
+   never observed. *)
 
-let make_srw () : t =
-  let det = fresh Srw in
+let make_srw ?layout ?spill () : t =
+  let det = fresh ?spill Srw in
   let dummy = dummy_step () in
-  let w_task = Tdrutil.Ivec.create ()
-  and w_id = Tdrutil.Ivec.create ()
-  and w_ep = Tdrutil.Ivec.create ()
-  and r_task = Tdrutil.Ivec.create ()
-  and r_id = Tdrutil.Ivec.create ()
-  and r_ep = Tdrutil.Ivec.create () in
-  let cap = ref 0 in
-  let grow addr =
-    let n = max (addr + 1) (2 * !cap) in
-    Tdrutil.Ivec.ensure w_task n ~fill:(-1);
-    Tdrutil.Ivec.ensure w_id n ~fill:(-1);
-    Tdrutil.Ivec.ensure w_ep n ~fill:0;
-    Tdrutil.Ivec.ensure r_task n ~fill:(-1);
-    Tdrutil.Ivec.ensure r_id n ~fill:(-1);
-    Tdrutil.Ivec.ensure r_ep n ~fill:0;
-    cap := n
-  in
+  let tbl = Tdrutil.Islab.create ?layout ~fill:(-1) () in
+  det.shadow_info <-
+    (fun () -> (Tdrutil.Islab.n_chunks tbl, Tdrutil.Islab.words tbl));
   let on_access ~step ~bid:_ ~idx:_ addr kind =
     det.n_accesses <- det.n_accesses + 1;
-    if addr >= !cap then grow addr;
+    let row, off = Tdrutil.Islab.slot tbl (addr lsl 3) ~stride:8 in
     let sid = step.Sdpst.Node.id in
     register_step det ~dummy step sid;
-    let wt = Tdrutil.Ivec.unsafe_get w_task addr
-    and rt = Tdrutil.Ivec.unsafe_get r_task addr in
+    let wt = Array.unsafe_get row off and rt = Array.unsafe_get row (off + 3) in
     if wt < 0 && rt < 0 then det.n_locations <- det.n_locations + 1;
     let cur = det.cur in
     let parallel t ep = not (Clock.covers cur t ep) in
-    match kind with
+    (match kind with
     | Rt.Monitor.Read ->
-        if wt >= 0 && parallel wt (Tdrutil.Ivec.unsafe_get w_ep addr) then
+        if wt >= 0 && parallel wt (Array.unsafe_get row (off + 2)) then
           report det
-            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~src_id:(Array.unsafe_get row (off + 1))
             ~sink_id:sid ~addr ~kind:wr;
-        if not (rt >= 0 && parallel rt (Tdrutil.Ivec.unsafe_get r_ep addr))
+        if not (rt >= 0 && parallel rt (Array.unsafe_get row (off + 5)))
         then begin
           check_sid sid;
-          Tdrutil.Ivec.unsafe_set r_task addr det.cur_tidx;
-          Tdrutil.Ivec.unsafe_set r_id addr sid;
-          Tdrutil.Ivec.unsafe_set r_ep addr (Clock.get cur det.cur_tidx)
+          Array.unsafe_set row (off + 3) det.cur_tidx;
+          Array.unsafe_set row (off + 4) sid;
+          Array.unsafe_set row (off + 5) (Clock.get cur det.cur_tidx)
         end
     | Rt.Monitor.Write ->
-        if wt >= 0 && parallel wt (Tdrutil.Ivec.unsafe_get w_ep addr) then
+        if wt >= 0 && parallel wt (Array.unsafe_get row (off + 2)) then
           report det
-            ~src_id:(Tdrutil.Ivec.unsafe_get w_id addr)
+            ~src_id:(Array.unsafe_get row (off + 1))
             ~sink_id:sid ~addr ~kind:ww;
-        if rt >= 0 && parallel rt (Tdrutil.Ivec.unsafe_get r_ep addr) then
+        if rt >= 0 && parallel rt (Array.unsafe_get row (off + 5)) then
           report det
-            ~src_id:(Tdrutil.Ivec.unsafe_get r_id addr)
+            ~src_id:(Array.unsafe_get row (off + 4))
             ~sink_id:sid ~addr ~kind:rw;
         check_sid sid;
-        Tdrutil.Ivec.unsafe_set w_task addr det.cur_tidx;
-        Tdrutil.Ivec.unsafe_set w_id addr sid;
-        Tdrutil.Ivec.unsafe_set w_ep addr (Clock.get cur det.cur_tidx)
+        Array.unsafe_set row off det.cur_tidx;
+        Array.unsafe_set row (off + 1) sid;
+        Array.unsafe_set row (off + 2) (Clock.get cur det.cur_tidx));
+    maybe_spill det
   in
   det.monitor <-
     structural det ~on_init:(fun intern -> det.intern <- intern) ~on_access;
@@ -290,14 +364,18 @@ type mrw_loc = {
   r_eps : Tdrutil.Ivec.t;
   mutable w_epoch : int;  (** id of the last recorded writer step; -1 none *)
   mutable r_epoch : int;
+  mutable gc_ver : int;  (** [retire_ver] as of the last sweep here *)
   (* Scan replay, exactly as in Espbags.Detector: the current task's
      clock cannot change while one step executes (clock maintenance is
      tied to structural transitions), so a step's repeated same-kind
-     scans of one location produce byte-identical report runs. *)
+     scans of one location produce byte-identical report runs.  Memos
+     are only valid within their spill generation. *)
   mutable rscan_epoch : int;
+  mutable rscan_gen : int;
   mutable rscan_lo : int;
   mutable rscan_hi : int;
   mutable wscan_epoch : int;
+  mutable wscan_gen : int;
   mutable wscan_lo : int;
   mutable wscan_hi : int;
 }
@@ -310,25 +388,64 @@ let fresh_loc () =
     r_eps = Tdrutil.Ivec.create ();
     w_epoch = -1;
     r_epoch = -1;
+    gc_ver = 0;
     rscan_epoch = -1;
+    rscan_gen = 0;
     rscan_lo = 0;
     rscan_hi = 0;
     wscan_epoch = -1;
+    wscan_gen = 0;
     wscan_lo = 0;
     wscan_hi = 0;
   }
 
-let make_mrw () : t =
-  let det = fresh Mrw in
+(* Epoch GC sweep of one direction's entry list and its parallel epoch
+   vector, in place and order-preserving; see the module comment for why
+   [covers retire_clock] entries can never report again. *)
+let retire_lists det l eps =
+  let n = Tdrutil.Ivec.length l in
+  let data = Tdrutil.Ivec.unsafe_data l in
+  let edata = Tdrutil.Ivec.unsafe_data eps in
+  let rc = det.retire_clock in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let e = Array.unsafe_get data i in
+    if not (Clock.covers rc (e lsr 31) (Array.unsafe_get edata i)) then begin
+      Array.unsafe_set data !j e;
+      Array.unsafe_set edata !j (Array.unsafe_get edata i);
+      incr j
+    end
+  done;
+  Tdrutil.Ivec.truncate l !j;
+  Tdrutil.Ivec.truncate eps !j;
+  let cap = Tdrutil.Ivec.capacity l in
+  if cap >= 32 && !j * 4 <= cap then begin
+    Tdrutil.Ivec.compact l;
+    Tdrutil.Ivec.compact eps
+  end;
+  n - !j
+
+let make_mrw ?layout ?spill () : t =
+  let det = fresh ?spill Mrw in
   let dummy = dummy_step () in
   let null_loc = fresh_loc () in
-  let shadow : mrw_loc Tdrutil.Vec.t = Tdrutil.Vec.create () in
-  let cap = ref 0 in
-  let grow addr =
-    let n = max (addr + 1) (2 * !cap) in
-    Tdrutil.Vec.ensure shadow n ~fill:null_loc;
-    cap := n
+  let shadow : mrw_loc Tdrutil.Slab.t =
+    Tdrutil.Slab.create ?layout ~fill:null_loc ()
   in
+  det.shadow_info <-
+    (fun () ->
+      let words = ref (Tdrutil.Slab.words shadow) in
+      Tdrutil.Slab.iter_present
+        (fun s ->
+          if s != null_loc then
+            words :=
+              !words
+              + Tdrutil.Ivec.capacity s.w_list
+              + Tdrutil.Ivec.capacity s.w_eps
+              + Tdrutil.Ivec.capacity s.r_list
+              + Tdrutil.Ivec.capacity s.r_eps)
+        shadow;
+      (Tdrutil.Slab.n_chunks shadow, !words));
   let scan entries eps ~sid ~meta =
     let cur = det.cur in
     let n = Tdrutil.Ivec.length entries in
@@ -345,26 +462,35 @@ let make_mrw () : t =
   in
   let on_access ~step ~bid:_ ~idx:_ addr kind =
     det.n_accesses <- det.n_accesses + 1;
-    if addr >= !cap then grow addr;
-    let s = Tdrutil.Vec.unsafe_get shadow addr in
+    let s = Tdrutil.Slab.get shadow addr in
     let s =
       if s != null_loc then s
       else begin
         let s = fresh_loc () in
-        Tdrutil.Vec.unsafe_set shadow addr s;
+        Tdrutil.Slab.set shadow addr s;
         det.n_locations <- det.n_locations + 1;
         s
       end
     in
+    (* lazy epoch GC: a retirement wave happened since this location's
+       last sweep (waves occur at finish ends, so never mid-step) *)
+    if s.gc_ver <> det.retire_ver then begin
+      s.gc_ver <- det.retire_ver;
+      det.n_retired <-
+        det.n_retired
+        + retire_lists det s.w_list s.w_eps
+        + retire_lists det s.r_list s.r_eps
+    end;
     let sid = step.Sdpst.Node.id in
     register_step det ~dummy step sid;
     let self_epoch () = Clock.get det.cur det.cur_tidx in
-    match kind with
+    (match kind with
     | Rt.Monitor.Read ->
-        if s.rscan_epoch = sid then
+        if s.rscan_epoch = sid && s.rscan_gen = det.spill_gen then
           Tdrutil.Ivec.append_slice det.r_buf s.rscan_lo s.rscan_hi
         else begin
           s.rscan_epoch <- sid;
+          s.rscan_gen <- det.spill_gen;
           s.rscan_lo <- Tdrutil.Ivec.length det.r_buf;
           scan s.w_list s.w_eps ~sid ~meta:((addr lsl 2) lor wr);
           s.rscan_hi <- Tdrutil.Ivec.length det.r_buf
@@ -376,10 +502,11 @@ let make_mrw () : t =
           Tdrutil.Ivec.push s.r_eps (self_epoch ())
         end
     | Rt.Monitor.Write ->
-        if s.wscan_epoch = sid then
+        if s.wscan_epoch = sid && s.wscan_gen = det.spill_gen then
           Tdrutil.Ivec.append_slice det.r_buf s.wscan_lo s.wscan_hi
         else begin
           s.wscan_epoch <- sid;
+          s.wscan_gen <- det.spill_gen;
           s.wscan_lo <- Tdrutil.Ivec.length det.r_buf;
           scan s.w_list s.w_eps ~sid ~meta:((addr lsl 2) lor ww);
           scan s.r_list s.r_eps ~sid ~meta:((addr lsl 2) lor rw);
@@ -390,18 +517,23 @@ let make_mrw () : t =
           s.w_epoch <- sid;
           Tdrutil.Ivec.push s.w_list ((det.cur_tidx lsl 31) lor sid);
           Tdrutil.Ivec.push s.w_eps (self_epoch ())
-        end
+        end);
+    maybe_spill det
   in
   det.monitor <-
     structural det ~on_init:(fun intern -> det.intern <- intern) ~on_access;
   det
 
-let make = function Srw -> make_srw () | Mrw -> make_mrw ()
+let make ?layout ?spill = function
+  | Srw -> make_srw ?layout ?spill ()
+  | Mrw -> make_mrw ?layout ?spill ()
 
 (** Run [prog] under a fresh vector-clock detector; same contract as
-    {!Espbags.Detector.detect}, including [keep]-based static pruning. *)
-let detect ?fuel ?keep mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
-  let det = make mode in
+    {!Espbags.Detector.detect}, including [keep]-based static pruning and
+    the report-invariant [layout]/[spill] memory bounds. *)
+let detect ?fuel ?keep ?layout ?spill mode (prog : Mhj.Ast.program) :
+    t * Rt.Interp.result =
+  let det = make ?layout ?spill mode in
   let monitor =
     match keep with
     | None -> det.monitor
@@ -412,4 +544,5 @@ let detect ?fuel ?keep mode (prog : Mhj.Ast.program) : t * Rt.Interp.result =
           det.monitor
   in
   let res = Rt.Interp.run ?fuel ~monitor prog in
+  Option.iter Espbags.Spill.close det.spill;
   (det, res)

@@ -4,7 +4,13 @@
     but concurrency decided by {!Clock} tests instead of union-find
     bags.  Under depth-first delivery both predicates compute precise
     may-happen-in-parallel for async-finish programs, which the
-    differential suite checks record-for-record. *)
+    differential suite checks record-for-record.
+
+    At scale, memory stays bounded without changing reports (DESIGN.md
+    §15): shadow tables grow in slab chunks, dead tasks' clocks are
+    released at task end, epoch GC retires shadow entries that are
+    permanently ordered before all future work, and race-record overflow
+    spills to disk. *)
 
 type mode = Espbags.Detector.mode = Srw | Mrw
 
@@ -16,11 +22,19 @@ type t = private {
   steps : Sdpst.Node.t Tdrutil.Vec.t;
   r_buf : Tdrutil.Ivec.t;
       (** packed race records, same layout as {!Espbags.Detector} *)
-  clocks : Clock.t Tdrutil.Vec.t;  (** task index -> clock *)
+  spill : Espbags.Spill.t option;
+      (** overflow sink: past its cap, [r_buf] drains to disk *)
+  mutable spill_gen : int;  (** drains so far (invalidates scan memos) *)
+  clocks : Clock.t Tdrutil.Vec.t;
+      (** task index -> clock; replaced by [dead] once the task ends *)
+  dead : Clock.t;  (** shared sentinel standing in for released clocks *)
   mutable task_stack : int list;
   mutable fin_stack : Clock.t list;
   mutable cur : Clock.t;
   mutable cur_tidx : int;
+  mutable retire_ver : int;  (** epoch-GC retirement waves so far *)
+  mutable retire_clock : Clock.t;
+      (** root-clock snapshot of the last wave (see seq.ml) *)
   mutable intern : Rt.Addr.Intern.t;
   mutable n_accesses : int;
   mutable n_locations : int;
@@ -28,30 +42,51 @@ type t = private {
   mutable n_tasks : int;
   mutable n_merges : int;
   mutable n_scan_entries : int;
+  mutable n_retired : int;  (** shadow entries dropped by epoch GC *)
+  mutable n_clocks_freed : int;  (** clocks released at task end *)
+  mutable shadow_info : unit -> int * int;
+      (** current (slab count, allocated shadow words) *)
 }
 
-(** Races recorded so far, in report order. *)
+(** Races recorded so far (including any spilled to disk), in report
+    order. *)
 val races : t -> Espbags.Race.t list
 
 (** ["detector."]-prefixed counters for an {!Obs.Metrics} registry;
-    vclock-specific keys are [detector.tasks], [detector.clock_merges]
-    and [detector.scan_entries]. *)
+    vclock-specific keys are [detector.tasks], [detector.clock_merges],
+    [detector.scan_entries] and [detector.clocks_freed]; shared scaling
+    keys are [detector.shadow_slabs], [detector.shadow_words],
+    [detector.gc_retired] and [detector.spilled_races]. *)
 val stats : t -> (string * int) list
 
+(** Including spilled records. *)
 val race_count : t -> int
+
+(** Race records spilled to disk so far. *)
+val n_spilled : t -> int
+
+(** Allocated shadow slab count / words. *)
+val shadow_slabs : t -> int
+
+val shadow_words : t -> int
 
 (** No race reported? *)
 val clean : t -> bool
 
-(** Fresh detector of the given flavour. *)
-val make : mode -> t
+(** Fresh detector of the given flavour.  [layout] picks the shadow
+    growth policy (default: slab-chunked); [spill] bounds in-memory race
+    records.  Neither changes the reported races. *)
+val make :
+  ?layout:Tdrutil.Islab.layout -> ?spill:Espbags.Spill.config -> mode -> t
 
 (** Same contract as {!Espbags.Detector.detect}: [keep] is a
     per-statement monitoring predicate; rejected accesses are skipped
-    and counted in [n_skipped]. *)
+    and counted in [n_skipped].  [layout] and [spill] as in {!make}. *)
 val detect :
   ?fuel:int ->
   ?keep:(bid:int -> idx:int -> bool) ->
+  ?layout:Tdrutil.Islab.layout ->
+  ?spill:Espbags.Spill.config ->
   mode ->
   Mhj.Ast.program ->
   t * Rt.Interp.result

@@ -79,6 +79,80 @@ let vclock =
         });
   }
 
+(* Memory-bounded variants (DESIGN.md §15): a tiny chunk size forces
+   the multi-chunk slab path on every program, and a tiny spill cap
+   forces race records through the on-disk Trace round-trip.  Epoch GC
+   is always on.  All of it must leave the reported races byte-identical
+   to the unbounded oracle. *)
+let tiny_chunk = Tdrutil.Islab.Chunked 16
+
+let with_tiny_spill f =
+  let path = Filename.temp_file "tdr_diff" ".spill" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (Espbags.Spill.config ~cap:2 path))
+
+let espbags_chunked =
+  {
+    bname = "espbags[chunk=16]";
+    run =
+      (fun ?keep mode prog ->
+        let det, _ =
+          Espbags.Detector.detect ?keep ~layout:tiny_chunk mode prog
+        in
+        {
+          sigs = Espbags.Race.exact_sigs (Espbags.Detector.races det);
+          n_accesses = det.Espbags.Detector.n_accesses;
+          n_skipped = det.Espbags.Detector.n_skipped;
+        });
+  }
+
+let espbags_spilled =
+  {
+    bname = "espbags[chunk=16,spill cap=2]";
+    run =
+      (fun ?keep mode prog ->
+        with_tiny_spill (fun spill ->
+            let det, _ =
+              Espbags.Detector.detect ?keep ~layout:tiny_chunk ~spill mode
+                prog
+            in
+            {
+              sigs = Espbags.Race.exact_sigs (Espbags.Detector.races det);
+              n_accesses = det.Espbags.Detector.n_accesses;
+              n_skipped = det.Espbags.Detector.n_skipped;
+            }));
+  }
+
+let vclock_chunked =
+  {
+    bname = "vclock[chunk=16]";
+    run =
+      (fun ?keep mode prog ->
+        let det, _ = Vclock.Seq.detect ?keep ~layout:tiny_chunk mode prog in
+        {
+          sigs = Espbags.Race.exact_sigs (Vclock.Seq.races det);
+          n_accesses = det.Vclock.Seq.n_accesses;
+          n_skipped = det.Vclock.Seq.n_skipped;
+        });
+  }
+
+let vclock_spilled =
+  {
+    bname = "vclock[chunk=16,spill cap=2]";
+    run =
+      (fun ?keep mode prog ->
+        with_tiny_spill (fun spill ->
+            let det, _ =
+              Vclock.Seq.detect ?keep ~layout:tiny_chunk ~spill mode prog
+            in
+            {
+              sigs = Espbags.Race.exact_sigs (Vclock.Seq.races det);
+              n_accesses = det.Vclock.Seq.n_accesses;
+              n_skipped = det.Vclock.Seq.n_skipped;
+            }));
+  }
+
 let check_identical ~seed ~what a b =
   if a <> b then
     QCheck.Test.fail_reportf

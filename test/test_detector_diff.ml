@@ -29,6 +29,17 @@ let tests =
       ~backends:[ Diff_harness.espbags ]
       ~modes:[ Espbags.Detector.Mrw ]
       ~prunes:[ true ] ()
+  (* Memory-bounded paths (DESIGN.md §15): tiny chunks force the
+     multi-chunk shadow slab, a 2-record spill cap forces the on-disk
+     race round-trip.  Reports must stay byte-identical. *)
+  @ Diff_harness.diff_tests
+      ~backends:[ Diff_harness.espbags_chunked; Diff_harness.espbags_spilled ]
+      ~modes:[ Espbags.Detector.Srw; Espbags.Detector.Mrw ]
+      ~prunes:[ false ] ()
+  @ Diff_harness.diff_tests
+      ~backends:[ Diff_harness.espbags_spilled ]
+      ~modes:[ Espbags.Detector.Mrw ]
+      ~prunes:[ true ] ()
 
 let () =
   Alcotest.run "detector-diff"

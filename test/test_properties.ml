@@ -75,15 +75,18 @@ let statements_preserved =
          >= Mhj.Ast.count_finishes prog)
 
 (* Pruning race-free subtrees (the paper's §9 memory mitigation) must not
-   degrade the repair: placements computed on the pruned tree may differ
-   slightly in extent (collapsing changes vertex granularity, and a
-   collapsed scope's drag is summarized conservatively), but they must
-   behave like the unpruned pass: leave the same residual race status (a
-   single pass is not always complete — the driver iterates — but pruning
-   must not change whether it is) and land within ~15% of the unpruned
-   placement's critical path. *)
+   change the repair at all.  This used to hold only up to a 15%
+   critical-path tolerance (loosened from 5% after progen seed 451531
+   drifted 409 vs 449): collapsing a race-free scope that spawns asyncs
+   hid finish-boundary positions inside its expansion, so the DP
+   deterministically picked a different, longer placement.  [prune] now
+   collapses a scope only when its subtree spawns no task (async/finish
+   subtrees still collapse — they are single depgraph vertices with
+   exact summaries), which restores placement identity: same merged
+   finish set, same critical path, byte for byte.  Verified over 5000
+   progen seeds including 451531 before tightening this back. *)
 let prune_preserves_placement_quality =
-  QCheck.Test.make ~name:"S-DPST pruning preserves placement quality"
+  QCheck.Test.make ~name:"S-DPST pruning preserves the placement exactly"
     ~count:40
     QCheck.(int_range 0 1_000_000)
     (fun seed ->
@@ -104,23 +107,24 @@ let prune_preserves_placement_quality =
               Hashtbl.mem endpoints n.Sdpst.Node.id)
         in
         let _, merged2 = Repair.Driver.place_for_tree ~program:prog races in
+        if
+          merged1.Repair.Static_place.placements
+          <> merged2.Repair.Static_place.placements
+        then
+          QCheck.Test.fail_reportf
+            "seed %d: pruning changed the merged placement@.unpruned: %a@.\
+             pruned: %a"
+            seed
+            Fmt.(list ~sep:comma Mhj.Transform.pp_placement)
+            merged1.Repair.Static_place.placements
+            Fmt.(list ~sep:comma Mhj.Transform.pp_placement)
+            merged2.Repair.Static_place.placements;
         let repaired m = Repair.Static_place.apply prog m in
         let cpl p =
           Sdpst.Analysis.critical_path_length (Rt.Interp.run p).tree
         in
-        let clean p =
-          Espbags.Detector.race_count
-            (fst (Espbags.Detector.detect Espbags.Detector.Mrw p))
-          = 0
-        in
-        let p1 = repaired merged1 and p2 = repaired merged2 in
-        let c1 = cpl p1 and c2 = cpl p2 in
-        (* 15% slack: placement on the pruned tree can legitimately pick a
-           different (equally race-free) finish set whose critical path
-           drifts by up to ~10% on some generated programs (e.g. progen
-           seed 451531: 409 vs 449), so a 5% bound flakes. *)
-        let close = abs (c1 - c2) <= max 10 (max c1 c2 * 3 / 20) in
-        removed >= 0 && clean p1 = clean p2 && close
+        removed >= 0
+        && cpl (repaired merged1) = cpl (repaired merged2)
       end)
 
 (* Repair is idempotent: repairing a repaired program changes nothing. *)

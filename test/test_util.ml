@@ -124,6 +124,79 @@ let test_prng_rejection_in_range () =
     if x < 0 || x >= huge then Alcotest.fail "huge bound out of range"
   done
 
+(* ------------------- slab-chunked shadow tables --------------------- *)
+
+let test_islab_basic () =
+  let t = Tdrutil.Islab.create ~layout:(Tdrutil.Islab.Chunked 16) ~fill:(-1) () in
+  Alcotest.(check int) "fresh has no chunks" 0 (Tdrutil.Islab.n_chunks t);
+  Alcotest.(check int) "untouched reads fill" (-1) (Tdrutil.Islab.get t 12345);
+  Alcotest.(check int) "read allocates nothing" 0 (Tdrutil.Islab.n_chunks t);
+  Tdrutil.Islab.set t 3 7;
+  Alcotest.(check int) "written slot" 7 (Tdrutil.Islab.get t 3);
+  Alcotest.(check int) "one chunk" 1 (Tdrutil.Islab.n_chunks t);
+  Alcotest.(check int) "neighbour in same chunk reads fill" (-1)
+    (Tdrutil.Islab.get t 4);
+  (* a far-away write lands in its own chunk; the gap stays unallocated *)
+  Tdrutil.Islab.set t 100_000 9;
+  Alcotest.(check int) "far slot" 9 (Tdrutil.Islab.get t 100_000);
+  Alcotest.(check int) "only two chunks" 2 (Tdrutil.Islab.n_chunks t);
+  Alcotest.check_raises "negative get" (Invalid_argument "Islab.get: negative index")
+    (fun () -> ignore (Tdrutil.Islab.get t (-1)));
+  Alcotest.check_raises "negative set" (Invalid_argument "Islab.set: negative index")
+    (fun () -> Tdrutil.Islab.set t (-1) 0)
+
+let test_islab_slot_stride () =
+  (* chunk size below the minimum is rounded up so a stride-8 row never
+     straddles chunks *)
+  let t = Tdrutil.Islab.create ~layout:(Tdrutil.Islab.Chunked 1) ~fill:0 () in
+  Alcotest.(check bool) "chunk floor >= 8" true (Tdrutil.Islab.chunk_slots t >= 8);
+  let arr, off = Tdrutil.Islab.slot t 16 ~stride:8 in
+  for k = 0 to 7 do
+    arr.(off + k) <- 100 + k
+  done;
+  for k = 0 to 7 do
+    Alcotest.(check int) "row readable via get" (100 + k)
+      (Tdrutil.Islab.get t (16 + k))
+  done;
+  Alcotest.check_raises "non-positive chunk size"
+    (Invalid_argument "Islab.create: chunk size must be positive") (fun () ->
+      ignore (Tdrutil.Islab.create ~layout:(Tdrutil.Islab.Chunked 0) ~fill:0 ()))
+
+(* Chunked and Monolithic must be observationally identical (only the
+   words/chunks accounting differs). *)
+let islab_model =
+  QCheck.Test.make ~count:200 ~name:"Islab: Chunked == Monolithic"
+    QCheck.(list (pair (int_bound 5000) (int_bound 1000)))
+    (fun writes ->
+      let c = Tdrutil.Islab.create ~layout:(Tdrutil.Islab.Chunked 32) ~fill:(-7) () in
+      let m = Tdrutil.Islab.create ~layout:Tdrutil.Islab.Monolithic ~fill:(-7) () in
+      List.iter
+        (fun (i, v) ->
+          Tdrutil.Islab.set c i v;
+          Tdrutil.Islab.set m i v)
+        writes;
+      List.for_all
+        (fun i ->
+          Tdrutil.Islab.get c i = Tdrutil.Islab.get m i
+          && Tdrutil.Islab.words c > 0 = (Tdrutil.Islab.words m > 0))
+        (List.init 60 (fun k -> k * 100)))
+
+let test_slab_basic () =
+  let t = Tdrutil.Slab.create ~layout:(Tdrutil.Islab.Chunked 16) ~fill:None () in
+  Alcotest.(check int) "fresh has no chunks" 0 (Tdrutil.Slab.n_chunks t);
+  Alcotest.(check bool) "untouched reads fill" true
+    (Tdrutil.Slab.get t 999 = None);
+  Tdrutil.Slab.set t 5 (Some 42);
+  Alcotest.(check bool) "written slot" true (Tdrutil.Slab.get t 5 = Some 42);
+  Alcotest.(check int) "one chunk" 1 (Tdrutil.Slab.n_chunks t);
+  let seen = ref 0 in
+  Tdrutil.Slab.iter_present
+    (fun v -> match v with Some _ -> incr seen | None -> ())
+    t;
+  Alcotest.(check int) "iter_present sees the one element" 1 !seen;
+  Alcotest.check_raises "negative get" (Invalid_argument "Slab.get: negative index")
+    (fun () -> ignore (Tdrutil.Slab.get t (-1)))
+
 let () =
   Alcotest.run "util"
     [
@@ -145,5 +218,12 @@ let () =
             test_prng_choose_one_draw;
           Alcotest.test_case "rejection in range" `Quick
             test_prng_rejection_in_range;
+        ] );
+      ( "slab",
+        [
+          Alcotest.test_case "islab basics" `Quick test_islab_basic;
+          Alcotest.test_case "islab slot/stride" `Quick test_islab_slot_stride;
+          QCheck_alcotest.to_alcotest islab_model;
+          Alcotest.test_case "slab basics" `Quick test_slab_basic;
         ] );
     ]

@@ -6,7 +6,8 @@
 
      dune exec bench/main.exe -- [table1|table2|table3|table4|fig3|fig16|
                                   students|ablation|prune|prune-quick|
-                                  detector|detector-quick|scale|scale-quick|speedup|micro|all]
+                                  detector|detector-quick|scale|scale-quick|
+                                  strategies|strategies-quick|speedup|micro|all]
 
    (table3 and table4 are produced by the same SRW-vs-MRW sweep;
    detector-quick and prune-quick are the CI variants of the
@@ -15,7 +16,7 @@
 let usage () =
   Fmt.epr
     "usage: main.exe \
-     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|prune-quick|detector|detector-quick|scale|scale-quick|speedup|micro|all]@.";
+     [table1|table2|table3|table4|fig3|fig16|students|ablation|prune|prune-quick|detector|detector-quick|scale|scale-quick|strategies|strategies-quick|speedup|micro|all]@.";
   exit 1
 
 let () =
@@ -35,6 +36,8 @@ let () =
   | "detector-quick" -> Detector.run_quick ()
   | "scale" -> Scale.run ()
   | "scale-quick" -> Scale.run_quick ()
+  | "strategies" -> Strategies.run ()
+  | "strategies-quick" -> Strategies.run_quick ()
   | "speedup" -> Speedup.run ()
   | "micro" -> Micro.run_and_print ()
   | "all" ->
@@ -48,6 +51,7 @@ let () =
       Prune.run ();
       Detector.run ();
       Scale.run ();
+      Strategies.run ();
       Speedup.run ();
       Micro.run_and_print ()
   | _ -> usage ());

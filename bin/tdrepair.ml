@@ -109,6 +109,47 @@ let resolve_backend_verbose prog = function
       Fmt.pr "auto backend: %a (%s)@." Vclock.Select.pp_choice pick reason;
       (pick :> [ `Espbags | `Vclock ])
 
+let strategy_arg =
+  let strategy_conv =
+    Arg.enum
+      [
+        ("finish", `Finish);
+        ("isolated", `Isolated);
+        ("elide", `Elide);
+        ("chunk", `Chunk);
+        ("tournament", `Tournament);
+      ]
+  in
+  Arg.(
+    value & opt strategy_conv `Finish
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Repair strategy: $(b,finish) (the paper's interval-DP finish \
+           insertion, the default), $(b,isolated) (wrap the racing \
+           statements in mutually-exclusive isolated sections), \
+           $(b,elide) (demote the offending asyncs to inline sequential \
+           execution), $(b,chunk) (split a racy loop into sub-loops with \
+           a finish at every chunk seam), or $(b,tournament) (run all \
+           four, verify each race-free, and keep the minimum-CPL winner; \
+           ties break toward $(b,finish)).  Per-strategy outcomes land \
+           in the metrics as $(b,strategy.*).")
+
+(* Per-candidate tournament summary shared by detect (preview) and
+   repair. *)
+let pp_candidates ppf (outcome : Repair.Strategy.outcome) =
+  List.iter
+    (fun (c : Repair.Strategy.candidate) ->
+      match c.Repair.Strategy.score with
+      | Some s when c.verified ->
+          Fmt.pf ppf "  %-9s race-free in %d round(s): %a@."
+            (Repair.Strategy.kind_name c.kind)
+            c.rounds Compgraph.Score.pp s
+      | _ ->
+          Fmt.pf ppf "  %-9s not applicable: %s@."
+            (Repair.Strategy.kind_name c.kind)
+            (if c.note = "" then "no race-free candidate" else c.note))
+    outcome.Repair.Strategy.candidates
+
 let set_arg =
   Arg.(
     value & opt_all string []
@@ -336,8 +377,8 @@ let cleanup_spill spill ~n_spilled =
   | _ -> ()
 
 let detect_cmd =
-  let run file mode backend sets trace dump_tree dump_sdpst static_prune
-      shadow_chunk spill timeout_ms =
+  let run file mode backend strategy sets trace dump_tree dump_sdpst
+      static_prune shadow_chunk spill timeout_ms =
     or_die (fun () ->
       Rt.Watchdog.with_timeout ~ms:timeout_ms @@ fun () ->
         let prog = apply_sets (compile file) sets in
@@ -384,6 +425,13 @@ let detect_cmd =
                 res )
         in
         cleanup_spill spill ~n_spilled;
+        (* Races with both endpoints inside [isolated] sections are
+           discharged by mutual exclusion — the detectors run the body
+           as a plain scope and cannot see the serialization. *)
+        let races, discharged =
+          let surviving, discharged = Repair.Isolate.split prog races in
+          (surviving, List.length discharged)
+        in
         if dump_sdpst then Fmt.pr "%s@." (Sdpst.Serial.to_string res.tree);
         (match dump_tree with
         | Some path ->
@@ -398,6 +446,10 @@ let detect_cmd =
           n_accesses n_locations res.Rt.Interp.tree.Sdpst.Node.n_nodes;
         if n_skipped > 0 then
           Fmt.pr "skipped %d access(es) proven sequential@." n_skipped;
+        if discharged > 0 then
+          Fmt.pr
+            "discharged %d race report(s) serialized by isolated section(s)@."
+            discharged;
         (match spill with
         | Some path when n_spilled > 0 ->
             Fmt.pr "spilled %d race record(s) to %s@." n_spilled path
@@ -407,6 +459,26 @@ let detect_cmd =
             if i < 20 then Fmt.pr "  %a@." Espbags.Race.pp r
             else if i = 20 then Fmt.pr "  ... (%d more)@." (List.length races - 20))
           races;
+        (* --strategy=S previews how each repair strategy would fare on
+           the detected races, without rewriting anything. *)
+        (match strategy with
+        | `Finish -> ()
+        | choice when races = [] ->
+            Fmt.pr "strategy %a: program already race-free@."
+              Repair.Strategy.pp_choice choice
+        | choice -> (
+            match
+              Repair.Strategy.run ~mode
+                ~backend:(backend :> Repair.Driver.backend)
+                choice prog
+            with
+            | outcome ->
+                Fmt.pr "strategy %a: %a would win@." Repair.Strategy.pp_choice
+                  choice Repair.Strategy.pp_kind
+                  outcome.Repair.Strategy.winner.kind;
+                Fmt.pr "%a" pp_candidates outcome
+            | exception Repair.Driver.Unrepairable m ->
+                Fmt.pr "strategy %a: %s@." Repair.Strategy.pp_choice choice m));
         match trace with
         | Some path ->
             Espbags.Trace.save path ~mode races;
@@ -437,9 +509,9 @@ let detect_cmd =
          "Execute a program under a race detector (ESP-bags or vector \
           clocks, see $(b,--backend)) and report its data races.")
     Term.(
-      const run $ file_arg $ mode_arg $ backend_arg $ set_arg $ trace
-      $ dump_tree $ dump $ static_prune_arg $ shadow_chunk_arg $ spill_arg
-      $ timeout_arg)
+      const run $ file_arg $ mode_arg $ backend_arg $ strategy_arg $ set_arg
+      $ trace $ dump_tree $ dump $ static_prune_arg $ shadow_chunk_arg
+      $ spill_arg $ timeout_arg)
 
 let analyze_cmd =
   let run file tree_path trace_path output quiet =
@@ -504,9 +576,9 @@ let static_verify_arg =
            are listed and the command exits 4.")
 
 let repair_cmd =
-  let run file mode backend strategy sets budgets output report_flag quiet
-      static_prune static_verify validate_par validate_seed budget_validate
-      shadow_chunk spill trace_file metrics_file timeout_ms =
+  let run file mode backend placement strategy sets budgets output
+      report_flag quiet static_prune static_verify validate_par validate_seed
+      budget_validate shadow_chunk spill trace_file metrics_file timeout_ms =
     (* Enable tracing before the compile so the parse/typecheck/normalize
        spans land in the file too. *)
     if trace_file <> None then Obs.Trace.enable ();
@@ -515,6 +587,37 @@ let repair_cmd =
         check_spill_writable spill;
         let prog = apply_sets (compile file) sets in
         let backend = resolve_backend_verbose prog backend in
+        match strategy with
+        | (`Isolated | `Elide | `Chunk | `Tournament) as choice ->
+            (* Alternative repair strategies go through the tournament
+               layer; the winner is verified race-free by a fresh
+               detection run before it is printed. *)
+            let outcome =
+              Repair.Strategy.run ~mode
+                ~backend:(backend :> Repair.Driver.backend)
+                choice prog
+            in
+            Fmt.pr "strategy %a: %a wins@." Repair.Strategy.pp_choice choice
+              Repair.Strategy.pp_kind outcome.Repair.Strategy.winner.kind;
+            Fmt.pr "%a" pp_candidates outcome;
+            Option.iter
+              (fun path ->
+                Obs.Json.save path
+                  (Obs.Json.Obj
+                     (List.map
+                        (fun (k, v) -> (k, Obs.Json.Int v))
+                        outcome.Repair.Strategy.metrics)))
+              metrics_file;
+            Option.iter (fun path -> Obs.Trace.save path) trace_file;
+            let src =
+              Mhj.Pretty.program_to_string outcome.Repair.Strategy.program
+            in
+            (match output with
+            | Some path ->
+                write_file path src;
+                Fmt.pr "repaired program written to %s@." path
+            | None -> if not quiet then print_string src)
+        | `Finish ->
         let validate_par =
           Option.map
             (fun schedules ->
@@ -528,8 +631,8 @@ let repair_cmd =
         let report =
           Repair.Driver.repair ~mode
             ~backend:(backend :> Repair.Driver.backend)
-            ~strategy ~budgets ~static_prune ~static_verify ?validate_par
-            ?shadow_chunk ?spill prog
+            ~strategy:placement ~budgets ~static_prune ~static_verify
+            ?validate_par ?shadow_chunk ?spill prog
         in
         let n_spilled =
           Option.value ~default:0
@@ -605,13 +708,13 @@ let repair_cmd =
       value & flag
       & info [ "q"; "quiet" ] ~doc:"Do not print the repaired program.")
   in
-  let strategy =
+  let placement =
     Arg.(
       value
       & opt (enum [ ("batch", `Batch); ("incremental", `Incremental) ]) `Batch
-      & info [ "strategy" ] ~docv:"S"
+      & info [ "placement" ] ~docv:"P"
           ~doc:
-            "Placement strategy: $(b,batch) (all NS-LCA groups per \
+            "Finish-placement strategy: $(b,batch) (all NS-LCA groups per \
              detection run) or $(b,incremental) (the paper's §6.1 \
              live-S-DPST loop).")
   in
@@ -676,11 +779,11 @@ let repair_cmd =
           input, 4 repaired but degraded by a $(b,--budget-*) limit or \
           left unproven by $(b,--static-verify), 5 unrepairable.")
     Term.(
-      const run $ file_arg $ mode_arg $ backend_arg $ strategy $ set_arg
-      $ budgets_term $ output_arg $ report_flag $ quiet $ static_prune_arg
-      $ static_verify_arg $ validate_par $ validate_seed $ budget_validate
-      $ shadow_chunk_arg $ spill_arg $ trace_file $ metrics_file
-      $ timeout_arg)
+      const run $ file_arg $ mode_arg $ backend_arg $ placement
+      $ strategy_arg $ set_arg $ budgets_term $ output_arg $ report_flag
+      $ quiet $ static_prune_arg $ static_verify_arg $ validate_par
+      $ validate_seed $ budget_validate $ shadow_chunk_arg $ spill_arg
+      $ trace_file $ metrics_file $ timeout_arg)
 
 let strip_cmd =
   let run file output =
@@ -1079,7 +1182,7 @@ let serve_cmd =
 
 let call_cmd =
   let module J = Obs.Json in
-  let run socket health shutdown op id file sets timeout_ms trace =
+  let run socket health shutdown op id file sets timeout_ms trace strategy =
     or_die (fun () ->
         let req =
           if health then J.Obj [ ("op", J.Str "health") ]
@@ -1111,6 +1214,13 @@ let call_cmd =
               @ (match timeout_ms with
                 | Some t -> [ ("timeout_ms", J.Int t) ]
                 | None -> [])
+              @ (match strategy with
+                | `Finish -> []
+                | c ->
+                    [
+                      ( "strategy",
+                        J.Str (Fmt.str "%a" Repair.Strategy.pp_choice c) );
+                    ])
               @ if trace then [ ("trace", J.Bool true) ] else []
             in
             J.Obj
@@ -1183,7 +1293,7 @@ let call_cmd =
           codes: 0 ok, 4 degraded, 1 failed/overloaded.")
     Term.(
       const run $ socket_arg $ health $ shutdown $ op $ id $ file $ set_arg
-      $ timeout_arg $ trace)
+      $ timeout_arg $ trace $ strategy_arg)
 
 let main_cmd =
   let doc =

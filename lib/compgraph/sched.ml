@@ -22,6 +22,10 @@ module Heap = struct
 
   let is_empty h = h.len = 0
 
+  let peek h =
+    if h.len = 0 then invalid_arg "Heap.peek: empty";
+    h.data.(0)
+
   let swap h i j =
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(j);
@@ -98,13 +102,24 @@ let simulate ?(procs = 12) (g : Graph.t) : stats =
     while not (Heap.is_empty events) do
       let t, v = Heap.pop events in
       time := t;
-      incr idle;
-      (* Drain all events at the same timestamp before dispatching. *)
+      (* Drain all events at the same timestamp before dispatching, so
+         ready-queue FIFO order (and [max_ready]) never depends on heap
+         pop order for equal keys.  The batch is sorted by node id: heap
+         order is unspecified among equal timestamps. *)
+      let batch = ref [ v ] in
+      while (not (Heap.is_empty events)) && fst (Heap.peek events) = t do
+        batch := snd (Heap.pop events) :: !batch
+      done;
+      let batch = List.sort Int.compare !batch in
       List.iter
-        (fun s ->
-          indeg.(s) <- indeg.(s) - 1;
-          if indeg.(s) = 0 then Queue.add s ready)
-        (Graph.succs g v);
+        (fun v ->
+          incr idle;
+          List.iter
+            (fun s ->
+              indeg.(s) <- indeg.(s) - 1;
+              if indeg.(s) = 0 then Queue.add s ready)
+            (Graph.succs g v))
+        batch;
       if Queue.length ready > !max_ready then max_ready := Queue.length ready;
       dispatch ()
     done;

@@ -134,6 +134,20 @@ let eval_placement (g : Depgraph.t) (intervals : (int * int) list) : int =
           let inner, siblings =
             List.partition (fun (x, y) -> x >= a && y <= b) rest
           in
+          (* [rest] is sorted by (lo asc, hi desc), so every sibling starts
+             at or after [a]; one that starts inside [a, b] but was not
+             fully contained crosses the interval — the documented
+             precondition (pairwise nested or disjoint) is violated and the
+             evaluation would be silently wrong. *)
+          List.iter
+            (fun (x, y) ->
+              if x <= b then
+                invalid_arg
+                  (Printf.sprintf
+                     "Dp_place.eval_placement: overlapping intervals (%d, \
+                      %d) and (%d, %d)"
+                     a b x y))
+            siblings;
           ((a, b), inner) :: top_level siblings
     in
     let tops = top_level ivs in

@@ -573,6 +573,10 @@ let repair ?(mode = Espbags.Detector.Mrw) ?(backend = `Espbags)
           if shadow_gauge kv then Obs.Metrics.set metrics k v)
         det_stats;
       Obs.Metrics.set metrics "detector.peak_rss_kb" (Obs.Rusage.peak_rss_kb ());
+      (* Races whose both endpoints sit inside [isolated] sections are
+         discharged by mutual exclusion — the detectors run the body as a
+         plain scope and cannot see the serialization. *)
+      let races = Isolate.suppress program races in
       if races = [] then `Converged
       else if remaining = 0 then `Exhausted (List.length races)
       else begin

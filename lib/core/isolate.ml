@@ -1,0 +1,90 @@
+(** Static discharge of races protected by [isolated] sections.
+
+    The detectors are oblivious to [isolated]: its body executes as a
+    plain scope, so a conflicting pair of section instances still
+    surfaces as a race of the S-DPST.  Mutual exclusion is then applied
+    here, statically: a race whose {e both} endpoints originate from
+    blocks lexically inside some [isolated] statement can never manifest
+    — the two sections are serialized at runtime.
+
+    The block set is purely lexical: accesses reached through a function
+    call inside a section are {e not} covered (the type checker forbids
+    user calls inside [isolated], so the set is in fact exact). *)
+
+module IntSet = Set.Make (Int)
+
+(** Block ids lexically enclosed in an [isolated] statement. *)
+let bids (p : Mhj.Ast.program) : IntSet.t =
+  let acc = ref IntSet.empty in
+  let rec inside (st : Mhj.Ast.stmt) =
+    match st.s with
+    | Mhj.Ast.Decl _ | Assign _ | Return _ | Expr _ -> ()
+    | If (_, a, b) ->
+        inside a;
+        Option.iter inside b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b | Isolated b ->
+        inside b
+    | Block b ->
+        acc := IntSet.add b.bid !acc;
+        List.iter inside b.stmts
+  in
+  Mhj.Ast.iter_stmts
+    (fun st -> match st.s with Mhj.Ast.Isolated b -> inside b | _ -> ())
+    p;
+  !acc
+
+(** Is the race discharged by mutual exclusion — both endpoints inside
+    [isolated] sections? *)
+let covers (iso : IntSet.t) (r : Espbags.Race.t) : bool =
+  IntSet.mem r.src.Sdpst.Node.origin_bid iso
+  && IntSet.mem r.sink.Sdpst.Node.origin_bid iso
+
+(** Remove the races discharged by the program's [isolated] sections.
+    Returns the surviving races and the discharged ones. *)
+let split (p : Mhj.Ast.program) (races : Espbags.Race.t list) :
+    Espbags.Race.t list * Espbags.Race.t list =
+  if Mhj.Ast.count_isolated p = 0 then (races, [])
+  else begin
+    let iso = bids p in
+    List.partition (fun r -> not (covers iso r)) races
+  end
+
+(** The races surviving mutual-exclusion discharge. *)
+let suppress (p : Mhj.Ast.program) (races : Espbags.Race.t list) :
+    Espbags.Race.t list =
+  fst (split p races)
+
+(* ------------------------------------------------------------------ *)
+(* Wrappability of a statement range                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_leaf (e : Mhj.Ast.expr) : bool =
+  match e.e with
+  | Mhj.Ast.Int _ | Float _ | Bool _ | Str _ | Var _ -> true
+  | Bin (_, a, b) -> expr_leaf a && expr_leaf b
+  | Un (_, a) -> expr_leaf a
+  | Idx (a, i) -> expr_leaf a && expr_leaf i
+  | NewArr (_, dims) -> List.for_all expr_leaf dims
+  | Call (name, args) ->
+      Mhj.Builtins.is_builtin name && List.for_all expr_leaf args
+
+(** May this statement live inside an [isolated] section?  Mirrors the
+    type checker's rule: no task constructs and no user-function calls
+    (which could transitively spawn, or touch memory outside the
+    lexical block set). *)
+let rec wrappable_stmt (st : Mhj.Ast.stmt) : bool =
+  match st.s with
+  | Mhj.Ast.Async _ | Finish _ | Isolated _ -> false
+  | Decl (_, _, _, init) -> expr_leaf init
+  | Assign (_, path, rhs) -> List.for_all expr_leaf path && expr_leaf rhs
+  | Return None -> true
+  | Return (Some e) | Expr e -> expr_leaf e
+  | If (c, a, b) ->
+      expr_leaf c && wrappable_stmt a
+      && Option.fold ~none:true ~some:wrappable_stmt b
+  | While (c, b) -> expr_leaf c && wrappable_stmt b
+  | For (_, lo, hi, by, b) ->
+      expr_leaf lo && expr_leaf hi
+      && Option.fold ~none:true ~some:expr_leaf by
+      && wrappable_stmt b
+  | Block b -> List.for_all wrappable_stmt b.stmts

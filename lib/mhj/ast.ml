@@ -83,6 +83,10 @@ and stmt_desc =
   | Return of expr option
   | Async of stmt
   | Finish of stmt
+  | Isolated of stmt
+      (** [isolated s]: a sequential critical section; at most one
+          isolated section executes at a time (global mutual exclusion).
+          Bodies may not spawn or join tasks. *)
   | Block of block
   | Expr of expr
 
@@ -130,6 +134,12 @@ let mk_block stmts = { bid = fresh_bid (); stmts }
 let finish_of_range stmts =
   mk_stmt (Finish (mk_stmt (Block (mk_block stmts))))
 
+(** [isolated_of_range stmts] wraps a statement list in a fresh
+    [isolated { ... }] statement, as inserted by the isolation repair
+    strategy. *)
+let isolated_of_range stmts =
+  mk_stmt (Isolated (mk_stmt (Block (mk_block stmts))))
+
 (* ------------------------------------------------------------------ *)
 (* Traversal helpers                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -148,6 +158,7 @@ let map_blocks (f : block -> block) (p : program) : program =
       | For (i, lo, hi, by, b) -> For (i, lo, hi, by, on_stmt b)
       | Async b -> Async (on_stmt b)
       | Finish b -> Finish (on_stmt b)
+      | Isolated b -> Isolated (on_stmt b)
       | Block b -> Block (on_block b)
     in
     { st with s }
@@ -166,7 +177,7 @@ let iter_stmts (f : stmt -> unit) (p : program) : unit =
         Option.iter on_stmt b
     | While (_, b) -> on_stmt b
     | For (_, _, _, _, b) -> on_stmt b
-    | Async b | Finish b -> on_stmt b
+    | Async b | Finish b | Isolated b -> on_stmt b
     | Block b -> List.iter on_stmt b.stmts
   in
   List.iter (fun fn -> List.iter on_stmt fn.body.stmts) p.funcs
@@ -185,6 +196,12 @@ let count_asyncs (p : program) : int =
 let count_finishes (p : program) : int =
   let n = ref 0 in
   iter_stmts (fun st -> match st.s with Finish _ -> incr n | _ -> ()) p;
+  !n
+
+(** Number of [isolated] statements in the program. *)
+let count_isolated (p : program) : int =
+  let n = ref 0 in
+  iter_stmts (fun st -> match st.s with Isolated _ -> incr n | _ -> ()) p;
   !n
 
 (** All statement ids in the program, in source order. *)

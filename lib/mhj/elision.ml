@@ -13,6 +13,7 @@ let rec elide_stmt (st : stmt) : stmt =
     match st.s with
     | Async body -> (elide_stmt body).s
     | Finish body -> (elide_stmt body).s
+    | Isolated body -> (elide_stmt body).s
     | If (c, a, b) -> If (c, elide_stmt a, Option.map elide_stmt b)
     | While (c, b) -> While (c, elide_stmt b)
     | For (i, lo, hi, by, b) -> For (i, lo, hi, by, elide_stmt b)

@@ -23,6 +23,7 @@ and norm_stmt (st : stmt) : stmt =
     | For (i, lo, hi, by, b) -> For (i, lo, hi, by, norm_body b)
     | Async b -> Async (norm_body b)
     | Finish b -> Finish (norm_body b)
+    | Isolated b -> Isolated (norm_body b)
     | Block b -> Block { b with stmts = List.map norm_stmt b.stmts }
   in
   { st with s }
@@ -44,7 +45,7 @@ let rec stmt_normalized (st : stmt) : bool =
   | If (_, a, b) ->
       is_block a && stmt_normalized a
       && Option.fold ~none:true ~some:(fun b -> is_block b && stmt_normalized b) b
-  | While (_, b) | For (_, _, _, _, b) | Async b | Finish b ->
+  | While (_, b) | For (_, _, _, _, b) | Async b | Finish b | Isolated b ->
       is_block b && stmt_normalized b
   | Block b -> List.for_all stmt_normalized b.stmts
 

@@ -334,6 +334,10 @@ let rec parse_stmt p : Ast.stmt =
       advance p;
       let body = parse_stmt p in
       Ast.mk_stmt ~loc (Ast.Finish body)
+  | Token.KW_ISOLATED ->
+      advance p;
+      let body = parse_stmt p in
+      Ast.mk_stmt ~loc (Ast.Isolated body)
   | _ ->
       let e = parse_expr p in
       if cur p = Token.EQ then begin

@@ -83,6 +83,8 @@ let rec pp_stmt depth ppf (st : stmt) =
   | Return (Some e) -> Fmt.pf ppf "%sreturn %a;" ind pp_expr e
   | Async body -> Fmt.pf ppf "%sasync@\n%a" ind (pp_stmt (depth + 1)) body
   | Finish body -> Fmt.pf ppf "%sfinish@\n%a" ind (pp_stmt (depth + 1)) body
+  | Isolated body ->
+      Fmt.pf ppf "%sisolated@\n%a" ind (pp_stmt (depth + 1)) body
   | Block b -> pp_block depth ppf b
   | Expr e -> Fmt.pf ppf "%s%a;" ind pp_expr e
 

@@ -20,7 +20,8 @@ let build (p : program) : t =
     | If (_, a, b) ->
         on_stmt a;
         Option.iter on_stmt b
-    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> on_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b | Isolated b ->
+        on_stmt b
     | Block b -> on_block b
   and on_block b =
     Hashtbl.replace blocks b.bid (Array.of_list b.stmts);
@@ -58,7 +59,7 @@ let rec stmt_names acc (st : stmt) =
       stmt_names acc b
   | Return None -> acc
   | Return (Some e) | Expr e -> expr_names acc e
-  | Async b | Finish b -> stmt_names acc b
+  | Async b | Finish b | Isolated b -> stmt_names acc b
   | Block b -> List.fold_left stmt_names acc b.stmts
 
 (** [wrap_ok t ~bid ~lo ~hi] — may statements [lo..hi] of block [bid] be

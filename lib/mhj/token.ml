@@ -8,6 +8,7 @@ type t =
   (* keywords *)
   | KW_DEF | KW_VAR | KW_VAL | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
   | KW_TO | KW_BY | KW_RETURN | KW_ASYNC | KW_FINISH | KW_FORASYNC
+  | KW_ISOLATED
   | KW_NEW
   | KW_TRUE | KW_FALSE
   | KW_INT | KW_FLOAT | KW_BOOL | KW_UNIT
@@ -35,6 +36,7 @@ let keyword_of_string = function
   | "async" -> Some KW_ASYNC
   | "forasync" -> Some KW_FORASYNC
   | "finish" -> Some KW_FINISH
+  | "isolated" -> Some KW_ISOLATED
   | "new" -> Some KW_NEW
   | "true" -> Some KW_TRUE
   | "false" -> Some KW_FALSE
@@ -53,6 +55,7 @@ let to_string = function
   | KW_ELSE -> "else" | KW_WHILE -> "while" | KW_FOR -> "for"
   | KW_TO -> "to" | KW_BY -> "by" | KW_RETURN -> "return"
   | KW_ASYNC -> "async" | KW_FINISH -> "finish"
+  | KW_ISOLATED -> "isolated"
   | KW_FORASYNC -> "forasync" | KW_NEW -> "new"
   | KW_TRUE -> "true" | KW_FALSE -> "false"
   | KW_INT -> "int" | KW_FLOAT -> "float" | KW_BOOL -> "bool"

@@ -26,6 +26,7 @@ let rec strip_stmt (st : stmt) : stmt =
     match st.s with
     | Finish body -> (strip_stmt body).s
     | Async body -> Async (strip_stmt body)
+    | Isolated body -> Isolated (strip_stmt body)
     | If (c, a, b) -> If (c, strip_stmt a, Option.map strip_stmt b)
     | While (c, b) -> While (c, strip_stmt b)
     | For (i, lo, hi, by, b) -> For (i, lo, hi, by, strip_stmt b)
@@ -134,6 +135,194 @@ let insert_finishes (p : program) (placements : placement list) : program =
       | None -> b
       | Some intervals -> { b with stmts = wrap_intervals b.stmts intervals })
     p
+
+(* ------------------------------------------------------------------ *)
+(* Alternative repair rewrites (strategy layer)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Same interval machinery as finish insertion, but each top-level
+   interval becomes an [isolated { ... }] section.  Isolation never
+   nests (the type checker forbids it), so the intervals of one block
+   must be pairwise disjoint. *)
+let wrap_isolated (stmts : stmt list) (intervals : (int * int) list) :
+    stmt list =
+  let sorted =
+    List.sort_uniq
+      (fun (a1, b1) (a2, b2) ->
+        if a1 <> a2 then Int.compare a1 a2 else Int.compare b2 b1)
+      intervals
+  in
+  let rec check = function
+    | (_, h1) :: ((l2, _) :: _ as rest) ->
+        if l2 <= h1 then
+          invalid_arg
+            (Fmt.str "wrap_isolated: intervals [..%d] and [%d..] overlap" h1
+               l2);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  let arr = Array.of_list stmts in
+  let n = Array.length arr in
+  let out = ref [] in
+  let cursor = ref 0 in
+  List.iter
+    (fun (lo, hi) ->
+      if lo < 0 || hi >= n || lo > hi then
+        invalid_arg
+          (Fmt.str "wrap_isolated: interval [%d..%d] out of bounds 0..%d" lo
+             hi (n - 1));
+      for i = !cursor to lo - 1 do
+        out := arr.(i) :: !out
+      done;
+      let sub = Array.to_list (Array.sub arr lo (hi - lo + 1)) in
+      out := isolated_of_range sub :: !out;
+      cursor := hi + 1)
+    sorted;
+  for i = !cursor to n - 1 do
+    out := arr.(i) :: !out
+  done;
+  List.rev !out
+
+(** Wrap each placement's statement range in an [isolated { ... }]
+    section.  Placements targeting one block must be pairwise disjoint.
+    @raise Invalid_argument on out-of-range or overlapping placements. *)
+let insert_isolated (p : program) (placements : placement list) : program =
+  let by_bid = Hashtbl.create 8 in
+  List.iter
+    (fun pl ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_bid pl.bid) in
+      Hashtbl.replace by_bid pl.bid ((pl.lo, pl.hi) :: cur))
+    placements;
+  map_blocks
+    (fun b ->
+      match Hashtbl.find_opt by_bid b.bid with
+      | None -> b
+      | Some intervals -> { b with stmts = wrap_isolated b.stmts intervals })
+    p
+
+(** [elide_asyncs p sids] demotes each [async] statement whose sid is in
+    [sids] to inline sequential execution: the wrapper is removed and its
+    body block runs in place.  Ids of untouched nodes are preserved. *)
+let elide_asyncs (p : program) (sids : int list) : program =
+  let target = Hashtbl.create 8 in
+  List.iter (fun s -> Hashtbl.replace target s ()) sids;
+  let rec on_stmt (st : stmt) : stmt =
+    let s =
+      match st.s with
+      | Async body when Hashtbl.mem target st.sid -> (on_stmt body).s
+      | Async body -> Async (on_stmt body)
+      | Finish body -> Finish (on_stmt body)
+      | Isolated body -> Isolated (on_stmt body)
+      | If (c, a, b) -> If (c, on_stmt a, Option.map on_stmt b)
+      | While (c, b) -> While (c, on_stmt b)
+      | For (i, lo, hi, by, b) -> For (i, lo, hi, by, on_stmt b)
+      | Block b -> Block { b with stmts = List.map on_stmt b.stmts }
+      | (Decl _ | Assign _ | Return _ | Expr _) as s -> s
+    in
+    { st with s }
+  in
+  {
+    p with
+    funcs =
+      List.map
+        (fun f ->
+          { f with body = { f.body with stmts = List.map on_stmt f.body.stmts } })
+        p.funcs;
+  }
+
+(** Is the expression duplicable into a chunk guard — evaluation-order
+    safe and side-effect free when repeated? *)
+let duplicable (e : expr) : bool =
+  match e.e with Int _ | Var _ -> true | _ -> false
+
+(** [chunk_loop p ~sid ~chunk] splits the [for] loop with statement id
+    [sid] into chunks of [chunk] iterations, each wrapped in a [finish]:
+
+    {v
+    for (i = lo to hi by s) B
+    ==>
+    for (c = lo to hi by chunk*s)
+      finish
+        for (i = c to c + (chunk-1)*s by s)
+          if (s > 0 ? i <= hi : i >= hi) B
+    v}
+
+    Statement/block ids of the original body are preserved, so races
+    re-detected on the chunked program still map to the same static
+    points.  Requires a literal (or defaulted) step and a duplicable
+    upper bound.
+    @raise Invalid_argument if [sid] is not a chunkable [for] or [chunk]
+    is not positive. *)
+let chunk_loop (p : program) ~(sid : int) ~(chunk : int) : program =
+  if chunk <= 0 then invalid_arg "chunk_loop: chunk must be positive";
+  let found = ref false in
+  let rec on_stmt (st : stmt) : stmt =
+    match st.s with
+    | For (i, lo, hi, by, body) when st.sid = sid ->
+        found := true;
+        let step =
+          match by with
+          | None -> 1
+          | Some { e = Int s; _ } -> s
+          | Some _ -> invalid_arg "chunk_loop: step is not a literal"
+        in
+        if step = 0 then invalid_arg "chunk_loop: zero step";
+        if not (duplicable hi) then
+          invalid_arg "chunk_loop: upper bound is not duplicable";
+        let c = "__chunk" ^ string_of_int sid in
+        let guard =
+          mk_expr
+            (Bin ((if step > 0 then Le else Ge), mk_expr (Var i), hi))
+        in
+        let inner_hi =
+          mk_expr (Bin (Add, mk_expr (Var c), mk_expr (Int ((chunk - 1) * step))))
+        in
+        let inner_body =
+          mk_stmt (Block (mk_block [ mk_stmt (If (guard, body, None)) ]))
+        in
+        let inner_for =
+          mk_stmt (For (i, mk_expr (Var c), inner_hi, by, inner_body))
+        in
+        let outer_body =
+          mk_stmt (Block (mk_block [ finish_of_range [ inner_for ] ]))
+        in
+        {
+          st with
+          s =
+            For
+              (c, lo, hi, Some (mk_expr (Int (chunk * step))), outer_body);
+        }
+    | _ ->
+        let s =
+          match st.s with
+          | Async body -> Async (on_stmt body)
+          | Finish body -> Finish (on_stmt body)
+          | Isolated body -> Isolated (on_stmt body)
+          | If (c, a, b) -> If (c, on_stmt a, Option.map on_stmt b)
+          | While (c, b) -> While (c, on_stmt b)
+          | For (i, lo, hi, by, b) -> For (i, lo, hi, by, on_stmt b)
+          | Block b -> Block { b with stmts = List.map on_stmt b.stmts }
+          | (Decl _ | Assign _ | Return _ | Expr _) as s -> s
+        in
+        { st with s }
+  in
+  let p' =
+    {
+      p with
+      funcs =
+        List.map
+          (fun f ->
+            {
+              f with
+              body = { f.body with stmts = List.map on_stmt f.body.stmts };
+            })
+          p.funcs;
+    }
+  in
+  if not !found then
+    invalid_arg (Fmt.str "chunk_loop: no for loop with sid %d" sid);
+  p'
 
 (* ------------------------------------------------------------------ *)
 (* Test-input variation                                                *)

@@ -24,6 +24,25 @@ val wrap_intervals : Ast.stmt list -> (int * int) list -> Ast.stmt list
     @raise Invalid_argument on out-of-range or crossing placements. *)
 val insert_finishes : Ast.program -> placement list -> Ast.program
 
+(** Wrap each placement's statement range in an [isolated { ... }]
+    section.  Placements targeting one block must be pairwise disjoint.
+    @raise Invalid_argument on out-of-range or overlapping placements. *)
+val insert_isolated : Ast.program -> placement list -> Ast.program
+
+(** Demote each [async] whose statement id is listed to inline sequential
+    execution (the wrapper is removed; its body block runs in place). *)
+val elide_asyncs : Ast.program -> int list -> Ast.program
+
+(** Is the expression duplicable into a chunk guard (literal or
+    variable)? *)
+val duplicable : Ast.expr -> bool
+
+(** Split the [for] loop with statement id [sid] into [chunk]-iteration
+    sub-loops, each wrapped in a [finish]; body ids are preserved.
+    @raise Invalid_argument if the loop is missing, its step is not a
+    literal, its upper bound is not duplicable, or [chunk <= 0]. *)
+val chunk_loop : Ast.program -> sid:int -> chunk:int -> Ast.program
+
 (** [set_global_int p name v] replaces global [name]'s initializer with the
     literal [v] — test-input variation that leaves every statement and
     block id intact, so placements computed under one input apply to the

@@ -186,6 +186,7 @@ type engine = {
   buf : Buffer.t;
   buf_mu : Mutex.t;
   cas_mu : Mutex.t;  (** serializes the [cas] builtin *)
+  iso_mu : Mutex.t;  (** serializes [isolated] sections (Domains mode) *)
   poison : exn option Atomic.t;  (** first exception wins; aborts the run *)
   finished : bool Atomic.t;  (** tells idle workers to exit *)
   pace_ns : int;  (** nanoseconds of sleep per cost unit (0 = none) *)
@@ -204,6 +205,7 @@ type tstate = {
   mutable locals : frame list;
   mutable fin : finish;  (** innermost enclosing finish *)
   mutable quiet : bool;  (** global-initializer mode: fuel but no work *)
+  mutable atomic : int;  (** [isolated] nesting depth: no yields inside *)
   monitored : bool;  (** [eng.mon <> None], checked on hot paths *)
   mutable mtok : int;  (** this task's monitor token *)
   (* Step-origin tracking (monitored runs only).  The sequential
@@ -593,7 +595,7 @@ and exec_body st (body : Ast.stmt) : unit =
 
 and exec_stmt st (stmt : Ast.stmt) : unit =
   (match stmt.s with
-  | Async _ | Finish _ | Block _ -> ()
+  | Async _ | Finish _ | Isolated _ | Block _ -> ()
   | _ -> charge st Rt.Cost.stmt);
   match stmt.s with
   | Decl (_m, x, _ty, init) ->
@@ -700,6 +702,29 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
       | _ ->
           error stmt.sloc
             "program not normalized (finish); compile with Front.compile")
+  | Isolated body -> (
+      match body.s with
+      | Ast.Block b ->
+          (* Global mutual exclusion.  In Fuzz mode all tasks share one
+             worker, so instead of a (self-deadlocking) lock we pin the
+             scheduler: [atomic > 0] disables the statement-boundary
+             yields, making the section atomic by construction. *)
+          let run () =
+            in_scope st ~body_bid:b.bid (fun () -> exec_body st body)
+          in
+          st.atomic <- st.atomic + 1;
+          let finally () = st.atomic <- st.atomic - 1 in
+          Fun.protect ~finally (fun () ->
+              if st.eng.is_fuzz then run ()
+              else begin
+                Mutex.lock st.eng.iso_mu;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock st.eng.iso_mu)
+                  run
+              end)
+      | _ ->
+          error stmt.sloc
+            "program not normalized (isolated); compile with Front.compile")
   | Block b ->
       in_scope st ~body_bid:b.bid (fun () ->
           in_frame st (fun () -> exec_stmts st b.stmts))
@@ -756,7 +781,7 @@ and spawn st (body : Ast.stmt) : unit =
 and maybe_yield st =
   let eng = st.eng in
   if
-    eng.is_fuzz && (not st.quiet) && eng.pool.len > 0
+    eng.is_fuzz && (not st.quiet) && st.atomic = 0 && eng.pool.len > 0
     && Tdrutil.Prng.int st.w.rng 100 < eng.policy.yield_pct
   then begin
     st.w.n_yields <- st.w.n_yields + 1;
@@ -797,7 +822,7 @@ and run_task eng (w : worker) (t : task) : unit =
     match t.t_body.s with Ast.Block b -> b.bid | _ -> -1
   in
   let st =
-    { eng; w; locals = t.t_env; fin = t.t_fin; quiet = false;
+    { eng; w; locals = t.t_env; fin = t.t_fin; quiet = false; atomic = 0;
       monitored = eng.mon <> None; mtok = t.t_mtok;
       sbid = body_bid; sidx = 0; obid = -1; oidx = 0 }
   in
@@ -889,6 +914,7 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ?emon ~mode
       buf = Buffer.create 256;
       buf_mu = Mutex.create ();
       cas_mu = Mutex.create ();
+      iso_mu = Mutex.create ();
       poison = Atomic.make None;
       finished = Atomic.make false;
       pace_ns;
@@ -906,7 +932,7 @@ let run ?(fuel = Rt.Interp.default_fuel) ?(pace_ns = 0) ?policy ?emon ~mode
   let root = { pending = Atomic.make 0; ftok = -1 } in
   let st0 =
     { eng; w = workers.(0); locals = [ Hashtbl.create 8 ]; fin = root;
-      quiet = false; monitored = mon <> None; mtok = -1;
+      quiet = false; atomic = 0; monitored = mon <> None; mtok = -1;
       sbid = main.body.bid; sidx = 0; obid = -1; oidx = 0 }
   in
   (* Globals are interned up front (ids 0.. in declaration order, before

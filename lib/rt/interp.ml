@@ -345,7 +345,7 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
      would extend the step's statement range over the async/finish/block
      statement itself and spuriously forbid tight finish insertions. *)
   (match stmt.s with
-  | Async _ | Finish _ | Block _ -> ()
+  | Async _ | Finish _ | Isolated _ | Block _ -> ()
   | _ -> charge st Cost.stmt);
   match stmt.s with
   | Decl (_m, x, _ty, init) ->
@@ -445,6 +445,18 @@ and exec_stmt st (stmt : Ast.stmt) : unit =
       | _ ->
           error stmt.sloc
             "program not normalized (finish); compile with Front.compile")
+  | Isolated body -> (
+      (* Sequential execution is a legal schedule of the mutual
+         exclusion, so the depth-first interpreter runs the body as a
+         plain scope; races between isolated sections still surface in
+         the S-DPST and are discharged statically (Repair.Isolate). *)
+      match body.s with
+      | Ast.Block b ->
+          in_structural st ~kind:(Sdpst.Node.Scope Sdpst.Node.Sblock)
+            ~sid:stmt.sid ~body_bid:b.bid (fun _node -> exec_body st body)
+      | _ ->
+          error stmt.sloc
+            "program not normalized (isolated); compile with Front.compile")
   | Block b ->
       in_structural st ~kind:(Sdpst.Node.Scope Sdpst.Node.Sblock) ~sid:stmt.sid
         ~body_bid:b.bid (fun _node ->

@@ -12,6 +12,7 @@ let op_to_string = function
 
 type flags = {
   mode : Espbags.Detector.mode;
+  backend : [ `Espbags | `Vclock | `Auto ];
   static_prune : bool;
   static_verify : bool;
   budgets : Repair.Guard.budgets;
@@ -20,11 +21,15 @@ type flags = {
   sets : (string * int) list;
   faults : FI.fault list;
   trace : bool;
+  shadow_chunk : int option;
+  spill : string option;
+  strategy : Repair.Strategy.choice;
 }
 
 let default_flags =
   {
     mode = Espbags.Detector.Mrw;
+    backend = `Espbags;
     static_prune = false;
     static_verify = false;
     budgets = Repair.Guard.unlimited;
@@ -33,6 +38,9 @@ let default_flags =
     sets = [];
     faults = [];
     trace = false;
+    shadow_chunk = None;
+    spill = None;
+    strategy = `Finish;
   }
 
 type job_spec = { id : string; op : op; src : string; flags : flags }
@@ -109,6 +117,31 @@ let parse_flags j =
     | Some (J.Str "srw") -> Espbags.Detector.Srw
     | Some _ -> bad "flags.mode must be \"mrw\" or \"srw\""
   in
+  let backend =
+    match get "backend" with
+    | None -> default_flags.backend
+    | Some (J.Str "espbags") -> `Espbags
+    | Some (J.Str "vclock") -> `Vclock
+    | Some (J.Str "auto") -> `Auto
+    | Some _ -> bad "flags.backend must be \"espbags\", \"vclock\" or \"auto\""
+  in
+  let strategy =
+    match get "strategy" with
+    | None -> default_flags.strategy
+    | Some (J.Str s) -> (
+        match Repair.Strategy.choice_of_string s with
+        | Some c -> c
+        | None ->
+            bad
+              "flags.strategy must be \"finish\", \"isolated\", \"elide\", \
+               \"chunk\" or \"tournament\"")
+    | Some _ -> bad "flags.strategy must be a string"
+  in
+  let spill =
+    match get "spill" with
+    | None -> None
+    | Some v -> Some (as_string "spill" v)
+  in
   let sets =
     match get "set" with
     | None -> []
@@ -125,6 +158,7 @@ let parse_flags j =
   in
   {
     mode;
+    backend;
     static_prune = opt_bool ~default:false "static_prune";
     static_verify = opt_bool ~default:false "static_verify";
     budgets =
@@ -138,6 +172,9 @@ let parse_flags j =
     sets;
     faults;
     trace = opt_bool ~default:false "trace";
+    shadow_chunk = opt_int "shadow_chunk";
+    spill;
+    strategy;
   }
 
 let parse_obj j =
@@ -225,16 +262,26 @@ let cache_key (spec : job_spec) =
   let f = spec.flags in
   let b = f.budgets in
   let ios = function None -> "_" | Some n -> string_of_int n in
+  (* Every flag that can change a job's observable result participates
+     here; forgetting one silently serves stale replies across flag
+     changes (the test suite pins each field's sensitivity). *)
   let sig_ =
     String.concat ";"
       [
         op_to_string spec.op;
         (match f.mode with Espbags.Detector.Mrw -> "mrw" | Srw -> "srw");
+        (match f.backend with
+        | `Espbags -> "espbags"
+        | `Vclock -> "vclock"
+        | `Auto -> "auto");
+        Fmt.str "%a" Repair.Strategy.pp_choice f.strategy;
         string_of_bool f.static_prune;
         string_of_bool f.static_verify;
         ios b.Repair.Guard.fuel;
         ios b.Repair.Guard.sdpst_nodes;
         ios b.Repair.Guard.dp_work;
+        ios f.shadow_chunk;
+        (match f.spill with None -> "_" | Some p -> p);
         String.concat ","
           (List.map
              (fun (k, v) -> k ^ "=" ^ string_of_int v)

@@ -19,6 +19,7 @@ val op_to_string : op -> string
 
 type flags = {
   mode : Espbags.Detector.mode;
+  backend : [ `Espbags | `Vclock | `Auto ];  (** detection backend *)
   static_prune : bool;
   static_verify : bool;
   budgets : Repair.Guard.budgets;
@@ -29,6 +30,9 @@ type flags = {
       (** per-job injected faults (applied to the first attempt only);
           jobs with faults are never cached *)
   trace : bool;  (** return the job's {!Obs.Trace} span names *)
+  shadow_chunk : int option;  (** chunked shadow-table slab size *)
+  spill : string option;  (** race-record spill file *)
+  strategy : Repair.Strategy.choice;  (** repair strategy for [repair] *)
 }
 
 val default_flags : flags

@@ -27,14 +27,46 @@ let apply_sets prog sets =
              (Repair.Diag.make ~stage:Repair.Diag.Typecheck m)))
     prog sets
 
+let resolve_backend (flags : P.flags) prog : [ `Espbags | `Vclock ] =
+  match flags.backend with
+  | (`Espbags | `Vclock) as b -> b
+  | `Auto -> fst (Vclock.Select.choose prog)
+
 let run_detect (flags : P.flags) prog =
   let keep =
     if flags.static_prune then
       Some (Static.Prune.keep_fn (Static.Prune.make prog))
     else None
   in
-  let det, _res = Espbags.Detector.detect ?keep flags.mode prog in
-  let races = Espbags.Detector.races det in
+  let layout =
+    Option.map (fun n -> Tdrutil.Islab.Chunked n) flags.shadow_chunk
+  in
+  let spill = Option.map Espbags.Spill.config flags.spill in
+  let backend = resolve_backend flags prog in
+  let label, races, n_accesses, n_locations, n_skipped =
+    match backend with
+    | `Espbags ->
+        let det, _res =
+          Espbags.Detector.detect ?keep ?layout ?spill flags.mode prog
+        in
+        ( "espbags",
+          Espbags.Detector.races det,
+          det.Espbags.Detector.n_accesses,
+          det.Espbags.Detector.n_locations,
+          det.Espbags.Detector.n_skipped )
+    | `Vclock ->
+        let det, _res =
+          Vclock.Seq.detect ?keep ?layout ?spill flags.mode prog
+        in
+        ( "vclock",
+          Vclock.Seq.races det,
+          det.Vclock.Seq.n_accesses,
+          det.Vclock.Seq.n_locations,
+          det.Vclock.Seq.n_skipped )
+  in
+  (* Races with both endpoints inside [isolated] sections are discharged
+     by mutual exclusion, mirroring Driver.detect and the CLI. *)
+  let races = Repair.Isolate.suppress prog races in
   let report =
     J.Obj
       [
@@ -43,12 +75,13 @@ let run_detect (flags : P.flags) prog =
           J.Str
             (match flags.mode with Espbags.Detector.Mrw -> "mrw" | Srw -> "srw")
         );
+        ("backend", J.Str label);
         ("races", J.Int (List.length races));
         ( "race_pairs",
           J.Int (List.length (Espbags.Race.dedupe_by_steps races)) );
-        ("accesses", J.Int det.Espbags.Detector.n_accesses);
-        ("locations", J.Int det.Espbags.Detector.n_locations);
-        ("skipped", J.Int det.Espbags.Detector.n_skipped);
+        ("accesses", J.Int n_accesses);
+        ("locations", J.Int n_locations);
+        ("skipped", J.Int n_skipped);
         ( "race_list",
           J.List
             (List.map
@@ -58,11 +91,52 @@ let run_detect (flags : P.flags) prog =
   in
   (P.Sok, Some report, None)
 
+(* Non-finish repair strategies route through the tournament layer; the
+   reply carries the per-strategy outcomes alongside the winner. *)
+let run_repair_strategy (flags : P.flags) prog =
+  let outcome =
+    Repair.Strategy.run ~mode:flags.mode ~backend:flags.backend
+      flags.strategy prog
+  in
+  let open Repair.Strategy in
+  let json =
+    J.Obj
+      [
+        ("op", J.Str "repair");
+        ("strategy", J.Str (Fmt.str "%a" pp_choice flags.strategy));
+        ("winner", J.Str (kind_name outcome.winner.kind));
+        ("converged", J.Bool true);
+        ( "candidates",
+          J.List
+            (List.map
+               (fun (c : candidate) ->
+                 J.Obj
+                   [
+                     ("kind", J.Str (kind_name c.kind));
+                     ("produced", J.Bool (c.program <> None));
+                     ("verified", J.Bool c.verified);
+                     ("rounds", J.Int c.rounds);
+                     ( "cpl",
+                       match c.score with
+                       | Some s -> J.Int s.Compgraph.Score.cpl
+                       | None -> J.Null );
+                   ])
+               outcome.candidates) );
+        ( "metrics",
+          J.Obj (List.map (fun (k, v) -> (k, J.Int v)) outcome.metrics) );
+        ("program", J.Str (Mhj.Pretty.program_to_string outcome.program));
+      ]
+  in
+  (P.Sok, Some json, None)
+
 let run_repair (flags : P.flags) prog =
+  if flags.strategy <> `Finish then run_repair_strategy flags prog
+  else
   let report =
-    Repair.Driver.repair ~mode:flags.mode ~budgets:flags.budgets
-      ~static_prune:flags.static_prune ~static_verify:flags.static_verify
-      prog
+    Repair.Driver.repair ~mode:flags.mode ~backend:flags.backend
+      ~budgets:flags.budgets ~static_prune:flags.static_prune
+      ~static_verify:flags.static_verify ?shadow_chunk:flags.shadow_chunk
+      ?spill:flags.spill prog
   in
   let open Repair.Driver in
   let degraded =

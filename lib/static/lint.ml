@@ -18,7 +18,8 @@ let iter_blocks (prog : Ast.program) (f : Ast.block -> unit) =
     | Ast.If (_, a, b) ->
         on_stmt a;
         Option.iter on_stmt b
-    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> on_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b | Isolated b ->
+        on_stmt b
     | Block blk -> on_block blk
     | Decl _ | Assign _ | Return _ | Expr _ -> ()
   and on_block blk =

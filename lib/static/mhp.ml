@@ -126,6 +126,14 @@ let rec stmt_le ctx ~encl (st : Ast.stmt) : IntSet.t * IntSet.t =
         ctx.redundant <- (st.Ast.sid, st.Ast.sloc) :: ctx.redundant;
       (* the join: nothing escapes a finish *)
       (IntSet.union self lb, IntSet.empty)
+  | Isolated body ->
+      (* No tasks inside (enforced by the type checker): behaves like a
+         plain nested statement for happens-in-parallel purposes.  The
+         mutual exclusion between isolated instances is not modeled here —
+         MHP stays an over-approximation, which keeps pruning sound. *)
+      let lb, eb = stmt_le ctx ~encl body in
+      add_pairs ctx here call_e (IntSet.union self lb);
+      (IntSet.union self (IntSet.union call_l lb), IntSet.union call_e eb)
   | Block blk ->
       let lb, eb = block_le ctx ~encl blk in
       (IntSet.union self lb, eb)

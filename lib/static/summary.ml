@@ -296,7 +296,7 @@ let build (prog : Ast.program) : t =
         ignore (ex hi);
         Option.iter (fun e -> ignore (ex e)) by
     | Return (Some e) -> flow (PRet fname) (ex e)
-    | Return None | Async _ | Finish _ | Block _ -> ()
+    | Return None | Async _ | Finish _ | Isolated _ | Block _ -> ()
     | Expr e -> ignore (ex e)
   in
   (* Scope-threading walker: [locals] holds the local names visible at
@@ -339,7 +339,8 @@ let build (prog : Ast.program) : t =
           ~locals:(SS.add i locals)
           ~aenv:((i, Affine.var st.Ast.sid) :: aenv)
           ~emit ~callf b
-    | Async b | Finish b -> walk_stmt ~fname ~locals ~aenv ~emit ~callf b
+    | Async b | Finish b | Isolated b ->
+        walk_stmt ~fname ~locals ~aenv ~emit ~callf b
     | Block blk -> walk_block ~fname ~locals ~aenv ~emit ~callf blk
     | Decl _ | Assign _ | Return _ | Expr _ -> ()
   and walk_block ~fname ~locals ~aenv ~emit ~callf (blk : Ast.block) =
@@ -431,7 +432,8 @@ let build (prog : Ast.program) : t =
     | If (_, a, b) ->
         index_stmt a;
         Option.iter index_stmt b
-    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b -> index_stmt b
+    | While (_, b) | For (_, _, _, _, b) | Async b | Finish b | Isolated b ->
+        index_stmt b
     | Block blk -> index_block blk
     | Decl _ | Assign _ | Return _ | Expr _ -> ()
   and index_block (blk : Ast.block) =

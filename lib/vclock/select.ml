@@ -51,6 +51,7 @@ let features (prog : Ast.program) : features =
     | Ast.Finish body ->
         incr n_finish;
         stmt ~depth ~in_loop body
+    | Ast.Isolated body -> stmt ~depth ~in_loop body
     | Ast.For (_, _, _, _, body) | Ast.While (_, body) ->
         stmt ~depth ~in_loop:true body
     | Ast.If (_, a, b) ->

@@ -80,10 +80,68 @@ let test_repair_roundtrip () =
 let test_repair_incremental () =
   let code, out =
     run_cli
-      [ "repair"; sample "pipeline.mhj"; "--strategy"; "incremental"; "-q" ]
+      [ "repair"; sample "pipeline.mhj"; "--placement"; "incremental"; "-q" ]
   in
   Alcotest.(check int) "exit 0" 0 code;
   check_contains "incremental repair" out "race-free"
+
+let test_repair_tournament () =
+  (* fib: the missing join; finish must win the tournament. *)
+  let code, out =
+    run_cli [ "repair"; sample "fib_buggy.mhj"; "--strategy"; "tournament" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "winner line" out "strategy tournament: finish wins";
+  check_contains "per-candidate table" out "race-free in";
+  (* the winning rewrite is printed and re-detects clean *)
+  let fixed = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let code1, _ =
+    run_cli
+      [ "repair"; sample "fib_buggy.mhj"; "--strategy"; "tournament"; "-o";
+        fixed; "-q" ]
+  in
+  Alcotest.(check int) "repair -o exit 0" 0 code1;
+  let code2, out2 = run_cli [ "detect"; fixed ] in
+  Alcotest.(check int) "repaired detect exit 0" 0 code2;
+  check_contains "no races" out2 "0 race report(s)";
+  Sys.remove fixed
+
+let test_detect_after_isolated_repair () =
+  (* detect must discharge races serialized by isolated sections, so an
+     isolated-strategy repair verifies race-free through the CLI too. *)
+  let src = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let oc = open_out src in
+  output_string oc
+    {|
+def main() {
+  val sum: int[] = new int[1];
+  finish {
+    for (i = 0 to 3) {
+      async { sum[0] = sum[0] + i; }
+    }
+  }
+  print(sum[0]);
+}
+|};
+  close_out oc;
+  let fixed = Filename.temp_file "tdrepair_cli" ".mhj" in
+  let code, _ =
+    run_cli [ "repair"; src; "--strategy"; "isolated"; "-o"; fixed; "-q" ]
+  in
+  Alcotest.(check int) "isolated repair exit 0" 0 code;
+  let code2, out2 = run_cli [ "detect"; fixed ] in
+  Alcotest.(check int) "repaired detect exit 0" 0 code2;
+  check_contains "no surviving races" out2 "0 race report(s)";
+  check_contains "discharge line" out2 "serialized by isolated section(s)";
+  Sys.remove src;
+  Sys.remove fixed
+
+let test_detect_strategy_preview () =
+  let code, out =
+    run_cli [ "detect"; sample "fib_buggy.mhj"; "--strategy"; "tournament" ]
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  check_contains "preview" out "would win"
 
 let test_repair_report () =
   let code, out =
@@ -851,6 +909,12 @@ let () =
           Alcotest.test_case "repair incremental" `Quick
             test_repair_incremental;
           Alcotest.test_case "repair report" `Quick test_repair_report;
+          Alcotest.test_case "repair --strategy tournament" `Quick
+            test_repair_tournament;
+          Alcotest.test_case "detect --strategy preview" `Quick
+            test_detect_strategy_preview;
+          Alcotest.test_case "detect after isolated repair" `Quick
+            test_detect_after_isolated_repair;
           Alcotest.test_case "emit/strip/detect" `Quick test_strip_then_repair;
           Alcotest.test_case "elide" `Quick test_elide;
           Alcotest.test_case "run metrics" `Quick test_run_metrics;

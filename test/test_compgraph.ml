@@ -91,6 +91,42 @@ let test_sched_stats () =
     (Invalid_argument "Sched.simulate: procs must be positive") (fun () ->
       ignore (Compgraph.Sched.simulate ~procs:0 g))
 
+(* Two predecessors (B, C) complete at the same instant; their successors
+   (D, E) must both be in the ready queue before anyone is dispatched.
+   With the one-event-at-a-time bug, only one successor was visible at
+   dispatch time, so [max_ready] never reached 2. *)
+let test_sched_simultaneous_drain () =
+  let g = Compgraph.Graph.create () in
+  let a = Compgraph.Graph.add_node g 1 in
+  let b = Compgraph.Graph.add_node g 2 in
+  let c = Compgraph.Graph.add_node g 2 in
+  let d = Compgraph.Graph.add_node g 1 in
+  let e = Compgraph.Graph.add_node g 1 in
+  Compgraph.Graph.add_edge g a b;
+  Compgraph.Graph.add_edge g a c;
+  Compgraph.Graph.add_edge g b d;
+  Compgraph.Graph.add_edge g c e;
+  let s = Compgraph.Sched.simulate ~procs:2 g in
+  Alcotest.(check int) "makespan" 4 s.makespan;
+  Alcotest.(check int) "busy" 7 s.busy;
+  Alcotest.(check int) "both successors ready together" 2 s.max_ready
+
+(* Diamond variant: both join predecessors finish simultaneously; the
+   join must release exactly once and the schedule stays deterministic. *)
+let test_sched_diamond_join () =
+  let g = Compgraph.Graph.create () in
+  let a = Compgraph.Graph.add_node g 1 in
+  let b = Compgraph.Graph.add_node g 3 in
+  let c = Compgraph.Graph.add_node g 3 in
+  let d = Compgraph.Graph.add_node g 2 in
+  Compgraph.Graph.add_edge g a b;
+  Compgraph.Graph.add_edge g a c;
+  Compgraph.Graph.add_edge g b d;
+  Compgraph.Graph.add_edge g c d;
+  let s = Compgraph.Sched.simulate ~procs:2 g in
+  Alcotest.(check int) "makespan" 6 s.makespan;
+  Alcotest.(check int) "busy = work" (Compgraph.Metrics.work g) s.busy
+
 let test_pruned_tree_graph () =
   let res =
     run "def main() { async { work(100); } finish { async { work(40); } } }"
@@ -184,6 +220,9 @@ let () =
           Alcotest.test_case "extremes" `Quick test_schedule_extremes;
           QCheck_alcotest.to_alcotest brent_bound;
           Alcotest.test_case "stats" `Quick test_sched_stats;
+          Alcotest.test_case "simultaneous completions drain" `Quick
+            test_sched_simultaneous_drain;
+          Alcotest.test_case "diamond join" `Quick test_sched_diamond_join;
           Alcotest.test_case "pruned tree" `Quick test_pruned_tree_graph;
         ] );
       ( "work-stealing",

@@ -142,6 +142,26 @@ let test_validity_restricts () =
     (fun (s, e) -> if s = 0 && e = 0 then Alcotest.fail "used invalid wrap")
     out.finishes
 
+let test_eval_overlap_rejected () =
+  let g =
+    mk_graph
+      ~asyncs:[| true; true; true; true |]
+      ~times:[| 5; 9; 4; 2 |]
+      ~edges:[]
+  in
+  (* Nested and disjoint inputs are fine... *)
+  ignore (Repair.Dp_place.eval_placement g [ (0, 3); (1, 2); (1, 1) ]);
+  ignore (Repair.Dp_place.eval_placement g [ (0, 1); (2, 3) ]);
+  (* ...but a crossing pair must be rejected, not silently mis-scored. *)
+  List.iter
+    (fun ivs ->
+      match Repair.Dp_place.eval_placement g ivs with
+      | exception Invalid_argument _ -> ()
+      | cost ->
+          Alcotest.failf "overlapping intervals scored as %d instead of \
+                          raising" cost)
+    [ [ (0, 2); (1, 3) ]; [ (0, 1); (1, 2) ]; [ (1, 3); (0, 1) ] ]
+
 (* ------------------------------------------------------------------ *)
 (* Oracle comparison (Theorem 2)                                       *)
 (* ------------------------------------------------------------------ *)
@@ -223,6 +243,8 @@ let () =
           Alcotest.test_case "unsatisfiable" `Quick test_unsatisfiable;
           Alcotest.test_case "validity restricts" `Quick
             test_validity_restricts;
+          Alcotest.test_case "eval rejects overlapping intervals" `Quick
+            test_eval_overlap_rejected;
         ] );
       ( "oracle",
         [

@@ -367,8 +367,8 @@ let all_block_ids (p : Ast.program) =
   let rec stmt (st : Ast.stmt) =
     match st.s with
     | Ast.Block b -> block b
-    | Ast.Async s | Ast.Finish s | Ast.While (_, s) | Ast.For (_, _, _, _, s)
-      ->
+    | Ast.Async s | Ast.Finish s | Ast.Isolated s | Ast.While (_, s)
+    | Ast.For (_, _, _, _, s) ->
         stmt s
     | Ast.If (_, t, e) ->
         stmt t;

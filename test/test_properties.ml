@@ -51,6 +51,7 @@ let kind_fingerprint prog =
     (fun st ->
       match st.Mhj.Ast.s with
       | Mhj.Ast.Finish _ -> ()
+      | Mhj.Ast.Isolated _ -> Buffer.add_string buf "X;"
       | Mhj.Ast.Block _ -> ()
       | Mhj.Ast.Async _ -> Buffer.add_string buf "A;"
       | Mhj.Ast.Decl (_, x, _, _) -> Buffer.add_string buf ("D" ^ x ^ ";")
@@ -151,6 +152,47 @@ let coverage_sane =
       && c.covered_stmts <= c.total_stmts
       && c.covered_asyncs <= c.total_asyncs)
 
+(* Tournament contract: every candidate claiming race-freedom re-detects
+   clean under BOTH detection backends, and the selected winner's CPL is
+   never worse than pure finish insertion's (the tie-break favours
+   finish, so the winner is finish unless strictly better). *)
+let tournament_sound =
+  QCheck.Test.make ~name:"tournament verifies under both backends, never \
+                          worse than finish" ~count:25
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let prog = compile (generate seed) in
+      match Repair.Strategy.run `Tournament prog with
+      | exception Repair.Driver.Unrepairable m ->
+          QCheck.Test.fail_reportf
+            "tournament unrepairable on a progen program: %s" m
+      | outcome ->
+          let open Repair.Strategy in
+          List.iter
+            (fun (c : candidate) ->
+              if c.verified then begin
+                let p = Option.get c.program in
+                if not (race_free ~backend:`Espbags p) then
+                  QCheck.Test.fail_reportf
+                    "%s candidate races under espbags" (kind_name c.kind);
+                if not (race_free ~backend:`Vclock p) then
+                  QCheck.Test.fail_reportf
+                    "%s candidate races under vclock" (kind_name c.kind)
+              end)
+            outcome.candidates;
+          let fin =
+            List.find (fun (c : candidate) -> c.kind = Finish)
+              outcome.candidates
+          in
+          (match (outcome.winner.score, fin.score) with
+          | Some w, Some f when fin.verified ->
+              if w.Compgraph.Score.cpl > f.Compgraph.Score.cpl then
+                QCheck.Test.fail_reportf
+                  "winner cpl %d worse than finish cpl %d"
+                  w.Compgraph.Score.cpl f.Compgraph.Score.cpl
+          | _ -> ());
+          true)
+
 (* SRW repair agrees with MRW repair on the final race count (both zero),
    even if it takes more iterations. *)
 let srw_also_converges =
@@ -174,6 +216,7 @@ let () =
             repair_idempotent;
             prune_preserves_placement_quality;
             coverage_sane;
+            tournament_sound;
             srw_also_converges;
           ] );
     ]

@@ -108,13 +108,20 @@ let parse_ok line =
 let test_protocol_parse_job () =
   match
     parse_ok
-      {|{"op":"repair","id":"j1","src":"def main() {}","flags":{"mode":"srw","timeout_ms":50,"retries":1,"trace":true,"set":{"n":3},"faults":["detector_abort","interp_trap:99","slow_stage:20"]}}|}
+      {|{"op":"repair","id":"j1","src":"def main() {}","flags":{"mode":"srw","backend":"vclock","strategy":"tournament","shadow_chunk":512,"spill":"/tmp/sp","timeout_ms":50,"retries":1,"trace":true,"set":{"n":3},"faults":["detector_abort","interp_trap:99","slow_stage:20"]}}|}
   with
   | P.Job s ->
       Alcotest.(check string) "id" "j1" s.P.id;
       Alcotest.(check bool) "op" true (s.P.op = P.Repair);
       Alcotest.(check bool) "mode" true
         (s.P.flags.P.mode = Espbags.Detector.Srw);
+      Alcotest.(check bool) "backend" true (s.P.flags.P.backend = `Vclock);
+      Alcotest.(check bool) "strategy" true
+        (s.P.flags.P.strategy = `Tournament);
+      Alcotest.(check (option int)) "shadow_chunk" (Some 512)
+        s.P.flags.P.shadow_chunk;
+      Alcotest.(check (option string)) "spill" (Some "/tmp/sp")
+        s.P.flags.P.spill;
       Alcotest.(check (option int)) "timeout" (Some 50)
         s.P.flags.P.timeout_ms;
       Alcotest.(check (option int)) "retries" (Some 1) s.P.flags.P.retries;
@@ -193,6 +200,25 @@ let test_cache_key_sensitivity () =
     };
   ne "sets matter"
     { base with P.flags = { base.P.flags with P.sets = [ ("n", 1) ] } };
+  (* every detector-affecting flag added since the daemon landed must
+     key the cache too: serving an espbags reply to a vclock request (or
+     a finish repair to a tournament request) is a stale-result bug *)
+  ne "backend matters"
+    { base with P.flags = { base.P.flags with P.backend = `Vclock } };
+  ne "auto backend distinct from explicit"
+    { base with P.flags = { base.P.flags with P.backend = `Auto } };
+  ne "shadow_chunk matters"
+    { base with P.flags = { base.P.flags with P.shadow_chunk = Some 256 } };
+  ne "spill matters"
+    { base with P.flags = { base.P.flags with P.spill = Some "/tmp/sp" } };
+  ne "strategy matters"
+    { base with P.flags = { base.P.flags with P.strategy = `Tournament } };
+  Alcotest.(check bool) "isolated and elide keys differ" false
+    (String.equal
+       (P.cache_key
+          { base with P.flags = { base.P.flags with P.strategy = `Isolated } })
+       (P.cache_key
+          { base with P.flags = { base.P.flags with P.strategy = `Elide } }));
   (* result-neutral flags must NOT change the key *)
   Alcotest.(check string) "trace ignored" key
     (P.cache_key
@@ -215,6 +241,69 @@ let test_worker_repair_ok () =
       Alcotest.(check (option bool)) "converged" (Some true)
         (Option.map (function J.Bool b -> b | _ -> false)
            (J.member "converged" r))
+  | None -> Alcotest.fail "expected a report"
+
+let test_worker_repair_strategy () =
+  (* tournament repairs route through the strategy layer and report the
+     winner plus every candidate's outcome *)
+  let flags = { P.default_flags with P.strategy = `Tournament } in
+  let o = Serve.Worker.execute (spec ~flags racy_src) in
+  Alcotest.(check bool) "ok" true (o.Serve.Worker.status = P.Sok);
+  match o.Serve.Worker.report with
+  | Some r ->
+      (match J.member "winner" r with
+      | Some (J.Str w) ->
+          Alcotest.(check bool) "winner is a known strategy" true
+            (List.mem w [ "finish"; "isolated"; "elide"; "chunk" ])
+      | _ -> Alcotest.fail "expected a winner field");
+      (match J.member "candidates" r with
+      | Some (J.List cs) ->
+          Alcotest.(check int) "four candidates" 4 (List.length cs)
+      | _ -> Alcotest.fail "expected candidates");
+      (match J.member "metrics" r with
+      | Some (J.Obj kvs) ->
+          Alcotest.(check bool) "strategy.winner metric present" true
+            (List.mem_assoc "strategy.winner" kvs)
+      | _ -> Alcotest.fail "expected metrics")
+  | None -> Alcotest.fail "expected a report"
+
+let test_worker_detect_vclock_backend () =
+  (* the backend flag must reach the worker's detect path *)
+  let flags = { P.default_flags with P.backend = `Vclock } in
+  let o = Serve.Worker.execute (spec ~op:P.Detect ~flags racy_src) in
+  Alcotest.(check bool) "ok" true (o.Serve.Worker.status = P.Sok);
+  match o.Serve.Worker.report with
+  | Some r ->
+      Alcotest.(check (option string)) "vclock backend ran" (Some "vclock")
+        (Option.map
+           (function J.Str s -> s | _ -> "?")
+           (J.member "backend" r))
+  | None -> Alcotest.fail "expected a report"
+
+let isolated_src =
+  {|
+def main() {
+  val sum: int[] = new int[1];
+  finish {
+    for (i = 0 to 3) {
+      async { isolated { sum[0] = sum[0] + i; } }
+    }
+  }
+  print(sum[0]);
+}
+|}
+
+let test_worker_detect_discharges_isolated () =
+  (* detect must mirror Driver.detect: races whose endpoints both sit in
+     isolated sections are discharged, not reported. *)
+  let o = Serve.Worker.execute (spec ~op:P.Detect isolated_src) in
+  Alcotest.(check bool) "ok" true (o.Serve.Worker.status = P.Sok);
+  match o.Serve.Worker.report with
+  | Some r ->
+      Alcotest.(check (option int)) "no surviving races" (Some 0)
+        (Option.map
+           (function J.Int n -> n | _ -> -1)
+           (J.member "races" r))
   | None -> Alcotest.fail "expected a report"
 
 let test_worker_parse_error_fatal () =
@@ -537,6 +626,12 @@ let () =
       ( "worker",
         [
           Alcotest.test_case "repair ok" `Quick test_worker_repair_ok;
+          Alcotest.test_case "repair via strategy tournament" `Quick
+            test_worker_repair_strategy;
+          Alcotest.test_case "detect honours vclock backend" `Quick
+            test_worker_detect_vclock_backend;
+          Alcotest.test_case "detect discharges isolated" `Quick
+            test_worker_detect_discharges_isolated;
           Alcotest.test_case "input error fatal" `Quick
             test_worker_parse_error_fatal;
           Alcotest.test_case "transient retry" `Quick
